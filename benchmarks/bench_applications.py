@@ -1,0 +1,105 @@
+"""E12 — downstream applications built on the beeping MIS.
+
+Not a paper table; measures the classic MIS reductions shipped in
+``repro.apps`` to show the primitive composes:
+
+* **(Δ+1)-coloring** by iterated MIS: colors used vs the Δ+1 bound and
+  total beeping rounds (≈ phases · O(log n)),
+* **maximal matching** via MIS on the line graph: matched fraction and
+  rounds (the line graph squares the instance size, the rounds stay
+  logarithmic in it),
+* **clustering**: head count vs the n/(Δ+1) domination lower bound.
+"""
+
+import numpy as np
+
+from _harness import print_header, seed_for, sizes_and_reps
+
+from repro.apps.clustering import elect_clusters
+from repro.apps.coloring import iterated_mis_coloring
+from repro.apps.matching import maximal_matching
+from repro.analysis.tables import format_rows
+from repro.graphs.generators import by_name
+from repro.graphs.mis import mis_size_bounds
+
+
+def run_experiment(full: bool = False) -> list:
+    sizes, reps = sizes_and_reps(full)
+    sizes = [n for n in sizes if n <= 1024]  # line graphs square the size
+    reps = min(reps, 5)
+    print_header("E12 (applications)", "coloring / matching / clustering on the MIS")
+    rows = []
+    for n in sizes:
+        graph = by_name("er", n, seed=seed_for("E12g", n))
+        delta = graph.max_degree()
+        colors, color_rounds, match_frac, match_rounds, heads = [], [], [], [], []
+        for rep in range(reps):
+            seed = seed_for("E12s", n, rep)
+            coloring = iterated_mis_coloring(graph, seed=seed, c1=8)
+            colors.append(coloring.num_colors)
+            color_rounds.append(coloring.total_rounds)
+            matching = maximal_matching(graph, seed=seed, c1=8)
+            match_frac.append(
+                2 * matching.size / max(graph.num_vertices, 1)
+            )
+            match_rounds.append(matching.rounds)
+            clustering = elect_clusters(graph, seed=seed, c1=8)
+            heads.append(clustering.num_clusters)
+        lower, _ = mis_size_bounds(graph)
+        rows.append(
+            {
+                "n": n,
+                "Δ+1": delta + 1,
+                "colors used": f"{np.mean(colors):.1f}",
+                "coloring rounds": f"{np.mean(color_rounds):.0f}",
+                "matched frac": f"{np.mean(match_frac):.2f}",
+                "matching rounds": f"{np.mean(match_rounds):.0f}",
+                "heads": f"{np.mean(heads):.0f}",
+                "heads lower bound": lower,
+            }
+        )
+    print()
+    print(format_rows(rows, title="MIS reductions on ER graphs (5 seeds each)"))
+    print()
+    print("claim check: colors ≤ Δ+1 always; matching is maximal (≥ 1/2 of")
+    print("maximum); head count ≥ the n/(Δ+1) domination bound.")
+    return rows
+
+
+# ----------------------------------------------------------------------
+def bench_coloring(benchmark):
+    graph = by_name("er", 128, seed=1)
+
+    def run():
+        return iterated_mis_coloring(graph, seed=3, c1=8)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["colors"] = result.num_colors
+    assert result.num_colors <= graph.max_degree() + 1
+
+
+def bench_matching(benchmark):
+    graph = by_name("er", 128, seed=1)
+
+    def run():
+        return maximal_matching(graph, seed=3, c1=8)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["matching_size"] = result.size
+    assert result.size > 0
+
+
+def bench_clustering(benchmark):
+    graph = by_name("er", 256, seed=1)
+
+    def run():
+        return elect_clusters(graph, seed=3, c1=8)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["clusters"] = result.num_clusters
+    lower, _ = mis_size_bounds(graph)
+    assert result.num_clusters >= lower
+
+
+if __name__ == "__main__":
+    run_experiment(full=True)

@@ -1,0 +1,122 @@
+"""E16 — topology churn: re-stabilization after the graph itself changes.
+
+The paper's fault model corrupts state; the classical self-stabilization
+story (Dolev [7]) also covers link churn — and Algorithm 1 handles it by
+the same mechanism, provided the ℓmax knowledge stays valid (we commit a
+degree cap up front, the "loose upper bound on Δ" the theorems allow).
+
+Measured: rounds to re-stabilize after rewiring x% of the edges of an
+already-stable network (levels carried over), as a function of x,
+against the cold-start baseline.  Expected shape: cost grows smoothly
+with churn and saturates at the cold-start level — a small local change
+is repaired locally, a full rewire is equivalent to a restart.
+"""
+
+import numpy as np
+
+from _harness import print_header, seed_for, sizes_and_reps
+
+from repro.analysis.tables import format_rows
+from repro.core import max_degree_policy
+from repro.core.churn import restabilize_after_churn, rewire_edges
+from repro.core.vectorized import simulate_single
+from repro.graphs.generators import by_name
+
+FRACTIONS = [0.0, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0]
+
+
+def measure(graph, policy, cap, fraction, rep):
+    first = simulate_single(
+        graph, policy, seed=seed_for("E16a", fraction, rep), arbitrary_start=True
+    )
+    assert first.stabilized
+    event = rewire_edges(
+        graph, fraction, seed=seed_for("E16c", fraction, rep), max_degree_cap=cap
+    )
+    result = restabilize_after_churn(
+        event, policy, first.final_levels, seed=seed_for("E16r", fraction, rep)
+    )
+    if not result.stabilized:
+        raise RuntimeError(f"E16 run failed: fraction={fraction}")
+    # Fraction of the old MIS that survived the churn.
+    overlap = len(first.mis & result.mis) / max(len(result.mis), 1)
+    return result.rounds, overlap
+
+
+def run_experiment(full: bool = False) -> list:
+    sizes, reps = sizes_and_reps(full)
+    n = sizes[-1]
+    reps = min(reps, 10)
+    print_header(
+        "E16 (topology churn)",
+        "re-stabilization rounds vs fraction of rewired edges",
+    )
+    graph = by_name("er", n, seed=seed_for("E16g", n))
+    cap = graph.max_degree() + 6
+    policy = max_degree_policy(graph, c1=15, delta_upper=cap)
+    cold = np.mean(
+        [
+            simulate_single(
+                graph, policy, seed=seed_for("E16cold", s), arbitrary_start=True
+            ).rounds
+            for s in range(reps)
+        ]
+    )
+    rows = []
+    for fraction in FRACTIONS:
+        samples = [measure(graph, policy, cap, fraction, rep) for rep in range(reps)]
+        rounds = [s[0] for s in samples]
+        overlaps = [s[1] for s in samples]
+        rows.append(
+            {
+                "rewired edges": f"{fraction:.0%}",
+                "mean rounds": f"{np.mean(rounds):.1f}",
+                "max": f"{np.max(rounds):.0f}",
+                "vs cold start": f"{np.mean(rounds) / cold:.2f}x",
+                "old MIS kept": f"{np.mean(overlaps):.0%}",
+            }
+        )
+    print()
+    print(
+        format_rows(
+            rows,
+            title=(
+                f"ER(n={n}), degree cap {cap}; cold-start baseline "
+                f"{cold:.1f} rounds"
+            ),
+        )
+    )
+    print()
+    print("claim check: repair cost rises smoothly with churn and saturates")
+    print("near the cold-start level (slightly above: stale locally-legal")
+    print("structure must be torn down first); small churn is repaired")
+    print("locally (high MIS overlap).")
+    return rows
+
+
+# ----------------------------------------------------------------------
+def bench_churn_small_vs_cold(benchmark):
+    graph = by_name("er", 256, seed=1)
+    cap = graph.max_degree() + 6
+    policy = max_degree_policy(graph, c1=8, delta_upper=cap)
+
+    def run():
+        small = np.mean([measure(graph, policy, cap, 0.05, rep)[0] for rep in range(4)])
+        cold = np.mean(
+            [
+                simulate_single(
+                    graph, policy, seed=s, arbitrary_start=True
+                ).rounds
+                for s in range(4)
+            ]
+        )
+        return float(small), float(cold)
+
+    small, cold = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["churn5pct_rounds"] = small
+    benchmark.extra_info["cold_rounds"] = cold
+    assert small < cold
+
+
+if __name__ == "__main__":
+    run_experiment(full=True)

@@ -1,0 +1,128 @@
+"""E3 — Corollary 2.3: two channels restore O(log n) with deg₂ knowledge.
+
+Reproduced claim: Algorithm 2 (two beeping channels) with
+``ℓmax(v) = 2·ceil(log₂ deg₂(v)) + c₁`` (c₁ = 15) stabilizes from
+arbitrary configurations within O(log n) rounds w.h.p.
+
+Shape checks printed by ``main()``:
+
+* rounds vs n per family; the log model should win,
+* head-to-head with the single-channel Theorem-2.2 run on the same
+  graphs: the two-channel variant should be consistently faster (this
+  is what the second channel buys — the paper's Section 7 motivation).
+"""
+
+from _harness import (
+    SCALING_FAMILIES,
+    print_header,
+    seed_for,
+    sizes_and_reps,
+    whp_spread,
+)
+
+from repro.analysis.fitting import best_model, fit_all_models
+from repro.analysis.sweep import run_sweep
+from repro.core import (
+    neighborhood_degree_policy,
+    own_degree_policy,
+    simulate_single,
+    simulate_two_channel,
+)
+from repro.graphs.generators import by_name
+
+FAMILIES = SCALING_FAMILIES + ["ba"]
+
+
+def measure_rounds(config, rng):
+    graph = by_name(
+        config["family"], config["n"], seed=seed_for("E3g", config["family"], config["n"])
+    )
+    if config["alg"] == "two_channel":
+        policy = neighborhood_degree_policy(graph, c1=15)
+        simulate = simulate_two_channel
+    else:
+        policy = own_degree_policy(graph, c1=30)
+        simulate = simulate_single
+    result = simulate(
+        graph, policy, seed=rng, arbitrary_start=True, max_rounds=400_000
+    )
+    if not result.stabilized:
+        raise RuntimeError(f"E3 run failed to stabilize: {config}")
+    return float(result.rounds)
+
+
+def run_experiment(full: bool = False) -> dict:
+    sizes, reps = sizes_and_reps(full)
+    print_header(
+        "E3 (Corollary 2.3)",
+        "Algorithm 2 (two channels), ℓmax(v) = 2·log₂deg₂(v) + 15: O(log n) rounds",
+    )
+    outputs = {}
+    for family in FAMILIES:
+        configs = [{"family": family, "n": n, "alg": "two_channel"} for n in sizes]
+        sweep = run_sweep(configs, measure_rounds, repetitions=reps, master_seed=303)
+        single_configs = [
+            {"family": family, "n": n, "alg": "single"} for n in sizes
+        ]
+        single = run_sweep(
+            single_configs, measure_rounds, repetitions=max(3, reps // 2), master_seed=304
+        )
+        print()
+        print(sweep.to_table(["family", "n"], title=f"two-channel rounds — {family}"))
+        xs, ys = sweep.series("n")
+        fits = fit_all_models(xs, ys)
+        winner = best_model(xs, ys)
+        print("  fits: " + " | ".join(fits[m].format() for m in ("log", "log_loglog", "linear")))
+        print(f"  best model: {winner.model} (expected: log)")
+        single_means = dict(zip(*single.series("n")))
+        speedups = [
+            single_means.get(float(cell.config["n"]), 0.0) / max(cell.summary.mean, 1.0)
+            for cell in sweep.cells
+        ]
+        print("  speedup vs single-channel Thm-2.2 per n: "
+              + ", ".join(f"{s:.2f}x" for s in speedups))
+        print("  w.h.p. concentration: "
+              + ", ".join(f"{whp_spread(c.samples):.2f}" for c in sweep.cells))
+        outputs[family] = (sweep, fits)
+    return outputs
+
+
+# ----------------------------------------------------------------------
+def bench_corollary23_er_stabilization(benchmark):
+    """Time one two-channel stabilization on ER(256, d̄=8)."""
+    graph = by_name("er", 256, seed=3)
+    policy = neighborhood_degree_policy(graph, c1=15)
+
+    def run():
+        return simulate_two_channel(
+            graph, policy, seed=4, arbitrary_start=True, max_rounds=400_000
+        ).rounds
+
+    rounds = benchmark(run)
+    benchmark.extra_info["rounds"] = rounds
+    assert rounds > 0
+
+
+def bench_corollary23_beats_single_channel(benchmark):
+    """Smoke check of the headline comparison on one BA graph."""
+
+    def run():
+        two = measure_rounds(
+            {"family": "ba", "n": 128, "alg": "two_channel"},
+            __import__("numpy").random.default_rng(1),
+        )
+        one = measure_rounds(
+            {"family": "ba", "n": 128, "alg": "single"},
+            __import__("numpy").random.default_rng(1),
+        )
+        return one, two
+
+    one, two = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["single_channel_rounds"] = one
+    benchmark.extra_info["two_channel_rounds"] = two
+    # Two-channel should not be slower by more than a whisker.
+    assert two <= one * 1.5
+
+
+if __name__ == "__main__":
+    run_experiment(full=True)

@@ -1,0 +1,144 @@
+"""E9 — engineering validation: engine equivalence and throughput.
+
+Not a paper claim, but the load-bearing fact behind every other
+experiment: the vectorized engine used by the sweeps is bit-identical to
+the semantics-defining reference engine, and fast enough to run the full
+scaling study on a laptop.
+
+``main()`` prints the equivalence verdict plus a rounds/second table for
+both engines over a size sweep.
+"""
+
+import time
+
+from _harness import print_header, seed_for
+
+from repro.analysis.tables import format_table
+from repro.beeping.network import BeepingNetwork
+from repro.core import (
+    SelfStabilizingMIS,
+    SingleChannelEngine,
+    TwoChannelEngine,
+    TwoChannelMIS,
+    max_degree_policy,
+    neighborhood_degree_policy,
+)
+from repro.graphs.generators import by_name
+
+
+def check_equivalence(n=150, rounds=250) -> bool:
+    """Run both engines lock-step from the same seed; True iff identical."""
+    graph = by_name("er", n, seed=seed_for("E9g", n))
+    policy = max_degree_policy(graph, c1=8)
+    seed = 909
+    fast = SingleChannelEngine(graph, policy, seed=seed)
+    reference = BeepingNetwork(
+        graph, SelfStabilizingMIS(), policy.knowledge(graph), seed=seed
+    )
+    for _ in range(rounds):
+        fast.step()
+        reference.step()
+        if list(fast.levels) != list(reference.states):
+            return False
+    return True
+
+
+def check_equivalence_two_channel(n=150, rounds=250) -> bool:
+    graph = by_name("er", n, seed=seed_for("E9g", n))
+    policy = neighborhood_degree_policy(graph, c1=8)
+    seed = 910
+    fast = TwoChannelEngine(graph, policy, seed=seed)
+    reference = BeepingNetwork(
+        graph, TwoChannelMIS(), policy.knowledge(graph), seed=seed
+    )
+    for _ in range(rounds):
+        fast.step()
+        reference.step()
+        if list(fast.levels) != list(reference.states):
+            return False
+    return True
+
+
+def throughput_table(sizes=(100, 400, 1600, 6400)) -> str:
+    rows = []
+    for n in sizes:
+        graph = by_name("er", n, seed=seed_for("E9t", n))
+        policy = max_degree_policy(graph, c1=8)
+
+        engine = SingleChannelEngine(graph, policy, seed=1)
+        fast_rounds = 300
+        start = time.perf_counter()
+        for _ in range(fast_rounds):
+            engine.step()
+        fast_rate = fast_rounds / (time.perf_counter() - start)
+
+        if n <= 1600:  # the object engine is too slow beyond this
+            network = BeepingNetwork(
+                graph, SelfStabilizingMIS(), policy.knowledge(graph), seed=1
+            )
+            ref_rounds = 30
+            start = time.perf_counter()
+            network.run(ref_rounds)
+            ref_rate = ref_rounds / (time.perf_counter() - start)
+            ref_text = f"{ref_rate:.0f}"
+        else:
+            ref_text = "-"
+        rows.append([n, ref_text, f"{fast_rate:.0f}"])
+    return format_table(
+        ["n", "reference rounds/s", "vectorized rounds/s"],
+        rows,
+        title="engine throughput",
+    )
+
+
+def run_experiment(full: bool = False) -> None:
+    print_header("E9 (engines)", "bit-identical trajectories + throughput")
+    ok1 = check_equivalence()
+    ok2 = check_equivalence_two_channel()
+    print(f"single-channel equivalence over 250 rounds: {'PASS' if ok1 else 'FAIL'}")
+    print(f"two-channel equivalence over 250 rounds:    {'PASS' if ok2 else 'FAIL'}")
+    print()
+    print(throughput_table())
+
+
+# ----------------------------------------------------------------------
+def bench_vectorized_round_throughput(benchmark):
+    """Core microbenchmark: one vectorized round at n = 4096."""
+    graph = by_name("er", 4096, seed=2)
+    policy = max_degree_policy(graph, c1=8)
+    engine = SingleChannelEngine(graph, policy, seed=3)
+    benchmark(engine.step)
+    benchmark.extra_info["n"] = 4096
+
+
+def bench_reference_round_throughput(benchmark):
+    """One reference-engine round at n = 512 (for the speedup ratio)."""
+    graph = by_name("er", 512, seed=2)
+    policy = max_degree_policy(graph, c1=8)
+    network = BeepingNetwork(
+        graph, SelfStabilizingMIS(), policy.knowledge(graph), seed=3
+    )
+    benchmark(network.step)
+    benchmark.extra_info["n"] = 512
+
+
+def bench_engine_equivalence(benchmark):
+    """The equivalence check itself, timed (and asserted)."""
+    result = benchmark.pedantic(
+        lambda: check_equivalence(n=80, rounds=120), rounds=1, iterations=1
+    )
+    assert result
+
+
+def bench_legality_check(benchmark):
+    """Cost of the vectorized legality predicate at n = 4096."""
+    graph = by_name("er", 4096, seed=2)
+    policy = max_degree_policy(graph, c1=8)
+    engine = SingleChannelEngine(graph, policy, seed=3)
+    for _ in range(10):
+        engine.step()
+    benchmark(engine.is_legal)
+
+
+if __name__ == "__main__":
+    run_experiment(full=True)

@@ -1,0 +1,59 @@
+"""E4 — Figure 1: the level → beeping-probability activation function.
+
+The paper's only figure plots ``p_t(v)`` against ``ℓ_t(v)``: probability
+1 on the prominent side (ℓ ≤ 0), the halving staircase ``2^(−ℓ)`` in the
+competition regime, and 0 at ℓmax.  ``main()`` regenerates the exact
+series (for ℓmax = 10, matching the figure's qualitative range) and an
+ASCII rendering; the benchmark entries time the function and verify the
+shape properties the analysis relies on.
+"""
+
+from _harness import print_header
+
+from repro.analysis.tables import format_table
+from repro.core.levels import beep_probability, probability_table
+
+
+def render_figure(ell_max: int = 10) -> str:
+    """The Figure-1 series as a table plus a sideways ASCII plot."""
+    table = probability_table(ell_max)
+    rows = [[level, f"{p:.6f}"] for level, p in table]
+    text = format_table(
+        ["ℓ", "p(ℓ)"],
+        rows,
+        title=f"Figure 1 — beeping probability p(ℓ), ℓmax = {ell_max}",
+    )
+    width = 40
+    bars = [
+        f"{level:+4d} | " + "#" * int(round(p * width))
+        for level, p in table
+    ]
+    return text + "\n\n" + "\n".join(bars)
+
+
+def run_experiment(full: bool = False) -> str:
+    print_header("E4 (Figure 1)", "activation function p(ℓ)")
+    output = render_figure(10)
+    print(output)
+    # The three regimes, stated explicitly for the record.
+    print()
+    print("regimes: p = 1 for ℓ ≤ 0 (prominent/MIS side); p = 2^(−ℓ) for")
+    print("0 < ℓ < ℓmax (competition); p = 0 at ℓ = ℓmax (silent/non-member)")
+    return output
+
+
+# ----------------------------------------------------------------------
+def bench_figure1_activation_function(benchmark):
+    """Time a full table evaluation; assert the Figure-1 shape."""
+    table = benchmark(lambda: probability_table(10))
+    probabilities = [p for _, p in table]
+    assert probabilities[0] == 1.0 and probabilities[-1] == 0.0
+    # Monotone non-increasing with the exact halving staircase.
+    assert probabilities == sorted(probabilities, reverse=True)
+    for level in range(1, 10):
+        assert beep_probability(level, 10) == 2.0 ** (-level)
+    benchmark.extra_info["points"] = len(table)
+
+
+if __name__ == "__main__":
+    run_experiment(full=True)

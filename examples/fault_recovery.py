@@ -1,0 +1,92 @@
+"""Watch the algorithm absorb repeated transient faults.
+
+Drives Algorithm 1 on a random-regular graph through a schedule of
+increasingly nasty RAM corruptions — partial Bernoulli noise, a full
+random wipe, and the adversarial "everyone claims MIS membership"
+pattern — measuring the fault-free recovery time after each event and
+plotting the stable-set size |S_t| as a sparkline.
+
+    python examples/fault_recovery.py [n]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.analysis.tables import format_table, series_sparkline
+from repro.beeping.faults import (
+    AdversarialPattern,
+    BernoulliCorruption,
+    RandomCorruption,
+)
+from repro.beeping.network import BeepingNetwork
+from repro.beeping.simulator import run_until_stable
+from repro.core import SelfStabilizingMIS, max_degree_policy
+from repro.graphs import generators
+from repro.graphs.mis import check_mis
+
+
+def stable_count(network):
+    algorithm = network.algorithm
+    sets = algorithm.stable_sets(network.graph, network.states, network.knowledge)
+    return len(sets.stable)
+
+
+def run_to_stable_with_series(network, budget=50_000):
+    """Advance to legality, recording |S_t| per round."""
+    series = [stable_count(network)]
+    rounds = 0
+    while not network.is_legal():
+        if rounds >= budget:
+            raise RuntimeError("did not stabilize within budget")
+        network.step()
+        rounds += 1
+        series.append(stable_count(network))
+    return rounds, series
+
+
+def main(n: int = 240) -> None:
+    graph = generators.random_regular(n, 6, seed=3)
+    policy = max_degree_policy(graph, c1=4)
+    algorithm = SelfStabilizingMIS()
+    rng = np.random.default_rng(17)
+    network = BeepingNetwork(graph, algorithm, policy.knowledge(graph), seed=rng)
+
+    print(f"6-regular graph, n={n}; initial stabilization...")
+    rounds, series = run_to_stable_with_series(network)
+    print(f"  stabilized in {rounds} rounds   |S_t|: {series_sparkline(series)}")
+    print()
+
+    faults = [
+        ("Bernoulli(0.05): 5% of motes glitch", BernoulliCorruption(0.05)),
+        ("Bernoulli(0.25): quarter of the network", BernoulliCorruption(0.25)),
+        ("full random wipe", RandomCorruption()),
+        ("adversarial: all levels at +ℓmax", AdversarialPattern.all_silent()),
+        ("adversarial: all claim MIS (-ℓmax)", AdversarialPattern.all_prominent()),
+    ]
+
+    rows = []
+    for description, fault in faults:
+        fault.apply(network, rng)
+        rounds, series = run_to_stable_with_series(network)
+        result = run_until_stable(network, max_rounds=1)  # snapshot legality
+        assert result.stabilized
+        assert check_mis(graph, result.mis) is None
+        rows.append([description, rounds, series_sparkline(series, width=32)])
+
+    print(
+        format_table(
+            ["transient fault", "recovery rounds", "|S_t| during recovery"],
+            rows,
+            title="Self-stabilization after faults (fault-free suffix measured)",
+            align_right=False,
+        )
+    )
+    print()
+    print("Every recovery converged to a certified MIS; recovery time stays")
+    print("in the same O(log n) band regardless of the corruption pattern —")
+    print("the paper's self-stabilization guarantee in action.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 240)

@@ -1,0 +1,92 @@
+"""Sensory-organ-precursor selection in a fly-like cell sheet.
+
+The beeping model's biological motivation (paper §1, citing Afek et al.,
+*Science* 2011): during the development of the fly's nervous system, an
+epithelial cell sheet elects *sensory organ precursor* (SOP) cells such
+that no two SOPs touch and every cell touches an SOP — an MIS, computed
+by cells that can only secrete and sense a Delta/Notch signal: nature's
+beeping.
+
+This example models the sheet as a triangular lattice (each interior
+cell touches six neighbors), elects SOPs with the paper's
+self-stabilizing Algorithm 1 from arbitrary protein levels, renders the
+sheet, then kills a patch of cells' state (laser-ablation style) and
+shows the lattice re-electing precursors locally.
+
+    python examples/fly_neural_selection.py [rows] [cols]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.beeping.faults import TargetedCorruption
+from repro.beeping.network import BeepingNetwork
+from repro.beeping.simulator import run_until_stable
+from repro.core import SelfStabilizingMIS, max_degree_policy
+from repro.graphs import generators
+from repro.graphs.mis import check_mis
+
+
+def render_sheet(rows, cols, sop):
+    """ASCII sheet: '◉' = SOP cell, '·' = ordinary epithelial cell."""
+    lines = []
+    for r in range(rows):
+        offset = " " * (r % 2)  # hex-ish stagger for the triangular lattice
+        line = offset + " ".join(
+            "◉" if r * cols + c in sop else "·" for c in range(cols)
+        )
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def main(rows: int = 14, cols: int = 26) -> None:
+    sheet = generators.triangular_lattice(rows, cols)
+    n = sheet.num_vertices
+    print(
+        f"epithelial sheet: {rows}x{cols} = {n} cells, "
+        f"max contact degree {sheet.max_degree()}"
+    )
+
+    policy = max_degree_policy(sheet, c1=4)
+    algorithm = SelfStabilizingMIS()
+    knowledge = policy.knowledge(sheet)
+    rng = np.random.default_rng(6)
+    network = BeepingNetwork(
+        sheet,
+        algorithm,
+        knowledge,
+        seed=rng,
+        # Arbitrary initial protein levels in every cell.
+        initial_states=[algorithm.random_state(k, rng) for k in knowledge],
+    )
+    result = run_until_stable(network, max_rounds=50_000)
+    assert result.stabilized and check_mis(sheet, result.mis) is None
+    print(f"SOP pattern selected after {result.rounds} signaling rounds "
+          f"({len(result.mis)} precursors):\n")
+    print(render_sheet(rows, cols, result.mis))
+
+    # ------------------------------------------------------------------
+    # Ablate a patch: wipe the state of a square block of cells.
+    # ------------------------------------------------------------------
+    patch = tuple(
+        r * cols + c
+        for r in range(rows // 3, 2 * rows // 3)
+        for c in range(cols // 3, 2 * cols // 3)
+    )
+    TargetedCorruption(vertices=patch).apply(network, rng)
+    recovery = run_until_stable(network, max_rounds=50_000)
+    assert recovery.stabilized and check_mis(sheet, recovery.mis) is None
+    unchanged = len(result.mis & recovery.mis)
+    print(
+        f"\nafter ablating a {len(patch)}-cell patch, the sheet re-selected "
+        f"precursors in {recovery.rounds} rounds "
+        f"({unchanged}/{len(recovery.mis)} SOPs unchanged — repair is local):\n"
+    )
+    print(render_sheet(rows, cols, recovery.mis))
+
+
+if __name__ == "__main__":
+    rows = int(sys.argv[1]) if len(sys.argv) > 1 else 14
+    cols = int(sys.argv[2]) if len(sys.argv) > 2 else 26
+    main(rows, cols)

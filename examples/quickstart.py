@@ -1,0 +1,47 @@
+"""Quickstart: compute a self-stabilizing MIS on a random graph.
+
+Runs all three knowledge variants of the paper on the same topology,
+starting from an *arbitrary corrupted configuration*, and prints the
+stabilization round counts plus the (certified) MIS sizes.
+
+    python examples/quickstart.py [n]
+"""
+
+import sys
+
+from repro import compute_mis
+from repro.graphs import generators
+from repro.graphs.mis import check_mis
+
+
+def main(n: int = 300) -> None:
+    graph = generators.erdos_renyi_mean_degree(n, 8.0, seed=7)
+    print(f"graph: G(n={graph.num_vertices}, m={graph.num_edges}), "
+          f"max degree {graph.max_degree()}")
+    print()
+
+    for variant, theorem in [
+        ("max_degree", "Theorem 2.1  (knows Δ, one channel)"),
+        ("own_degree", "Theorem 2.2  (knows own degree, one channel)"),
+        ("two_channel", "Corollary 2.3 (knows deg₂, two channels)"),
+    ]:
+        result = compute_mis(
+            graph,
+            variant=variant,
+            seed=42,
+            arbitrary_start=True,  # self-stabilization setting
+            c1=4,  # empirical constant; the theorems use 15/30/15
+        )
+        assert check_mis(graph, result.mis) is None  # certified
+        print(f"{theorem}")
+        print(
+            f"    stabilized after {result.rounds:4d} rounds, "
+            f"|MIS| = {len(result.mis)}"
+        )
+    print()
+    print("All three runs started from uniformly random levels and were")
+    print("validated against the ground-truth MIS oracle.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 300)

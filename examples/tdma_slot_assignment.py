@@ -1,0 +1,77 @@
+"""TDMA slot assignment and link scheduling from beeping primitives.
+
+A classical pipeline for wireless sensor networks, built entirely on the
+paper's self-stabilizing MIS:
+
+1. **slot assignment** — a proper (Δ+1)-coloring (no two interfering
+   motes share a slot) computed by *iterated MIS*: color class i is the
+   MIS of the residual graph in phase i,
+2. **link scheduling** — a maximal matching (a set of non-conflicting
+   point-to-point transmissions) computed as an MIS of the *line graph*.
+
+Both reductions keep the anonymous beeping substrate doing all the
+distributed work, and both results are certified against ground-truth
+validators.
+
+    python examples/tdma_slot_assignment.py [n]
+"""
+
+import math
+import sys
+
+from repro.analysis.tables import format_table
+from repro.apps.coloring import iterated_mis_coloring
+from repro.apps.matching import maximal_matching
+from repro.graphs import generators
+
+
+def main(n: int = 200) -> None:
+    radius = math.sqrt(10.0 / (math.pi * n))
+    network = generators.unit_disk(n, radius, seed=23)
+    delta = network.max_degree()
+    print(
+        f"interference graph: {n} motes, {network.num_edges} conflicting "
+        f"pairs, max degree Δ = {delta}"
+    )
+    print()
+
+    # ------------------------------------------------------------------
+    # 1. TDMA slots = proper coloring.
+    # ------------------------------------------------------------------
+    coloring = iterated_mis_coloring(network, seed=5, c1=4)
+    classes = coloring.color_classes()
+    rows = [
+        [slot, len(members), f"{100 * len(members) / n:.0f}%"]
+        for slot, members in enumerate(classes)
+    ]
+    print(
+        format_table(
+            ["slot", "motes", "share"],
+            rows,
+            title=(
+                f"TDMA schedule: {coloring.num_colors} slots "
+                f"(bound: Δ+1 = {delta + 1}), "
+                f"{coloring.total_rounds} beeping rounds total"
+            ),
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # 2. Link schedule = maximal matching.
+    # ------------------------------------------------------------------
+    matching = maximal_matching(network, seed=9, c1=4)
+    print()
+    print(
+        f"link schedule: {matching.size} simultaneous point-to-point links "
+        f"({2 * matching.size} of {n} motes busy), computed in "
+        f"{matching.rounds} beeping rounds on the {network.num_edges}-vertex "
+        "line graph"
+    )
+    print()
+    print("Both structures were computed by the self-stabilizing beeping MIS")
+    print("from arbitrary initial states and validated by exact checkers —")
+    print("a post-deployment fault would re-run the same convergence.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 200)

@@ -1,0 +1,42 @@
+"""repro — Self-Stabilizing MIS Computation in the Beeping Model.
+
+A from-scratch Python reproduction of Giakkoupis, Turau & Ziccardi,
+*Brief Announcement: Self-Stabilizing MIS Computation in the Beeping
+Model* (PODC 2024).
+
+Quick start::
+
+    from repro import compute_mis
+    from repro.graphs import generators
+
+    graph = generators.erdos_renyi_mean_degree(500, 8.0, seed=1)
+    result = compute_mis(graph, variant="max_degree", seed=1,
+                         arbitrary_start=True)
+    print(result.rounds, len(result.mis))
+
+Subpackages
+-----------
+``repro.graphs``     topology substrate (generators, MIS oracles, I/O)
+``repro.beeping``    beeping-model simulator (engine, faults, tracing)
+``repro.core``       Algorithms 1 & 2, knowledge policies, fast engine
+``repro.baselines``  Jeavons, Afek-style, Luby, sequential greedy
+``repro.analysis``   sweeps, statistics, growth-model fitting, tables
+"""
+
+from .core.runner import MISResult, compute_mis, default_round_budget, policy_for_variant
+from .core.algorithm_single import SelfStabilizingMIS
+from .core.algorithm_two_channel import TwoChannelMIS
+from .graphs.graph import Graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "MISResult",
+    "SelfStabilizingMIS",
+    "TwoChannelMIS",
+    "compute_mis",
+    "default_round_budget",
+    "policy_for_variant",
+    "__version__",
+]

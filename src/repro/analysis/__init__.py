@@ -1,0 +1,34 @@
+"""Analysis toolkit: statistics, model fitting, sweeps, table rendering."""
+
+from .stats import Summary, bootstrap_ci, summarize, tail_fraction
+from .fitting import FitResult, MODELS, best_model, fit_all_models, fit_model
+from .tables import format_rows, format_table, series_sparkline
+from .sweep import SweepCell, SweepResult, run_sweep
+from .persistence import load_rows, load_sweep, save_rows, save_sweep
+from .visualize import level_glyph, render_histogram, render_levels, render_run
+
+__all__ = [
+    "Summary",
+    "bootstrap_ci",
+    "summarize",
+    "tail_fraction",
+    "FitResult",
+    "MODELS",
+    "best_model",
+    "fit_all_models",
+    "fit_model",
+    "format_rows",
+    "format_table",
+    "series_sparkline",
+    "SweepCell",
+    "SweepResult",
+    "run_sweep",
+    "load_rows",
+    "load_sweep",
+    "save_rows",
+    "save_sweep",
+    "level_glyph",
+    "render_histogram",
+    "render_levels",
+    "render_run",
+]

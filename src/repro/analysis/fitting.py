@@ -1,0 +1,106 @@
+"""Growth-model fitting for round-complexity curves.
+
+The reproduction does not try to match the paper's constants (its proofs
+use bounds like γ = e⁻³⁰); it checks *shapes*: does measured
+stabilization time grow like ``a·log n + b`` (Theorems 2.1 / Corollary
+2.3), stay under a ``log n · log log n`` envelope (Theorem 2.2), and
+clearly *not* like a power law ``a·n^k`` with k bounded away from 0?
+
+All models are linear in their parameters after a feature transform, so
+ordinary least squares suffices.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["FitResult", "fit_model", "fit_all_models", "best_model", "MODELS"]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """An OLS fit of one growth model to (n, rounds) data."""
+
+    model: str
+    coefficients: Tuple[float, ...]
+    r_squared: float
+    rmse: float
+
+    def predict(self, n: float) -> float:
+        """Evaluate the fitted model at problem size ``n``."""
+        features = MODELS[self.model](n)
+        return float(np.dot(self.coefficients, features))
+
+    def format(self) -> str:
+        coeffs = ", ".join(f"{c:.3g}" for c in self.coefficients)
+        return f"{self.model}: coeffs=({coeffs}) R²={self.r_squared:.4f}"
+
+
+def _loglog(n: float) -> float:
+    return math.log(max(math.log(max(n, 2.0)), 1e-9))
+
+
+#: feature maps: model name → (n → feature vector), first feature is the
+#: leading term, last is the constant.
+MODELS: Dict[str, Callable[[float], Tuple[float, ...]]] = {
+    "log": lambda n: (math.log(max(n, 2.0)), 1.0),
+    "log_loglog": lambda n: (math.log(max(n, 2.0)) * _loglog(n), 1.0),
+    "sqrt": lambda n: (math.sqrt(n), 1.0),
+    "linear": lambda n: (float(n), 1.0),
+    "log_squared": lambda n: (math.log(max(n, 2.0)) ** 2, 1.0),
+}
+
+
+def fit_model(
+    sizes: Sequence[float],
+    rounds: Sequence[float],
+    model: str,
+) -> FitResult:
+    """Least-squares fit of one named model; returns coefficients and R²."""
+    if model not in MODELS:
+        raise ValueError(f"unknown model {model!r}; known: {sorted(MODELS)}")
+    if len(sizes) != len(rounds):
+        raise ValueError("sizes and rounds must have equal length")
+    if len(sizes) < 2:
+        raise ValueError("need at least 2 data points to fit")
+    feature_map = MODELS[model]
+    X = np.array([feature_map(n) for n in sizes], dtype=float)
+    y = np.asarray(rounds, dtype=float)
+    coefficients, *_ = np.linalg.lstsq(X, y, rcond=None)
+    predictions = X @ coefficients
+    residual = float(((y - predictions) ** 2).sum())
+    total = float(((y - y.mean()) ** 2).sum())
+    r_squared = 1.0 - residual / total if total > 0 else 1.0
+    rmse = math.sqrt(residual / len(y))
+    return FitResult(
+        model=model,
+        coefficients=tuple(float(c) for c in coefficients),
+        r_squared=r_squared,
+        rmse=rmse,
+    )
+
+
+def fit_all_models(
+    sizes: Sequence[float],
+    rounds: Sequence[float],
+) -> Dict[str, FitResult]:
+    """Fit every registered model and return them keyed by name."""
+    return {name: fit_model(sizes, rounds, name) for name in MODELS}
+
+
+def best_model(
+    sizes: Sequence[float],
+    rounds: Sequence[float],
+    candidates: Sequence[str] = ("log", "log_loglog", "sqrt", "linear"),
+) -> FitResult:
+    """The candidate with the smallest RMSE.
+
+    RMSE (not R²) so the comparison stays meaningful when the response is
+    nearly flat.
+    """
+    fits = [fit_model(sizes, rounds, m) for m in candidates]
+    return min(fits, key=lambda f: f.rmse)

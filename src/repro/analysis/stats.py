@@ -1,0 +1,96 @@
+"""Summary statistics for repeated randomized experiments.
+
+The theorems are "w.h.p." statements, so every measured quantity is a
+distribution over seeds.  This module provides the small set of
+estimators the benchmark harness reports: mean ± bootstrap CI, quantiles,
+and an empirical tail probability (the w.h.p. check itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Summary", "summarize", "bootstrap_ci", "tail_fraction"]
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of one measured sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    q25: float
+    median: float
+    q75: float
+    maximum: float
+    ci_low: float
+    ci_high: float
+
+    def format(self, precision: int = 1) -> str:
+        """Compact ``mean ± half-CI [min, max]`` rendering for tables."""
+        half = (self.ci_high - self.ci_low) / 2.0
+        return (
+            f"{self.mean:.{precision}f} ± {half:.{precision}f} "
+            f"[{self.minimum:.{precision}f}, {self.maximum:.{precision}f}]"
+        )
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    num_resamples: int = 2000,
+    seed: SeedLike = 0,
+) -> Tuple[float, float]:
+    """Percentile bootstrap confidence interval for the mean.
+
+    Deterministic by default (fixed resampling seed) so benchmark tables
+    are reproducible run-to-run.
+    """
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    if data.size == 1:
+        return (float(data[0]), float(data[0]))
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    idx = rng.integers(0, data.size, size=(num_resamples, data.size))
+    means = data[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(means, alpha)),
+        float(np.quantile(means, 1.0 - alpha)),
+    )
+
+
+def summarize(values: Sequence[float], confidence: float = 0.95) -> Summary:
+    """Compute the :class:`Summary` of a sample (needs >= 1 value)."""
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    ci_low, ci_high = bootstrap_ci(data, confidence=confidence)
+    return Summary(
+        count=int(data.size),
+        mean=float(data.mean()),
+        std=float(data.std(ddof=1)) if data.size > 1 else 0.0,
+        minimum=float(data.min()),
+        q25=float(np.quantile(data, 0.25)),
+        median=float(np.quantile(data, 0.5)),
+        q75=float(np.quantile(data, 0.75)),
+        maximum=float(data.max()),
+        ci_low=ci_low,
+        ci_high=ci_high,
+    )
+
+
+def tail_fraction(values: Sequence[float], threshold: float) -> float:
+    """Empirical ``P[X > threshold]`` — the w.h.p. failure-rate check."""
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot compute a tail fraction of an empty sample")
+    return float((data > threshold).mean())

@@ -1,0 +1,99 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every experiment prints its reproduced series as an ASCII table (the
+paper has no numeric tables of its own, so these define the layout used
+in EXPERIMENTS.md).  Kept dependency-free and dumb on purpose.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_rows", "series_sparkline"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+    align_right: bool = True,
+) -> str:
+    """Render a monospace table with a header rule.
+
+    >>> print(format_table(["n", "rounds"], [[16, 42.0], [32, 51.5]]))
+     n  rounds
+    --  ------
+    16    42.0
+    32    51.5
+    """
+    text_rows = [[_cell(x) for x in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, header has {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        if align_right:
+            return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), 1))
+    lines.append(fmt(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def format_rows(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of dict rows; columns default to first row's keys."""
+    if not rows:
+        return title or "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    body: List[List[Any]] = [[row.get(c, "") for c in columns] for row in rows]
+    return format_table(list(columns), body, title=title)
+
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def series_sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A compact unicode sparkline of a series (for run traces).
+
+    Values are bucketed to ``width`` columns by averaging.
+    """
+    if not values:
+        return ""
+    data = [float(v) for v in values]
+    if len(data) > width:
+        bucket = len(data) / width
+        data = [
+            sum(data[int(i * bucket): max(int((i + 1) * bucket), int(i * bucket) + 1)])
+            / max(int((i + 1) * bucket) - int(i * bucket), 1)
+            for i in range(width)
+        ]
+    lo, hi = min(data), max(data)
+    span = hi - lo
+    if span == 0:
+        return _SPARK_LEVELS[0] * len(data)
+    return "".join(
+        _SPARK_LEVELS[min(int((v - lo) / span * len(_SPARK_LEVELS)), len(_SPARK_LEVELS) - 1)]
+        for v in data
+    )
+
+
+def _cell(x: Any) -> str:
+    if isinstance(x, float):
+        return f"{x:.1f}" if abs(x) >= 100 else f"{x:.2f}"
+    return str(x)

@@ -1,0 +1,109 @@
+"""Plain-text visualization of beeping executions.
+
+The benchmark harness is table-based, but when *debugging* a run it is
+far easier to look at the level field directly.  This module renders
+level vectors and whole executions as compact unicode text:
+
+* :func:`level_glyph` — one character per vertex, encoding where the
+  level sits in ``[−ℓmax, ℓmax]`` (``■`` = stable MIS member at −ℓmax,
+  ``·`` = silent at ℓmax, digits in between),
+* :func:`render_levels` — one line per configuration,
+* :func:`render_run` — a waterfall of the first/last rounds of a run,
+* :func:`render_histogram` — a level-distribution bar chart.
+
+Only Algorithm 1's signed-level encoding is supported (Algorithm 2's
+``[0, ℓmax]`` levels render via the same glyphs with the lower half
+unused).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = [
+    "level_glyph",
+    "render_levels",
+    "render_run",
+    "render_histogram",
+]
+
+
+def level_glyph(level: int, ell_max: int) -> str:
+    """One character summarizing a vertex's level.
+
+    ``■`` stable-MIS corner (−ℓmax) · ``▲`` other prominent levels
+    (≤ 0) · ``1``–``9`` the competition band (scaled into one digit) ·
+    ``·`` silent at ℓmax.
+    """
+    if ell_max < 1:
+        raise ValueError("ell_max must be >= 1")
+    if level == -ell_max:
+        return "■"
+    if level <= 0:
+        return "▲"
+    if level >= ell_max:
+        return "·"
+    # Scale 1..ℓmax−1 into digits 1..9.
+    if ell_max <= 10:
+        return str(min(level, 9))
+    scaled = 1 + (level - 1) * 9 // max(ell_max - 1, 1)
+    return str(min(scaled, 9))
+
+
+def render_levels(levels: Sequence[int], ell_max: Sequence[int]) -> str:
+    """One configuration as a glyph string, one glyph per vertex."""
+    if len(levels) != len(ell_max):
+        raise ValueError("levels and ell_max must have equal length")
+    return "".join(level_glyph(l, e) for l, e in zip(levels, ell_max))
+
+
+def render_run(
+    snapshots: Sequence[Sequence[int]],
+    ell_max: Sequence[int],
+    max_rows: int = 24,
+    annotate: Optional[Sequence[str]] = None,
+) -> str:
+    """A waterfall view of a run: one rendered line per snapshot.
+
+    When there are more snapshots than ``max_rows``, the head and tail
+    are shown with an elision marker (the interesting action is at both
+    ends: initial chaos and the stable fixed point).
+    """
+    lines: List[str] = []
+    total = len(snapshots)
+    if annotate is not None and len(annotate) != total:
+        raise ValueError("annotate must match snapshots length")
+
+    def line(i: int) -> str:
+        label = annotate[i] if annotate is not None else f"t={i}"
+        return f"{label:>8}  {render_levels(snapshots[i], ell_max)}"
+
+    if total <= max_rows:
+        lines = [line(i) for i in range(total)]
+    else:
+        head = max_rows // 2
+        tail = max_rows - head
+        lines = [line(i) for i in range(head)]
+        lines.append(f"{'...':>8}  ({total - max_rows} rounds elided)")
+        lines += [line(i) for i in range(total - tail, total)]
+    legend = "legend: ■ = MIS (−ℓmax)   ▲ = prominent   1..9 = competing   · = ℓmax"
+    return "\n".join(lines + [legend])
+
+
+def render_histogram(
+    levels: Sequence[int],
+    ell_max: int,
+    width: int = 40,
+) -> str:
+    """A bar chart of the level distribution over ``[−ℓmax, ℓmax]``."""
+    counts = {v: 0 for v in range(-ell_max, ell_max + 1)}
+    for level in levels:
+        if level not in counts:
+            raise ValueError(f"level {level} outside [-{ell_max}, {ell_max}]")
+        counts[level] += 1
+    peak = max(counts.values(), default=1) or 1
+    lines = []
+    for value in range(-ell_max, ell_max + 1):
+        bar = "#" * (counts[value] * width // peak)
+        lines.append(f"{value:+4d} |{bar} {counts[value] or ''}")
+    return "\n".join(lines)

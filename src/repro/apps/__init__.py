@@ -1,0 +1,23 @@
+"""Downstream applications of the self-stabilizing beeping MIS.
+
+Classic MIS reductions, each running on the paper's algorithm:
+
+* :mod:`.coloring` — (Δ+1)-coloring via iterated MIS,
+* :mod:`.matching` — maximal matching via MIS on the line graph,
+* :mod:`.clustering` — cluster-head election and assignment.
+"""
+
+from .coloring import ColoringResult, iterated_mis_coloring, validate_coloring
+from .matching import MatchingResult, maximal_matching, validate_matching
+from .clustering import Clustering, elect_clusters
+
+__all__ = [
+    "ColoringResult",
+    "iterated_mis_coloring",
+    "validate_coloring",
+    "MatchingResult",
+    "maximal_matching",
+    "validate_matching",
+    "Clustering",
+    "elect_clusters",
+]

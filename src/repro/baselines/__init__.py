@@ -1,0 +1,26 @@
+"""Baseline MIS algorithms the paper compares against or builds on."""
+
+from .jeavons import JeavonsMIS, JeavonsState
+from .constant_state import FewStatesMIS
+from .afek import AfekState, AfekStylePhaseMIS
+from .luby import LubyResult, luby_mis
+from .sequential import (
+    id_order_mis,
+    max_degree_last_mis,
+    min_degree_greedy_mis,
+    random_order_mis,
+)
+
+__all__ = [
+    "JeavonsMIS",
+    "FewStatesMIS",
+    "JeavonsState",
+    "AfekState",
+    "AfekStylePhaseMIS",
+    "LubyResult",
+    "luby_mis",
+    "id_order_mis",
+    "max_degree_last_mis",
+    "min_degree_greedy_mis",
+    "random_order_mis",
+]

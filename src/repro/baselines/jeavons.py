@@ -1,0 +1,153 @@
+"""The original Jeavons–Scott–Xu beeping MIS (the paper's starting point).
+
+Reference [17] of the paper: a randomized beeping algorithm that computes
+an MIS in O(log n) rounds w.h.p. from a *clean synchronized start*, using
+phases of two rounds:
+
+* **exchange round** (phase parity 0): every active vertex beeps with its
+  current probability ``p(v)`` (initially 1/2).  A vertex that beeped and
+  heard silence wins and will join the MIS.
+* **notify round** (phase parity 1): winners beep; active vertices that
+  hear the notification become permanent non-members.  Then active
+  vertices adapt: ``p ← p/2`` if they heard a beep in the exchange round,
+  else ``p ← min(2p, 1/2)``.
+
+Decided vertices (MIS and non-MIS) stay silent forever.
+
+Why it is **not** self-stabilizing (paper, Section 2):
+
+1. correctness relies on the initial ``p = 1/2`` everywhere,
+2. the two-round phase structure needs all vertices synchronized mod 2,
+3. decided states are absorbing and silent, so faults (e.g. two adjacent
+   vertices corrupted into the MIS state) are never detected.
+
+All three failure modes are demonstrable with this implementation plus
+the fault injector — that demonstration is experiment E6.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Sequence
+
+import numpy as np
+
+from ..beeping.algorithm import BeepingAlgorithm, LocalKnowledge, NodeOutput
+from ..beeping.signals import Beeps
+from ..graphs.graph import Graph
+from ..graphs.mis import is_maximal_independent_set
+
+__all__ = ["JeavonsState", "JeavonsMIS"]
+
+#: Role constants (kept as plain strings for a tiny, picklable state).
+ACTIVE = "active"
+WINNER = "winner"  # beeped alone in the exchange round; notifies next round
+IN_MIS = "mis"
+OUT = "out"
+
+#: Cap on the probability exponent: p never drops below 2^-60, which is
+#: far beyond anything reachable in O(log n) rounds at simulable scales,
+#: but keeps the state universe finite (needed by random_state).
+_MAX_EXPONENT = 60
+
+
+class JeavonsState(NamedTuple):
+    """Per-vertex RAM of the Jeavons algorithm.
+
+    ``exponent`` encodes the beep probability ``p = 2^(−exponent)``
+    (so the initial p = 1/2 is exponent 1); ``phase`` is the parity
+    within the two-round phase; ``heard_exchange`` carries the exchange
+    round's reception into the notify round's probability update.
+    """
+
+    role: str
+    phase: int  # 0 = exchange, 1 = notify
+    exponent: int
+    heard_exchange: bool
+
+
+class JeavonsMIS(BeepingAlgorithm):
+    """Jeavons–Scott–Xu two-round-phase beeping MIS (non-self-stabilizing)."""
+
+    num_channels = 1
+
+    # ------------------------------------------------------------------
+    def fresh_state(self, knowledge: LocalKnowledge) -> JeavonsState:
+        """The synchronized clean start: active, exchange phase, p = 1/2."""
+        return JeavonsState(role=ACTIVE, phase=0, exponent=1, heard_exchange=False)
+
+    def random_state(
+        self, knowledge: LocalKnowledge, rng: np.random.Generator
+    ) -> JeavonsState:
+        """Arbitrary RAM content (used to demonstrate non-recovery)."""
+        role = (ACTIVE, WINNER, IN_MIS, OUT)[int(rng.integers(4))]
+        return JeavonsState(
+            role=role,
+            phase=int(rng.integers(2)),
+            exponent=int(rng.integers(1, _MAX_EXPONENT + 1)),
+            heard_exchange=bool(rng.integers(2)),
+        )
+
+    # ------------------------------------------------------------------
+    def beeps(self, state: JeavonsState, knowledge: LocalKnowledge, u: float) -> Beeps:
+        if state.role == ACTIVE and state.phase == 0:
+            return (u < 2.0 ** (-state.exponent),)
+        if state.role == WINNER and state.phase == 1:
+            return (True,)
+        return (False,)
+
+    def step(
+        self,
+        state: JeavonsState,
+        sent: Beeps,
+        heard: Beeps,
+        knowledge: LocalKnowledge,
+        u: float = 0.0,
+    ) -> JeavonsState:
+        beeped, heard_beep = sent[0], heard[0]
+        if state.phase == 0:
+            # End of exchange round.
+            role = state.role
+            if state.role == ACTIVE and beeped and not heard_beep:
+                role = WINNER
+            return state._replace(role=role, phase=1, heard_exchange=heard_beep)
+
+        # End of notify round.
+        role, exponent = state.role, state.exponent
+        if state.role == WINNER:
+            role = IN_MIS
+        elif state.role == ACTIVE:
+            if heard_beep:
+                role = OUT
+            elif state.heard_exchange:
+                exponent = min(exponent + 1, _MAX_EXPONENT)  # p ← p/2
+            else:
+                exponent = max(exponent - 1, 1)  # p ← min(2p, 1/2)
+        return JeavonsState(
+            role=role, phase=0, exponent=exponent, heard_exchange=False
+        )
+
+    # ------------------------------------------------------------------
+    def output(self, state: JeavonsState, knowledge: LocalKnowledge) -> NodeOutput:
+        if state.role in (IN_MIS, WINNER):
+            return NodeOutput.IN_MIS
+        if state.role == OUT:
+            return NodeOutput.NOT_IN_MIS
+        return NodeOutput.UNDECIDED
+
+    def is_legal_configuration(
+        self,
+        graph: Graph,
+        states: Sequence[JeavonsState],
+        knowledge: Sequence[LocalKnowledge],
+    ) -> bool:
+        """Terminated-and-correct: everyone decided, MIS members valid.
+
+        For a non-self-stabilizing algorithm "legal" means the run has
+        *terminated with a correct answer*.  From corrupted starts this
+        may be permanently unreachable (decided states are absorbing),
+        which is exactly the behaviour experiment E6 demonstrates.
+        """
+        if any(s.role in (ACTIVE, WINNER) for s in states):
+            return False
+        mis = [v for v, s in enumerate(states) if s.role == IN_MIS]
+        return is_maximal_independent_set(graph, mis)

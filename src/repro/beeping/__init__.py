@@ -1,0 +1,66 @@
+"""Beeping-model simulator: protocol, round engine, tracing, faults."""
+
+from .signals import (
+    BEEP1,
+    Beeps,
+    CHANNEL_MAIN,
+    CHANNEL_MIS,
+    SILENT1,
+    SILENT2,
+    merge_heard,
+    silence,
+    single,
+)
+from .algorithm import BeepingAlgorithm, LocalKnowledge, NodeOutput
+from .network import BeepingNetwork, RoundRecord
+from .simulator import StabilizationResult, run_fixed_rounds, run_until_stable
+from .trace import ExecutionTrace, RoundMetrics, TraceRecorder
+from .wakeup import WakeupResult, WakeupSchedule, run_with_wakeups
+from .faults import (
+    AdversarialPattern,
+    BernoulliCorruption,
+    Fault,
+    FaultSchedule,
+    RandomCorruption,
+    TargetedCorruption,
+    random_states,
+)
+
+__all__ = [
+    # signals
+    "BEEP1",
+    "Beeps",
+    "CHANNEL_MAIN",
+    "CHANNEL_MIS",
+    "SILENT1",
+    "SILENT2",
+    "merge_heard",
+    "silence",
+    "single",
+    # protocol & engine
+    "BeepingAlgorithm",
+    "LocalKnowledge",
+    "NodeOutput",
+    "BeepingNetwork",
+    "RoundRecord",
+    # run loops
+    "StabilizationResult",
+    "run_fixed_rounds",
+    "run_until_stable",
+    # tracing
+    "ExecutionTrace",
+    "RoundMetrics",
+    "TraceRecorder",
+    # faults
+    "AdversarialPattern",
+    "BernoulliCorruption",
+    "Fault",
+    "FaultSchedule",
+    "RandomCorruption",
+    "TargetedCorruption",
+    "random_states",
+    # wake-up model
+    "WakeupResult",
+    "WakeupSchedule",
+    "run_with_wakeups",
+]

@@ -1,0 +1,172 @@
+"""The node-program protocol executed by the beeping round engine.
+
+A beeping algorithm is an *anonymous* program: every vertex runs the same
+code (stored in incorruptible ROM, per the paper's fault model) over a
+small corruptible local state (RAM).  The program can only observe:
+
+* its own local state,
+* its local :class:`LocalKnowledge` (e.g. the value ``ℓmax(v)`` derived
+  from whatever topology knowledge the model variant grants), and
+* per round, one "heard" bit per channel.
+
+The engine enforces a strict randomness discipline: each vertex receives
+exactly **one uniform float per round**, drawn in vertex-id order.  The
+same draw is handed to both :meth:`BeepingAlgorithm.beeps` (the beep
+decision) and :meth:`BeepingAlgorithm.step` (so updates may be
+randomized, e.g. the constant-state baseline's retreat coin).  This
+makes the object engine and the vectorized numpy engine produce
+*bit-identical trajectories* for the same seed, which is the strongest
+cross-validation we have between the two implementations.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence
+
+import numpy as np
+
+from .signals import Beeps
+
+__all__ = ["NodeOutput", "LocalKnowledge", "BeepingAlgorithm"]
+
+
+class NodeOutput(enum.Enum):
+    """The externally visible decision a vertex's state encodes.
+
+    ``UNDECIDED`` covers every transient state; self-stabilizing
+    algorithms may flap between outputs until the configuration is legal.
+    """
+
+    IN_MIS = "in_mis"
+    NOT_IN_MIS = "not_in_mis"
+    UNDECIDED = "undecided"
+
+
+@dataclass(frozen=True)
+class LocalKnowledge:
+    """Everything a vertex is allowed to know about the topology.
+
+    The beeping model is anonymous, so this carries *no identity*.  Which
+    fields are populated depends on the knowledge variant:
+
+    * Theorem 2.1 — ``ell_max`` derived from a global Δ upper bound
+      (identical at every vertex).
+    * Theorem 2.2 — ``ell_max`` derived from the vertex's own degree
+      upper bound.
+    * Corollary 2.3 — ``ell_max`` derived from a ``deg₂`` upper bound.
+    * Afek et al. baseline — ``n_upper``, an upper bound on the network
+      size.
+
+    ``degree`` is the true degree; algorithms must not read it unless
+    their knowledge model grants it (the core algorithms only ever read
+    ``ell_max``).
+    """
+
+    ell_max: Optional[int] = None
+    degree: Optional[int] = None
+    n_upper: Optional[int] = None
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+
+class BeepingAlgorithm(abc.ABC):
+    """Abstract anonymous node program for the beeping round engine.
+
+    Subclasses define a state universe (any hashable/equatable Python
+    value), the beep rule, and the update rule.  Self-stabilizing
+    algorithms additionally implement :meth:`random_state`, used by the
+    fault injector to model arbitrary RAM corruption, and
+    :meth:`is_legal_configuration` so the simulator can detect
+    stabilization.
+    """
+
+    #: Number of beeping channels the algorithm uses (1 or 2 in this repo).
+    num_channels: int = 1
+
+    # ------------------------------------------------------------------
+    # State lifecycle
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def fresh_state(self, knowledge: LocalKnowledge) -> Any:
+        """The designated boot state (what a clean initialization gives).
+
+        Self-stabilizing algorithms must converge from *any* state; this
+        is only the default used when no corruption is requested.
+        """
+
+    @abc.abstractmethod
+    def random_state(self, knowledge: LocalKnowledge, rng: np.random.Generator) -> Any:
+        """A uniformly random element of the state universe.
+
+        Models a transient RAM fault: after corruption the state can be
+        *any* syntactically valid RAM content.
+        """
+
+    # ------------------------------------------------------------------
+    # Round behaviour
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def beeps(self, state: Any, knowledge: LocalKnowledge, u: float) -> Beeps:
+        """Decide the beep pattern for this round.
+
+        ``u`` is this round's single uniform draw in ``[0, 1)``; a vertex
+        beeping "with probability p" beeps iff ``u < p``.  Must return a
+        tuple of exactly ``num_channels`` booleans.
+        """
+
+    @abc.abstractmethod
+    def step(
+        self,
+        state: Any,
+        sent: Beeps,
+        heard: Beeps,
+        knowledge: LocalKnowledge,
+        u: float = 0.0,
+    ) -> Any:
+        """State update at the end of the round.
+
+        ``sent`` is the pattern this vertex transmitted, ``heard`` the
+        per-channel OR over its neighbors' transmissions.  ``u`` is the
+        *same* uniform draw that was passed to :meth:`beeps` this round;
+        algorithms with randomized updates may consume independent bits
+        of it (the core algorithms ignore it — their updates are
+        deterministic, as the paper's pseudo-code specifies).
+        """
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def output(self, state: Any, knowledge: LocalKnowledge) -> NodeOutput:
+        """The MIS decision the current state encodes."""
+
+    def is_legal_configuration(
+        self,
+        graph,
+        states: Sequence[Any],
+        knowledge: Sequence[LocalKnowledge],
+    ) -> bool:
+        """Whether the global configuration is legal (stabilized).
+
+        Default: not supported (algorithms without a stabilization
+        predicate, e.g. ones that terminate explicitly, override
+        :meth:`output` semantics instead).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define a legality predicate"
+        )
+
+    # Convenience -------------------------------------------------------
+    def mis_vertices(
+        self,
+        states: Sequence[Any],
+        knowledge: Sequence[LocalKnowledge],
+    ) -> frozenset:
+        """Vertices whose output is currently ``IN_MIS``."""
+        return frozenset(
+            v
+            for v, (s, k) in enumerate(zip(states, knowledge))
+            if self.output(s, k) is NodeOutput.IN_MIS
+        )

@@ -1,0 +1,211 @@
+"""Transient-fault injection (the paper's RAM-corruption model).
+
+Fault model (paper §1.1): node state lives in RAM and can be corrupted by
+transient faults; code lives in ROM and cannot.  Self-stabilization is
+measured over the *fault-free suffix* after the last corruption.  The
+injectors below therefore mutate the state vector of a prepared network
+(or produce an initial state vector) and leave everything else alone.
+
+Three classes of corruption are provided:
+
+* random — every targeted vertex gets a uniformly random state from the
+  algorithm's state universe (the canonical "arbitrary configuration"),
+* adversarial — structured worst-case patterns (everything at ``ℓmax``,
+  everything prominent, a *fake MIS* that is not independent, ...),
+* partial — Bernoulli(ρ) per-vertex corruption, interpolating between a
+  single bit flip and full randomization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .algorithm import BeepingAlgorithm, LocalKnowledge
+from .network import BeepingNetwork
+
+__all__ = [
+    "Fault",
+    "RandomCorruption",
+    "BernoulliCorruption",
+    "TargetedCorruption",
+    "AdversarialPattern",
+    "FaultSchedule",
+    "random_states",
+]
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def _rng(seed: SeedLike) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def random_states(
+    algorithm: BeepingAlgorithm,
+    knowledge: Sequence[LocalKnowledge],
+    seed: SeedLike = None,
+) -> List[Any]:
+    """A fully random state vector — the canonical arbitrary start."""
+    rng = _rng(seed)
+    return [algorithm.random_state(k, rng) for k in knowledge]
+
+
+class Fault:
+    """A state-corrupting event that can be applied to a network."""
+
+    def apply(self, network: BeepingNetwork, rng: np.random.Generator) -> None:
+        raise NotImplementedError
+
+
+@dataclass
+class RandomCorruption(Fault):
+    """Replace *every* vertex's state with a uniformly random one."""
+
+    def apply(self, network: BeepingNetwork, rng: np.random.Generator) -> None:
+        network.set_states(
+            random_states(network.algorithm, network.knowledge, rng)
+        )
+
+
+@dataclass
+class BernoulliCorruption(Fault):
+    """Each vertex is independently corrupted with probability ``rho``."""
+
+    rho: float
+
+    def __post_init__(self):
+        if not 0.0 <= self.rho <= 1.0:
+            raise ValueError(f"rho must be in [0,1], got {self.rho}")
+
+    def apply(self, network: BeepingNetwork, rng: np.random.Generator) -> None:
+        hits = rng.random(network.graph.num_vertices) < self.rho
+        for v in np.nonzero(hits)[0]:
+            v = int(v)
+            network.set_state(
+                v, network.algorithm.random_state(network.knowledge[v], rng)
+            )
+
+
+@dataclass
+class TargetedCorruption(Fault):
+    """Corrupt an explicit set of vertices (random replacement states)."""
+
+    vertices: Tuple[int, ...]
+
+    def apply(self, network: BeepingNetwork, rng: np.random.Generator) -> None:
+        for v in self.vertices:
+            network.set_state(
+                v, network.algorithm.random_state(network.knowledge[v], rng)
+            )
+
+
+@dataclass
+class AdversarialPattern(Fault):
+    """Set every vertex's state via a user function of its knowledge.
+
+    ``pattern(vertex, knowledge) -> state``.  The named constructors
+    cover the worst-case patterns used in EXPERIMENTS.md (E5):
+
+    * :meth:`all_silent` — every vertex at ``ℓmax`` (the "everyone thinks
+      a neighbor is in the MIS" deadlock attempt),
+    * :meth:`all_prominent` — every vertex believes it just joined the
+      MIS (level ``-ℓmax``), the maximally-conflicting fake MIS,
+    * :meth:`threshold` — every vertex one step from giving up.
+
+    These constructors assume the integer-level state universe of the
+    core algorithms (:mod:`repro.core`); they are not meaningful for the
+    baselines.
+    """
+
+    pattern: Callable[[int, LocalKnowledge], Any]
+    name: str = "custom"
+
+    def apply(self, network: BeepingNetwork, rng: np.random.Generator) -> None:
+        network.set_states(
+            [
+                self.pattern(v, network.knowledge[v])
+                for v in range(network.graph.num_vertices)
+            ]
+        )
+
+    @classmethod
+    def all_silent(cls) -> "AdversarialPattern":
+        return cls(lambda v, k: k.ell_max, name="all_silent")
+
+    @classmethod
+    def all_prominent(cls) -> "AdversarialPattern":
+        return cls(lambda v, k: -k.ell_max, name="all_prominent")
+
+    @classmethod
+    def threshold(cls) -> "AdversarialPattern":
+        return cls(lambda v, k: k.ell_max - 1, name="threshold")
+
+
+@dataclass
+class FaultSchedule:
+    """A sequence of timed faults driven alongside a simulation.
+
+    ``events`` maps round indices to faults; :meth:`maybe_fire` is called
+    once per round *before* the round executes.  The stabilization clock
+    in the experiments is restarted after the last event, matching the
+    fault-free-suffix convention.
+    """
+
+    events: Tuple[Tuple[int, Fault], ...]
+
+    def __post_init__(self):
+        self.events = tuple(sorted(self.events, key=lambda e: e[0]))
+
+    @property
+    def last_fault_round(self) -> int:
+        """Round index of the final scheduled fault (-1 when empty)."""
+        return self.events[-1][0] if self.events else -1
+
+    def maybe_fire(
+        self, round_index: int, network: BeepingNetwork, rng: np.random.Generator
+    ) -> bool:
+        """Apply all faults scheduled for ``round_index``; report if any."""
+        fired = False
+        for when, fault in self.events:
+            if when == round_index:
+                fault.apply(network, rng)
+                fired = True
+        return fired
+
+    def run_with_faults(
+        self,
+        network: BeepingNetwork,
+        max_rounds: int,
+        seed: SeedLike = None,
+    ) -> Tuple[bool, int]:
+        """Drive the network through the schedule, then to stabilization.
+
+        Returns ``(stabilized, recovery_rounds)`` where
+        ``recovery_rounds`` counts fault-free rounds after the last
+        scheduled fault.  ``max_rounds`` bounds the *total* execution.
+        """
+        rng = _rng(seed)
+        executed = 0
+        # Phase 1: execute through the faulty prefix.
+        while executed <= self.last_fault_round:
+            self.maybe_fire(executed, network, rng)
+            if executed == self.last_fault_round:
+                break
+            network.step()
+            executed += 1
+        # Phase 2: fault-free suffix, measured.
+        recovery = 0
+        budget = max_rounds - executed
+        while recovery <= budget:
+            if network.is_legal():
+                return True, recovery
+            if recovery == budget:
+                break
+            network.step()
+            recovery += 1
+        return False, recovery

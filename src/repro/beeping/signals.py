@@ -1,0 +1,81 @@
+"""Signal-level primitives of the (multi-channel) beeping model.
+
+In the full-duplex beeping model with collision detection, a round of
+communication delivers exactly one bit per channel to each vertex:
+
+    "did at least one of my neighbors beep on this channel?"
+
+A vertex cannot tell which neighbor beeped, nor how many did.  A beeping
+vertex still hears its neighbors (full duplex) but does **not** hear its
+own beep.
+
+This module fixes the tiny data vocabulary shared by the engines:
+``Beeps`` — a per-channel tuple of booleans — plus channel constants for
+the two-channel variant of the paper (Algorithm 2).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = [
+    "Beeps",
+    "SILENT1",
+    "BEEP1",
+    "SILENT2",
+    "CHANNEL_MAIN",
+    "CHANNEL_MIS",
+    "silence",
+    "single",
+    "merge_heard",
+]
+
+#: A beep pattern: element ``i`` is True iff the vertex beeps on channel i.
+Beeps = Tuple[bool, ...]
+
+#: Single-channel silence / beep patterns.
+SILENT1: Beeps = (False,)
+BEEP1: Beeps = (True,)
+
+#: Two-channel silence.
+SILENT2: Beeps = (False, False)
+
+#: Channel indices of Algorithm 2: the probabilistic competition channel
+#: (``beep₁`` in the paper) and the MIS-membership announcement channel
+#: (``beep₂``).
+CHANNEL_MAIN: int = 0
+CHANNEL_MIS: int = 1
+
+
+def silence(num_channels: int) -> Beeps:
+    """The all-silent pattern on ``num_channels`` channels."""
+    return (False,) * num_channels
+
+
+def single(channel: int, num_channels: int) -> Beeps:
+    """A beep on exactly one channel."""
+    if not 0 <= channel < num_channels:
+        raise ValueError(
+            f"channel {channel} out of range for {num_channels} channels"
+        )
+    return tuple(i == channel for i in range(num_channels))
+
+
+def merge_heard(patterns) -> Beeps:
+    """OR-combine neighbor beep patterns into the heard bits.
+
+    ``patterns`` is an iterable of :data:`Beeps`, all the same width; an
+    empty iterable yields nothing hearable and raises, so callers pass the
+    channel count explicitly via at least one silence pattern.
+    """
+    result = None
+    for p in patterns:
+        if result is None:
+            result = list(p)
+        else:
+            for i, bit in enumerate(p):
+                if bit:
+                    result[i] = True
+    if result is None:
+        raise ValueError("merge_heard needs at least one pattern")
+    return tuple(result)

@@ -1,0 +1,139 @@
+"""High-level run loops: run to stabilization, with or without tracing.
+
+The paper's self-stabilization statement: from *any* initial configuration
+the system reaches a legal configuration within T fault-free rounds
+(w.h.p.), and legal configurations are closed under the dynamics.  This
+module provides the corresponding measurement primitive,
+:func:`run_until_stable`, which reports the first legal round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from .network import BeepingNetwork
+from .trace import ExecutionTrace, TraceRecorder
+
+__all__ = ["StabilizationResult", "run_until_stable", "run_fixed_rounds"]
+
+
+@dataclass(frozen=True)
+class StabilizationResult:
+    """Outcome of driving a network until its configuration became legal.
+
+    Attributes
+    ----------
+    stabilized:
+        True iff legality was reached within the round budget.
+    rounds:
+        Number of rounds executed before the first legal configuration
+        (i.e. the configuration at the *start* of round ``rounds`` was
+        legal).  Equals ``max_rounds`` when not stabilized.
+    mis:
+        The stabilized MIS (empty frozenset when not stabilized).
+    final_states:
+        The state vector at the moment the run stopped.
+    trace:
+        The per-round metric series (only when tracing was requested).
+    """
+
+    stabilized: bool
+    rounds: int
+    mis: frozenset
+    final_states: Tuple[Any, ...]
+    trace: Optional[ExecutionTrace] = None
+
+    def __bool__(self) -> bool:  # truthiness == success
+        return self.stabilized
+
+
+def run_until_stable(
+    network: BeepingNetwork,
+    max_rounds: int,
+    record_trace: bool = False,
+    check_every: int = 1,
+) -> StabilizationResult:
+    """Run until the configuration is legal, or until ``max_rounds``.
+
+    Parameters
+    ----------
+    network:
+        The prepared network (initial states already set / corrupted).
+    max_rounds:
+        Hard budget; a well-sized budget is ``O(ℓmax + C·log n)`` — see
+        :func:`repro.core.runner.default_round_budget`.
+    record_trace:
+        When True the full metric time series is attached to the result
+        (slower: legality is then evaluated every round regardless of
+        ``check_every``).
+    check_every:
+        Evaluate the legality predicate only every k-th round.  Legality
+        is closed under the dynamics for the core algorithms, so checking
+        sparsely only over-reports the stabilization round by < k.
+
+    Notes
+    -----
+    The reported ``rounds`` counts rounds *executed before* the first
+    legal configuration, matching the paper's convention that ``S_t`` is
+    the stable set at the *beginning* of round ``t``.
+    """
+    if max_rounds < 0:
+        raise ValueError("max_rounds must be >= 0")
+    if check_every < 1:
+        raise ValueError("check_every must be >= 1")
+
+    recorder = TraceRecorder() if record_trace else None
+    executed = 0
+    while True:
+        should_check = record_trace or executed % check_every == 0
+        if should_check and network.is_legal():
+            return StabilizationResult(
+                stabilized=True,
+                rounds=executed,
+                mis=network.mis_vertices(),
+                final_states=network.states,
+                trace=recorder.trace if recorder else None,
+            )
+        if executed >= max_rounds:
+            return StabilizationResult(
+                stabilized=False,
+                rounds=executed,
+                mis=frozenset(),
+                final_states=network.states,
+                trace=recorder.trace if recorder else None,
+            )
+        if recorder is not None:
+            recorder.observe(network)
+        else:
+            network.step()
+        executed += 1
+
+
+def run_fixed_rounds(
+    network: BeepingNetwork,
+    rounds: int,
+    record_trace: bool = True,
+) -> StabilizationResult:
+    """Run exactly ``rounds`` rounds (no early exit) and report the result.
+
+    Useful for studying post-stabilization behaviour (legality must
+    persist) and for algorithms without a legality predicate.
+    """
+    recorder = TraceRecorder() if record_trace else None
+    for _ in range(rounds):
+        if recorder is not None:
+            recorder.observe(network)
+        else:
+            network.step()
+    try:
+        legal = network.is_legal()
+    except NotImplementedError:
+        legal = False
+    return StabilizationResult(
+        stabilized=legal,
+        rounds=rounds,
+        mis=network.mis_vertices() if legal else frozenset(),
+        final_states=network.states,
+        trace=recorder.trace if recorder else None,
+    )

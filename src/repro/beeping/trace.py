@@ -1,0 +1,141 @@
+"""Execution tracing and per-round metric collection.
+
+The analysis in the paper is phrased over per-round quantities (the stable
+set ``S_t``, the MIS-so-far ``I_t``, beep counts, ...).  This module turns a
+simulation into a cheap time series of those quantities without storing
+full state snapshots unless explicitly asked to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["RoundMetrics", "ExecutionTrace", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class RoundMetrics:
+    """Aggregate observations for one round."""
+
+    round_index: int
+    #: Beeps transmitted per channel.
+    beeps_per_channel: Tuple[int, ...]
+    #: Number of vertices whose output is IN_MIS.
+    mis_size: int
+    #: Number of vertices that are *stable* under the algorithm's own
+    #: notion (``|S_t|`` for the core algorithms); -1 when not available.
+    stable_count: int
+    #: Whether the configuration was legal at the start of the round.
+    legal: bool
+
+
+@dataclass
+class ExecutionTrace:
+    """The full metric time series of one run, plus optional snapshots."""
+
+    rounds: List[RoundMetrics] = field(default_factory=list)
+    snapshots: Dict[int, Tuple[Any, ...]] = field(default_factory=dict)
+
+    def append(self, metrics: RoundMetrics) -> None:
+        self.rounds.append(metrics)
+
+    def __len__(self) -> int:
+        return len(self.rounds)
+
+    def series(self, attribute: str) -> List:
+        """Extract one metric column, e.g. ``trace.series("mis_size")``."""
+        return [getattr(m, attribute) for m in self.rounds]
+
+    def first_legal_round(self) -> Optional[int]:
+        """The first round index whose start configuration was legal."""
+        for m in self.rounds:
+            if m.legal:
+                return m.round_index
+        return None
+
+    def total_beeps(self, channel: int = 0) -> int:
+        """Total transmissions on a channel over the whole run — the
+        model's natural energy/communication cost measure."""
+        return sum(m.beeps_per_channel[channel] for m in self.rounds)
+
+    def as_rows(self) -> List[Dict[str, Any]]:
+        """The trace as a list of plain dicts (for table rendering)."""
+        return [
+            {
+                "round": m.round_index,
+                "beeps": m.beeps_per_channel,
+                "mis_size": m.mis_size,
+                "stable": m.stable_count,
+                "legal": m.legal,
+            }
+            for m in self.rounds
+        ]
+
+
+class TraceRecorder:
+    """Collects :class:`RoundMetrics` from a :class:`BeepingNetwork` run.
+
+    Parameters
+    ----------
+    stable_counter:
+        Optional callable ``(network) -> int`` computing the size of the
+        stable set ``S_t`` (algorithm-specific; the core algorithms
+        provide one).  When omitted, ``stable_count`` is recorded as -1.
+    snapshot_every:
+        If set, a full copy of the state vector is kept every k rounds
+        (round 0, k, 2k, ...).  States are assumed immutable values.
+    """
+
+    def __init__(
+        self,
+        stable_counter: Optional[Callable] = None,
+        snapshot_every: Optional[int] = None,
+    ):
+        self._stable_counter = stable_counter
+        self._snapshot_every = snapshot_every
+        self.trace = ExecutionTrace()
+
+    def observe(self, network) -> RoundMetrics:
+        """Record the metrics of the network's *current* configuration,
+        then advance it by one round.  Returns the recorded metrics."""
+        round_index = network.round_index
+        legal = _safe_legal(network)
+        mis_size = len(network.mis_vertices())
+        if self._stable_counter is not None:
+            stable = int(self._stable_counter(network))
+        else:
+            stable = -1
+        if (
+            self._snapshot_every is not None
+            and round_index % self._snapshot_every == 0
+        ):
+            self.trace.snapshots[round_index] = network.states
+
+        record = network.step()
+        beeps = tuple(
+            record.beep_count(c) for c in range(network.algorithm.num_channels)
+        )
+        metrics = RoundMetrics(
+            round_index=round_index,
+            beeps_per_channel=beeps,
+            mis_size=mis_size,
+            stable_count=stable,
+            legal=legal,
+        )
+        self.trace.append(metrics)
+        return metrics
+
+    def run(self, network, rounds: int) -> ExecutionTrace:
+        """Observe ``rounds`` rounds and return the accumulated trace."""
+        for _ in range(rounds):
+            self.observe(network)
+        return self.trace
+
+
+def _safe_legal(network) -> bool:
+    """Legality, or False when the algorithm defines no predicate."""
+    try:
+        return bool(network.is_legal())
+    except NotImplementedError:
+        return False

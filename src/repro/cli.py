@@ -1,0 +1,309 @@
+"""Command-line interface.
+
+Installed as ``python -m repro``.  The subcommands cover the everyday
+workflows:
+
+* ``run``     — one stabilization run, optionally rendered as a level
+  waterfall (``--watch``),
+* ``sweep``   — rounds-vs-n scaling study with growth-model fits,
+* ``recover`` — fault-injection recovery measurement,
+* ``color`` / ``match`` — the MIS reductions of :mod:`repro.apps`,
+* ``figure1`` — print the paper's Figure-1 activation table,
+* ``info``    — structural statistics of a generated graph.
+
+Examples::
+
+    python -m repro run --family er --n 256 --variant max_degree --seed 1
+    python -m repro run --family cycle --n 40 --watch
+    python -m repro sweep --family er --sizes 64,128,256,512 --reps 10
+    python -m repro recover --family regular --n 200 --fault bernoulli:0.3
+    python -m repro figure1 --ell-max 8
+    python -m repro info --family ba --n 500
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .analysis.fitting import fit_all_models
+from .analysis.sweep import run_sweep
+from .analysis.tables import format_table
+from .analysis.visualize import render_histogram, render_run
+from .core.levels import probability_table
+from .core.runner import VARIANTS, compute_mis, default_round_budget, policy_for_variant
+from .core.vectorized import SingleChannelEngine, TwoChannelEngine
+from .graphs.generators import FAMILY_NAMES, by_name
+from .graphs.properties import average_degree, connected_components, deg2_all
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Self-stabilizing MIS in the beeping model (PODC 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_graph_args(p):
+        p.add_argument(
+            "--family", choices=FAMILY_NAMES, default="er",
+            help="graph family (default: er)",
+        )
+        p.add_argument("--n", type=int, default=256, help="problem size")
+        p.add_argument("--graph-seed", type=int, default=0)
+
+    run_p = sub.add_parser("run", help="one stabilization run")
+    add_graph_args(run_p)
+    run_p.add_argument("--variant", choices=VARIANTS, default="max_degree")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--c1", type=int, default=None, help="ℓmax constant (default: theorem value)")
+    run_p.add_argument("--fresh-start", action="store_true",
+                       help="boot from level 1 instead of an arbitrary configuration")
+    run_p.add_argument("--engine", choices=["vectorized", "reference"], default="vectorized")
+    run_p.add_argument("--watch", action="store_true",
+                       help="render the level waterfall (implies vectorized engine)")
+
+    sweep_p = sub.add_parser("sweep", help="rounds-vs-n scaling study")
+    sweep_p.add_argument("--family", choices=FAMILY_NAMES, default="er")
+    sweep_p.add_argument("--sizes", default="32,64,128,256,512",
+                         help="comma-separated sizes")
+    sweep_p.add_argument("--variant", choices=VARIANTS, default="max_degree")
+    sweep_p.add_argument("--reps", type=int, default=10)
+    sweep_p.add_argument("--c1", type=int, default=None)
+    sweep_p.add_argument("--seed", type=int, default=0)
+
+    recover_p = sub.add_parser("recover", help="fault-injection recovery measurement")
+    add_graph_args(recover_p)
+    recover_p.add_argument("--variant", choices=VARIANTS, default="max_degree")
+    recover_p.add_argument("--seed", type=int, default=0)
+    recover_p.add_argument("--c1", type=int, default=None)
+    recover_p.add_argument(
+        "--fault", default="random",
+        help="random | bernoulli:RHO | all_silent | all_prominent",
+    )
+
+    color_p = sub.add_parser("color", help="(Δ+1)-coloring via iterated MIS")
+    add_graph_args(color_p)
+    color_p.add_argument("--seed", type=int, default=0)
+    color_p.add_argument("--c1", type=int, default=None)
+
+    match_p = sub.add_parser("match", help="maximal matching via the line graph")
+    add_graph_args(match_p)
+    match_p.add_argument("--seed", type=int, default=0)
+    match_p.add_argument("--c1", type=int, default=None)
+
+    fig_p = sub.add_parser("figure1", help="print the Figure-1 activation table")
+    fig_p.add_argument("--ell-max", type=int, default=10)
+
+    info_p = sub.add_parser("info", help="structural statistics of a graph")
+    add_graph_args(info_p)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+def _cmd_run(args) -> int:
+    graph = by_name(args.family, args.n, seed=args.graph_seed)
+    if args.watch:
+        return _cmd_run_watch(args, graph)
+    result = compute_mis(
+        graph,
+        variant=args.variant,
+        seed=args.seed,
+        arbitrary_start=not args.fresh_start,
+        c1=args.c1,
+        engine=args.engine,
+    )
+    print(
+        f"{args.family}(n={graph.num_vertices}, m={graph.num_edges}) "
+        f"variant={args.variant}: stabilized after {result.rounds} rounds, "
+        f"|MIS| = {len(result.mis)}"
+    )
+    return 0
+
+
+def _cmd_run_watch(args, graph) -> int:
+    policy = policy_for_variant(graph, args.variant, c1=args.c1)
+    engine_cls = (
+        TwoChannelEngine if args.variant == "two_channel" else SingleChannelEngine
+    )
+    engine = engine_cls(graph, policy, seed=args.seed)
+    if not args.fresh_start:
+        engine.randomize_levels()
+    snapshots = [list(int(x) for x in engine.levels)]
+    budget = default_round_budget(graph, policy)
+    while not engine.is_legal():
+        if engine.round_index > budget:
+            print("did not stabilize within the budget", file=sys.stderr)
+            return 1
+        engine.step()
+        snapshots.append(list(int(x) for x in engine.levels))
+    print(render_run(snapshots, policy.ell_max))
+    print(f"\nstabilized after {len(snapshots) - 1} rounds, "
+          f"|MIS| = {len(engine.mis_vertices())}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    sizes = [int(s) for s in args.sizes.split(",") if s]
+    if not sizes:
+        print("no sizes given", file=sys.stderr)
+        return 2
+
+    def measure(config, rng):
+        graph = by_name(args.family, config["n"], seed=config["n"])
+        policy = policy_for_variant(graph, args.variant, c1=args.c1)
+        result = compute_mis(
+            graph, variant=args.variant, seed=rng, arbitrary_start=True, policy=policy
+        )
+        return float(result.rounds)
+
+    sweep = run_sweep(
+        [{"n": n} for n in sizes], measure, repetitions=args.reps,
+        master_seed=args.seed,
+    )
+    print(sweep.to_table(
+        ["n"], title=f"{args.family} / {args.variant}: stabilization rounds"
+    ))
+    if len(sizes) >= 2:
+        xs, ys = sweep.series("n")
+        fits = fit_all_models(xs, ys)
+        print()
+        for name in ("log", "log_loglog", "sqrt", "linear"):
+            print(" ", fits[name].format())
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    from .beeping.faults import (
+        AdversarialPattern,
+        BernoulliCorruption,
+        RandomCorruption,
+    )
+    from .beeping.network import BeepingNetwork
+    from .beeping.simulator import run_until_stable
+    from .core.algorithm_single import SelfStabilizingMIS
+    from .core.algorithm_two_channel import TwoChannelMIS
+
+    graph = by_name(args.family, args.n, seed=args.graph_seed)
+    policy = policy_for_variant(graph, args.variant, c1=args.c1)
+    algorithm = (
+        TwoChannelMIS() if args.variant == "two_channel" else SelfStabilizingMIS()
+    )
+    rng = np.random.default_rng(args.seed)
+    network = BeepingNetwork(graph, algorithm, policy.knowledge(graph), seed=rng)
+    budget = 10 * default_round_budget(graph, policy)
+
+    first = run_until_stable(network, max_rounds=budget)
+    if not first.stabilized:
+        print("initial stabilization failed", file=sys.stderr)
+        return 1
+
+    spec = args.fault
+    if spec == "random":
+        fault = RandomCorruption()
+    elif spec.startswith("bernoulli:"):
+        fault = BernoulliCorruption(float(spec.split(":", 1)[1]))
+    elif spec == "all_silent":
+        fault = AdversarialPattern.all_silent()
+    elif spec == "all_prominent":
+        fault = AdversarialPattern.all_prominent()
+    else:
+        print(f"unknown fault {spec!r}", file=sys.stderr)
+        return 2
+    fault.apply(network, rng)
+    recovery = run_until_stable(network, max_rounds=budget)
+    if not recovery.stabilized:
+        print("recovery failed within budget", file=sys.stderr)
+        return 1
+    print(
+        f"stabilized in {first.rounds} rounds; after fault {spec!r} "
+        f"recovered in {recovery.rounds} rounds (|MIS| = {len(recovery.mis)})"
+    )
+    return 0
+
+
+def _cmd_color(args) -> int:
+    from .apps.coloring import iterated_mis_coloring
+
+    graph = by_name(args.family, args.n, seed=args.graph_seed)
+    result = iterated_mis_coloring(graph, seed=args.seed, c1=args.c1)
+    sizes = ", ".join(str(len(cls)) for cls in result.color_classes())
+    print(
+        f"{args.family}(n={graph.num_vertices}): proper coloring with "
+        f"{result.num_colors} colors (bound Δ+1 = {graph.max_degree() + 1}) "
+        f"in {result.total_rounds} beeping rounds"
+    )
+    print(f"class sizes: {sizes}")
+    return 0
+
+
+def _cmd_match(args) -> int:
+    from .apps.matching import maximal_matching
+
+    graph = by_name(args.family, args.n, seed=args.graph_seed)
+    result = maximal_matching(graph, seed=args.seed, c1=args.c1)
+    print(
+        f"{args.family}(n={graph.num_vertices}, m={graph.num_edges}): "
+        f"maximal matching of {result.size} edges "
+        f"({len(result.matched_vertices())} vertices matched) "
+        f"in {result.rounds} beeping rounds on the line graph"
+    )
+    return 0
+
+
+def _cmd_figure1(args) -> int:
+    rows = [[level, f"{p:.6f}"] for level, p in probability_table(args.ell_max)]
+    print(format_table(["ℓ", "p(ℓ)"], rows,
+                       title=f"Figure 1, ℓmax = {args.ell_max}"))
+    return 0
+
+
+def _cmd_info(args) -> int:
+    graph = by_name(args.family, args.n, seed=args.graph_seed)
+    components = connected_components(graph)
+    d2 = deg2_all(graph)
+    rows = [
+        ["vertices", graph.num_vertices],
+        ["edges", graph.num_edges],
+        ["max degree Δ", graph.max_degree()],
+        ["mean degree", f"{average_degree(graph):.2f}"],
+        ["max deg₂", max(d2, default=0)],
+        ["components", len(components)],
+    ]
+    print(format_table(["property", "value"],
+                       rows, title=f"{args.family}(n≈{args.n})", align_right=False))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "sweep": _cmd_sweep,
+        "recover": _cmd_recover,
+        "color": _cmd_color,
+        "match": _cmd_match,
+        "figure1": _cmd_figure1,
+        "info": _cmd_info,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe — not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""Core contribution: the self-stabilizing beeping MIS algorithms."""
+
+from .levels import (
+    beep_probability,
+    clamp_level,
+    is_prominent,
+    probability_table,
+    update_level,
+    update_level_two_channel,
+)
+from .knowledge import (
+    COROLLARY_23_C1,
+    EllMaxPolicy,
+    KnowledgeModel,
+    LEMMA_35_MIN_MARGIN,
+    THEOREM_21_C1,
+    THEOREM_22_C1,
+    explicit_policy,
+    max_degree_policy,
+    neighborhood_degree_policy,
+    own_degree_policy,
+    uniform_policy,
+)
+from .stability import (
+    StableSets,
+    legal_single,
+    legal_two_channel,
+    mu,
+    stable_sets_single,
+    stable_sets_two_channel,
+)
+from .algorithm_single import SelfStabilizingMIS
+from .algorithm_two_channel import TwoChannelMIS
+from .instrumentation import Configuration, PlatinumTracker
+from .lemmas import (
+    Lemma31Report,
+    Lemma34Report,
+    Lemma36Report,
+    PlatinumTailReport,
+    estimate_platinum_tail,
+    verify_lemma31,
+    verify_lemma34,
+    verify_lemma36_uniform,
+)
+from .vectorized import (
+    SingleChannelEngine,
+    TwoChannelEngine,
+    VectorizedResult,
+    simulate_single,
+    simulate_two_channel,
+)
+from .churn import ChurnEvent, carry_levels, restabilize_after_churn, rewire_edges
+from .runner import (
+    MISResult,
+    compute_mis,
+    default_round_budget,
+    policy_for_variant,
+)
+
+__all__ = [
+    # levels / Figure 1
+    "beep_probability",
+    "clamp_level",
+    "is_prominent",
+    "probability_table",
+    "update_level",
+    "update_level_two_channel",
+    # knowledge policies
+    "COROLLARY_23_C1",
+    "EllMaxPolicy",
+    "KnowledgeModel",
+    "LEMMA_35_MIN_MARGIN",
+    "THEOREM_21_C1",
+    "THEOREM_22_C1",
+    "explicit_policy",
+    "max_degree_policy",
+    "neighborhood_degree_policy",
+    "own_degree_policy",
+    "uniform_policy",
+    # stability structure
+    "StableSets",
+    "legal_single",
+    "legal_two_channel",
+    "mu",
+    "stable_sets_single",
+    "stable_sets_two_channel",
+    # algorithms
+    "SelfStabilizingMIS",
+    "TwoChannelMIS",
+    # instrumentation
+    "Configuration",
+    "PlatinumTracker",
+    # lemma verifiers
+    "Lemma31Report",
+    "Lemma34Report",
+    "Lemma36Report",
+    "PlatinumTailReport",
+    "estimate_platinum_tail",
+    "verify_lemma31",
+    "verify_lemma34",
+    "verify_lemma36_uniform",
+    # vectorized engine
+    "SingleChannelEngine",
+    "TwoChannelEngine",
+    "VectorizedResult",
+    "simulate_single",
+    "simulate_two_channel",
+    # churn
+    "ChurnEvent",
+    "carry_levels",
+    "restabilize_after_churn",
+    "rewire_edges",
+    # runner
+    "MISResult",
+    "compute_mis",
+    "default_round_budget",
+    "policy_for_variant",
+]

@@ -1,0 +1,126 @@
+"""Algorithm 1 — the self-stabilizing single-channel beeping MIS.
+
+Literal transcription of the paper's Algorithm 1 as an anonymous node
+program for :class:`repro.beeping.network.BeepingNetwork`:
+
+::
+
+    state: ℓ ∈ {−ℓmax(v), …, ℓmax(v)}
+    in each round:
+        if ℓ < ℓmax(v):  beep ← true with probability min{2^(−ℓ), 1}
+        else:            beep ← false
+        if beep: send signal; receive signals
+        if any signal received:  ℓ ← min{ℓ+1, ℓmax(v)}
+        else if beep:            ℓ ← −ℓmax(v)
+        else:                    ℓ ← max{ℓ−1, 1}
+
+The state is the bare integer level.  The output map: a vertex reports
+``IN_MIS`` while prominent (ℓ ≤ 0) and ``NOT_IN_MIS`` at ``ℓ = ℓmax``;
+these reports are only *final* once the global configuration is legal
+(self-stabilizing algorithms cannot locally detect termination).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..beeping.algorithm import BeepingAlgorithm, LocalKnowledge, NodeOutput
+from ..beeping.signals import Beeps
+from ..graphs.graph import Graph
+from .levels import beep_probability, update_level
+from .stability import legal_single, stable_sets_single
+
+__all__ = ["SelfStabilizingMIS"]
+
+
+class SelfStabilizingMIS(BeepingAlgorithm):
+    """Algorithm 1 of the paper (single beeping channel).
+
+    The node state is an ``int`` level in ``[−ℓmax(v), ℓmax(v)]``, where
+    ``ℓmax(v)`` comes from ``knowledge.ell_max`` (see
+    :mod:`repro.core.knowledge` for the three policies of Theorems
+    2.1/2.2 and Corollary 2.3).
+    """
+
+    num_channels = 1
+
+    # ------------------------------------------------------------------
+    # State lifecycle
+    # ------------------------------------------------------------------
+    def fresh_state(self, knowledge: LocalKnowledge) -> int:
+        """Boot at level 1 (beep probability 1/2, like Jeavons' p₁ = 1/2).
+
+        Any value works — the algorithm is self-stabilizing — but level 1
+        is the natural analogue of the original algorithm's start.
+        """
+        self._require_ell_max(knowledge)
+        return 1
+
+    def random_state(
+        self, knowledge: LocalKnowledge, rng: np.random.Generator
+    ) -> int:
+        """Uniform over the full state universe ``[−ℓmax, ℓmax]``."""
+        ell_max = self._require_ell_max(knowledge)
+        return int(rng.integers(-ell_max, ell_max + 1))
+
+    # ------------------------------------------------------------------
+    # Round behaviour
+    # ------------------------------------------------------------------
+    def beeps(self, state: int, knowledge: LocalKnowledge, u: float) -> Beeps:
+        ell_max = self._require_ell_max(knowledge)
+        p = beep_probability(state, ell_max)
+        return (u < p,)
+
+    def step(
+        self,
+        state: int,
+        sent: Beeps,
+        heard: Beeps,
+        knowledge: LocalKnowledge,
+        u: float = 0.0,
+    ) -> int:
+        ell_max = self._require_ell_max(knowledge)
+        return update_level(state, sent[0], heard[0], ell_max)
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def output(self, state: int, knowledge: LocalKnowledge) -> NodeOutput:
+        ell_max = self._require_ell_max(knowledge)
+        if state <= 0:
+            return NodeOutput.IN_MIS
+        if state == ell_max:
+            return NodeOutput.NOT_IN_MIS
+        return NodeOutput.UNDECIDED
+
+    def is_legal_configuration(
+        self,
+        graph: Graph,
+        states: Sequence[int],
+        knowledge: Sequence[LocalKnowledge],
+    ) -> bool:
+        ell_max = [self._require_ell_max(k) for k in knowledge]
+        return legal_single(graph, states, ell_max)
+
+    def stable_sets(
+        self,
+        graph: Graph,
+        states: Sequence[int],
+        knowledge: Sequence[LocalKnowledge],
+    ):
+        """The paper's ``(I_t, S_t)`` for the given configuration."""
+        ell_max = [self._require_ell_max(k) for k in knowledge]
+        return stable_sets_single(graph, states, ell_max)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _require_ell_max(knowledge: LocalKnowledge) -> int:
+        ell_max = knowledge.ell_max
+        if ell_max is None or ell_max < 2:
+            raise ValueError(
+                "SelfStabilizingMIS needs knowledge.ell_max >= 2 per vertex; "
+                "build knowledge via repro.core.knowledge policies"
+            )
+        return ell_max

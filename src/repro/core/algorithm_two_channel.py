@@ -1,0 +1,134 @@
+"""Algorithm 2 — the two-channel self-stabilizing beeping MIS.
+
+Literal transcription of the paper's Algorithm 2.  The second channel
+(``beep₂``) replaces the original Jeavons phase structure: a vertex that
+joined the MIS announces it on channel 2 in *every* subsequent round, so
+neighbors can become non-members without any modulo-2 synchronization.
+
+::
+
+    state: ℓ ∈ {0, …, ℓmax(v)}
+    in each round:
+        if 0 < ℓ < ℓmax(v): beep₁ ← true with probability 2^(−ℓ)
+        else:               beep₁ ← false
+        beep₂ ← (ℓ = 0)
+        send / receive
+        if beep₂ received:        ℓ ← ℓmax(v)
+        else if beep₁ received:   ℓ ← min{ℓ+1, ℓmax(v)}
+        else if beep₁ (sent):     ℓ ← 0
+        else if beep₂ not sent:   ℓ ← max{ℓ−1, 1}
+
+Channel conventions follow :mod:`repro.beeping.signals`:
+``CHANNEL_MAIN`` (index 0) is ``beep₁``, ``CHANNEL_MIS`` (index 1) is
+``beep₂``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..beeping.algorithm import BeepingAlgorithm, LocalKnowledge, NodeOutput
+from ..beeping.signals import Beeps, CHANNEL_MAIN, CHANNEL_MIS
+from ..graphs.graph import Graph
+from .levels import update_level_two_channel
+from .stability import legal_two_channel, stable_sets_two_channel
+
+__all__ = ["TwoChannelMIS"]
+
+
+class TwoChannelMIS(BeepingAlgorithm):
+    """Algorithm 2 of the paper (two beeping channels, Corollary 2.3).
+
+    Node state is an ``int`` level in ``[0, ℓmax(v)]``; ``ℓ = 0`` is the
+    MIS state (announced on channel 2), ``ℓ = ℓmax`` the non-member
+    state.
+    """
+
+    num_channels = 2
+
+    # ------------------------------------------------------------------
+    # State lifecycle
+    # ------------------------------------------------------------------
+    def fresh_state(self, knowledge: LocalKnowledge) -> int:
+        """Boot at level 1 (beep₁ probability 1/2)."""
+        self._require_ell_max(knowledge)
+        return 1
+
+    def random_state(
+        self, knowledge: LocalKnowledge, rng: np.random.Generator
+    ) -> int:
+        """Uniform over the state universe ``[0, ℓmax]``."""
+        ell_max = self._require_ell_max(knowledge)
+        return int(rng.integers(0, ell_max + 1))
+
+    # ------------------------------------------------------------------
+    # Round behaviour
+    # ------------------------------------------------------------------
+    def beeps(self, state: int, knowledge: LocalKnowledge, u: float) -> Beeps:
+        ell_max = self._require_ell_max(knowledge)
+        if 0 < state < ell_max:
+            beep1 = u < 2.0 ** (-state)
+        else:
+            beep1 = False
+        beep2 = state == 0
+        return (beep1, beep2)
+
+    def step(
+        self,
+        state: int,
+        sent: Beeps,
+        heard: Beeps,
+        knowledge: LocalKnowledge,
+        u: float = 0.0,
+    ) -> int:
+        ell_max = self._require_ell_max(knowledge)
+        return update_level_two_channel(
+            state,
+            beeped1=sent[CHANNEL_MAIN],
+            heard1=heard[CHANNEL_MAIN],
+            heard2=heard[CHANNEL_MIS],
+            ell_max=ell_max,
+        )
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def output(self, state: int, knowledge: LocalKnowledge) -> NodeOutput:
+        ell_max = self._require_ell_max(knowledge)
+        if state == 0:
+            return NodeOutput.IN_MIS
+        if state == ell_max:
+            return NodeOutput.NOT_IN_MIS
+        return NodeOutput.UNDECIDED
+
+    def is_legal_configuration(
+        self,
+        graph: Graph,
+        states: Sequence[int],
+        knowledge: Sequence[LocalKnowledge],
+    ) -> bool:
+        ell_max = [self._require_ell_max(k) for k in knowledge]
+        return legal_two_channel(graph, states, ell_max)
+
+    def stable_sets(
+        self,
+        graph: Graph,
+        states: Sequence[int],
+        knowledge: Sequence[LocalKnowledge],
+    ):
+        """The ``(I, S)`` pair for the two-channel state encoding."""
+        ell_max = [self._require_ell_max(k) for k in knowledge]
+        return stable_sets_two_channel(graph, states, ell_max)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _require_ell_max(knowledge: LocalKnowledge) -> int:
+        ell_max = knowledge.ell_max
+        if ell_max is None or ell_max < 2:
+            raise ValueError(
+                "TwoChannelMIS needs knowledge.ell_max >= 2 per vertex; "
+                "build knowledge via repro.core.knowledge policies"
+            )
+        return ell_max

@@ -1,0 +1,185 @@
+"""Analysis instrumentation: the structural quantities of Section 3.
+
+The paper's proof machinery is phrased over per-round structural
+quantities of the evolving configuration.  This module computes all of
+them for a given ``(graph, levels, ℓmax)`` configuration, so that the
+invariant benchmarks (E7) and the property-based tests can check the
+lemmas empirically:
+
+* ``p_t(v)``     — beep probability (Figure 1),
+* ``μ_t(v)``     — normalized minimum neighbor level,
+* ``I_t, S_t``   — MIS-so-far and stable set (see :mod:`.stability`),
+* ``PM_t``       — prominent vertices (Definition 3.3: ``ℓ_t(v) ≤ 0``),
+* platinum rounds — rounds where ``N⁺(v)`` contains a prominent vertex,
+* ``d_t(v)``     — expected number of beeping neighbors,
+* light/heavy vertices (Definition 6.1) and ``d^L_t(v)``,
+* golden rounds (Definition 6.2),
+* ``η_t(v), η′_t(v)`` — the decay potentials of Section 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Sequence, Tuple
+
+from ..graphs.graph import Graph
+from .levels import beep_probability, is_prominent
+from .stability import StableSets, mu, stable_sets_single
+
+__all__ = ["Configuration", "PlatinumTracker"]
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """A frozen snapshot ``{ℓ_t(v)}`` with all Section-3 observables.
+
+    All methods are pure functions of the snapshot; build one per
+    inspected round.  Levels are interpreted under the Algorithm 1
+    (single-channel) encoding, which is what the paper's analysis uses.
+    """
+
+    graph: Graph
+    levels: Tuple[int, ...]
+    ell_max: Tuple[int, ...]
+
+    def __post_init__(self):
+        n = self.graph.num_vertices
+        if len(self.levels) != n or len(self.ell_max) != n:
+            raise ValueError("levels/ell_max must have one entry per vertex")
+        for v in range(n):
+            if not -self.ell_max[v] <= self.levels[v] <= self.ell_max[v]:
+                raise ValueError(
+                    f"level {self.levels[v]} of vertex {v} outside "
+                    f"[-{self.ell_max[v]}, {self.ell_max[v]}]"
+                )
+
+    # -- elementary quantities ----------------------------------------
+    def beep_probability(self, v: int) -> float:
+        """``p_t(v)`` — the Figure-1 activation of v's level."""
+        return beep_probability(self.levels[v], self.ell_max[v])
+
+    def mu(self, v: int) -> float:
+        """``μ_t(v) = min_{u∈N(v)} ℓ_t(u)/ℓmax(u)`` (empty min = 1)."""
+        return mu(self.graph, self.levels, self.ell_max, v)
+
+    def expected_beeping_neighbors(self, v: int) -> float:
+        """``d_t(v) = Σ_{u∈N(v)} p_t(u)``."""
+        return sum(self.beep_probability(u) for u in self.graph.neighbors(v))
+
+    # -- sets of Section 3 --------------------------------------------
+    def prominent_vertices(self) -> FrozenSet[int]:
+        """``PM_t = {v : ℓ_t(v) ≤ 0}`` (Definition 3.3)."""
+        return frozenset(
+            v for v in self.graph.vertices() if is_prominent(self.levels[v])
+        )
+
+    def is_platinum_round_for(self, v: int) -> bool:
+        """Round t is *platinum* for v iff ``N⁺(v) ∩ PM_t ≠ ∅``."""
+        return any(
+            is_prominent(self.levels[u])
+            for u in self.graph.closed_neighborhood(v)
+        )
+
+    def stable_sets(self) -> StableSets:
+        """``(I_t, S_t)``."""
+        return stable_sets_single(self.graph, self.levels, self.ell_max)
+
+    # -- light/heavy and golden rounds (Section 6.1) -------------------
+    def is_light(self, v: int) -> bool:
+        """Definition 6.1: light iff ``μ_t(v) > 0`` and
+        (``d_t(v) ≤ 10`` or ``ℓ_t(v) ≤ 0``)."""
+        if self.mu(v) <= 0:
+            return False
+        return self.expected_beeping_neighbors(v) <= 10 or self.levels[v] <= 0
+
+    def light_vertices(self) -> FrozenSet[int]:
+        """``L_t`` — the set of light vertices."""
+        return frozenset(v for v in self.graph.vertices() if self.is_light(v))
+
+    def expected_beeping_light_neighbors(self, v: int) -> float:
+        """``d^L_t(v) = Σ_{u ∈ N(v) ∩ L_t} p_t(u)``."""
+        return sum(
+            self.beep_probability(u)
+            for u in self.graph.neighbors(v)
+            if self.is_light(u)
+        )
+
+    def is_golden_round_for(self, v: int) -> bool:
+        """Definition 6.2: golden iff (a) ``ℓ_t(v) ≤ 1 ∧ d_t(v) ≤ 0.02``
+        or (b) ``d^L_t(v) > 0.001``."""
+        if self.levels[v] <= 1 and self.expected_beeping_neighbors(v) <= 0.02:
+            return True
+        return self.expected_beeping_light_neighbors(v) > 0.001
+
+    # -- the η potentials -----------------------------------------------
+    def eta(self, v: int) -> float:
+        """``η_t(v) = Σ_{u ∈ N(v)∖S_t} 2^(−ℓmax(u))``."""
+        stable = self.stable_sets().stable
+        return sum(
+            2.0 ** (-self.ell_max[u])
+            for u in self.graph.neighbors(v)
+            if u not in stable
+        )
+
+    def eta_prime(self, v: int) -> float:
+        """``η′_t(v) = Σ_{u ∈ N(v)∖S_t : ℓmax(u) > ℓmax(v)} 2^(−ℓmax(v))``."""
+        stable = self.stable_sets().stable
+        count = sum(
+            1
+            for u in self.graph.neighbors(v)
+            if u not in stable and self.ell_max[u] > self.ell_max[v]
+        )
+        return count * 2.0 ** (-self.ell_max[v])
+
+    # -- the Lemma 3.1 warm-up invariant --------------------------------
+    def satisfies_lemma31(self, v: int) -> bool:
+        """The invariant ``ℓ_t(v) > 0 ∨ μ_t(v) > 0`` that Lemma 3.1
+        guarantees for all rounds ``t > max_w ℓmax(w)``."""
+        return self.levels[v] > 0 or self.mu(v) > 0
+
+    def lemma31_holds_everywhere(self) -> bool:
+        """Lemma 3.1's conclusion over all vertices at once."""
+        return all(self.satisfies_lemma31(v) for v in self.graph.vertices())
+
+
+class PlatinumTracker:
+    """Accumulates per-vertex platinum/golden round counts over a run.
+
+    Feed it one :class:`Configuration` per round (cheapest via the
+    vectorized engine's level snapshots); it maintains ``P_{t,k}(v)`` and
+    ``G_{t,k}(v)`` style counters plus the first platinum round per
+    vertex — the quantities bounded by Lemmas 3.5 / 6.3.
+    """
+
+    def __init__(self, graph: Graph, ell_max: Sequence[int], track_golden: bool = False):
+        self.graph = graph
+        self.ell_max = tuple(ell_max)
+        self.track_golden = track_golden
+        n = graph.num_vertices
+        self.rounds_seen = 0
+        self.platinum_counts: List[int] = [0] * n
+        self.golden_counts: List[int] = [0] * n
+        self.first_platinum: List[int] = [-1] * n
+
+    def observe(self, levels: Sequence[int]) -> None:
+        """Record one round's configuration (start-of-round levels)."""
+        config = Configuration(self.graph, tuple(levels), self.ell_max)
+        prominent = config.prominent_vertices()
+        touched = set(prominent)
+        for v in prominent:
+            touched.update(self.graph.neighbors(v))
+        for v in touched:
+            self.platinum_counts[v] += 1
+            if self.first_platinum[v] < 0:
+                self.first_platinum[v] = self.rounds_seen
+        if self.track_golden:
+            for v in self.graph.vertices():
+                if config.is_golden_round_for(v):
+                    self.golden_counts[v] += 1
+        self.rounds_seen += 1
+
+    def platinum_fraction(self, v: int) -> float:
+        """Fraction of observed rounds that were platinum for ``v``."""
+        if self.rounds_seen == 0:
+            return 0.0
+        return self.platinum_counts[v] / self.rounds_seen

@@ -1,0 +1,202 @@
+"""The three topology-knowledge models and their ``ℓmax`` policies.
+
+The algorithm itself only ever reads one number per vertex, ``ℓmax(v)``.
+What differs between the paper's three results is how that number may be
+computed:
+
+* **Theorem 2.1** (global Δ): every vertex knows the *same* upper bound
+  ``Δub ≥ Δ`` and uses ``ℓmax = log₂ Δub + c₁`` with ``c₁ ≥ 15``.
+  Stabilization in O(log n) w.h.p. with one beeping channel.
+* **Theorem 2.2** (own degree): each vertex knows an upper bound
+  ``dub(v) ≥ deg(v)`` and uses ``ℓmax(v) = 2·log₂ dub(v) + c₁`` with
+  ``c₁ ≥ 30``.  Stabilization in O(log n · log log n) w.h.p.
+* **Corollary 2.3** (1-hop neighborhood max degree, two channels): each
+  vertex knows ``d₂ub(v) ≥ deg₂(v)`` and uses
+  ``ℓmax(v) = 2·log₂ d₂ub(v) + c₁`` with ``c₁ ≥ 15``.  Stabilization in
+  O(log n) w.h.p. with two channels.
+
+All theorems additionally require ``ℓmax(v) = O(log n)``; the policies
+here take exact degrees from the graph by default (the tightest legal
+bound) and accept a ``slack`` multiplier to model *loose* upper bounds,
+which the theorems explicitly tolerate.
+
+The theorem constants are what the proofs need (they work with
+γ = e⁻³⁰-scale bounds); empirically much smaller ``c₁`` already
+stabilizes fast, which experiment E8 ablates.  ``c1`` is therefore a
+parameter with the theorem value as default.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..beeping.algorithm import LocalKnowledge
+from ..graphs.graph import Graph
+from ..graphs.properties import deg2_all
+
+__all__ = [
+    "KnowledgeModel",
+    "EllMaxPolicy",
+    "max_degree_policy",
+    "own_degree_policy",
+    "neighborhood_degree_policy",
+    "uniform_policy",
+    "explicit_policy",
+    "THEOREM_21_C1",
+    "THEOREM_22_C1",
+    "COROLLARY_23_C1",
+    "LEMMA_35_MIN_MARGIN",
+]
+
+#: Constant lower bounds required by the paper's statements.
+THEOREM_21_C1 = 15
+THEOREM_22_C1 = 30
+COROLLARY_23_C1 = 15
+#: Lemma 3.5 / 3.6 hypothesis: ``ℓmax(w) ≥ log deg(w) + 4`` for all w.
+LEMMA_35_MIN_MARGIN = 4
+
+
+class KnowledgeModel(enum.Enum):
+    """Which topology information the model variant grants each vertex."""
+
+    MAX_DEGREE = "max_degree"  # Theorem 2.1
+    OWN_DEGREE = "own_degree"  # Theorem 2.2
+    NEIGHBORHOOD_DEGREE = "neighborhood_degree"  # Corollary 2.3
+    EXPLICIT = "explicit"  # user-supplied ℓmax values
+
+
+def _log2_ceil(x: int) -> int:
+    """``ceil(log₂ x)`` with the convention ``log₂`` of 0 or 1 = 0."""
+    if x <= 1:
+        return 0
+    return (x - 1).bit_length()
+
+
+@dataclass(frozen=True)
+class EllMaxPolicy:
+    """A fully resolved assignment of ``ℓmax`` (and knowledge) per vertex.
+
+    Build via the module-level constructors (:func:`max_degree_policy`,
+    :func:`own_degree_policy`, :func:`neighborhood_degree_policy`,
+    :func:`uniform_policy`, :func:`explicit_policy`).
+    """
+
+    model: KnowledgeModel
+    ell_max: Tuple[int, ...]
+    c1: int
+
+    def __post_init__(self):
+        # ℓmax = 1 is degenerate: the competition regime 0 < ℓ < ℓmax is
+        # empty, a vertex at level 1 = ℓmax never beeps, and the
+        # decrement floor max{ℓ−1, 1} keeps it there — permanent silence.
+        # Every theorem hypothesis gives ℓmax ≥ 15, so 2 is a safe floor.
+        if any(e < 2 for e in self.ell_max):
+            raise ValueError("every ℓmax(v) must be >= 2 (ℓmax = 1 deadlocks)")
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.ell_max)
+
+    @property
+    def max_ell_max(self) -> int:
+        """``max_w ℓmax(w)`` — the warm-up horizon of Lemma 3.1."""
+        return max(self.ell_max, default=1)
+
+    def knowledge(self, graph: Graph) -> List[LocalKnowledge]:
+        """Per-vertex :class:`LocalKnowledge` carrying the ℓmax values."""
+        if graph.num_vertices != len(self.ell_max):
+            raise ValueError(
+                f"policy built for {len(self.ell_max)} vertices, "
+                f"graph has {graph.num_vertices}"
+            )
+        return [
+            LocalKnowledge(ell_max=e, degree=graph.degree(v))
+            for v, e in enumerate(self.ell_max)
+        ]
+
+    def satisfies_lemma35(self, graph: Graph) -> bool:
+        """Check the hypothesis ``ℓmax(w) ≥ log₂ deg(w) + 4`` of the key
+        lemmas (used by the E8 ablation to mark in/out-of-theory rows)."""
+        return all(
+            self.ell_max[v] >= _log2_ceil(max(graph.degree(v), 1)) + LEMMA_35_MIN_MARGIN
+            for v in graph.vertices()
+        )
+
+
+def max_degree_policy(
+    graph: Graph,
+    c1: int = THEOREM_21_C1,
+    slack: float = 1.0,
+    delta_upper: Optional[int] = None,
+) -> EllMaxPolicy:
+    """Theorem 2.1: uniform ``ℓmax = ceil(log₂ Δub) + c₁``.
+
+    ``delta_upper`` overrides the bound (must be ≥ Δ); otherwise
+    ``Δub = ceil(slack · Δ)``.  The theorem needs ``c₁ ≥ 15``; smaller
+    values are allowed here for ablation but are outside the proof.
+    """
+    delta = graph.max_degree()
+    if delta_upper is None:
+        delta_upper = max(1, math.ceil(slack * max(delta, 1)))
+    if delta_upper < delta:
+        raise ValueError(
+            f"delta_upper={delta_upper} is below the true max degree {delta}"
+        )
+    value = max(2, _log2_ceil(delta_upper) + c1)
+    return EllMaxPolicy(
+        model=KnowledgeModel.MAX_DEGREE,
+        ell_max=(value,) * graph.num_vertices,
+        c1=c1,
+    )
+
+
+def own_degree_policy(
+    graph: Graph,
+    c1: int = THEOREM_22_C1,
+    slack: float = 1.0,
+) -> EllMaxPolicy:
+    """Theorem 2.2: per-vertex ``ℓmax(v) = 2·ceil(log₂ dub(v)) + c₁``.
+
+    ``dub(v) = ceil(slack · deg(v))`` — each vertex only knows (an upper
+    bound on) its *own* degree.  The theorem needs ``c₁ ≥ 30``.
+    """
+    values = tuple(
+        max(2, 2 * _log2_ceil(max(1, math.ceil(slack * max(graph.degree(v), 1)))) + c1)
+        for v in graph.vertices()
+    )
+    return EllMaxPolicy(model=KnowledgeModel.OWN_DEGREE, ell_max=values, c1=c1)
+
+
+def neighborhood_degree_policy(
+    graph: Graph,
+    c1: int = COROLLARY_23_C1,
+    slack: float = 1.0,
+) -> EllMaxPolicy:
+    """Corollary 2.3: ``ℓmax(v) = 2·ceil(log₂ d₂ub(v)) + c₁`` with
+    ``d₂ub(v)`` an upper bound on ``deg₂(v)`` (needs ``c₁ ≥ 15``)."""
+    values = tuple(
+        max(2, 2 * _log2_ceil(max(1, math.ceil(slack * max(d2, 1)))) + c1)
+        for d2 in deg2_all(graph)
+    )
+    return EllMaxPolicy(
+        model=KnowledgeModel.NEIGHBORHOOD_DEGREE, ell_max=values, c1=c1
+    )
+
+
+def uniform_policy(graph: Graph, ell_max: int) -> EllMaxPolicy:
+    """An explicit uniform ``ℓmax`` (ablation / testing helper)."""
+    return EllMaxPolicy(
+        model=KnowledgeModel.EXPLICIT,
+        ell_max=(ell_max,) * graph.num_vertices,
+        c1=0,
+    )
+
+
+def explicit_policy(values: Sequence[int]) -> EllMaxPolicy:
+    """Arbitrary per-vertex ``ℓmax`` values (ablation / testing helper)."""
+    return EllMaxPolicy(
+        model=KnowledgeModel.EXPLICIT, ell_max=tuple(int(v) for v in values), c1=0
+    )

@@ -1,0 +1,135 @@
+"""The level state variable and its beeping-probability activation function.
+
+This module is the code form of the paper's Figure 1 and of the state
+universe of Algorithm 1:
+
+* a vertex ``v`` keeps an integer *level* ``ℓ ∈ {−ℓmax(v), …, ℓmax(v)}``;
+* the level determines the beep probability
+
+      p(ℓ) = 1          if ℓ ≤ 0            (prominent: keep beeping)
+      p(ℓ) = 2^(−ℓ)     if 0 < ℓ < ℓmax     (competition regime)
+      p(ℓ) = 0          if ℓ = ℓmax         (silent: believes a neighbor won)
+
+  — "similar to an activation function in an artificial neural network"
+  (paper, Figure 1);
+* ``ℓ = −ℓmax`` with all neighbors at their ``ℓmax`` is the stable
+  MIS-member state; ``ℓ = ℓmax`` next to such a vertex is the stable
+  non-member state.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+__all__ = [
+    "beep_probability",
+    "probability_table",
+    "is_prominent",
+    "clamp_level",
+    "update_level",
+    "update_level_two_channel",
+]
+
+
+def beep_probability(level: int, ell_max: int) -> float:
+    """The Figure-1 activation function ``p(ℓ)``.
+
+    >>> beep_probability(-3, 5)
+    1.0
+    >>> beep_probability(0, 5)
+    1.0
+    >>> beep_probability(2, 5)
+    0.25
+    >>> beep_probability(5, 5)
+    0.0
+    """
+    if ell_max < 1:
+        raise ValueError(f"ell_max must be >= 1, got {ell_max}")
+    if not -ell_max <= level <= ell_max:
+        raise ValueError(f"level {level} outside [-{ell_max}, {ell_max}]")
+    if level <= 0:
+        return 1.0
+    if level >= ell_max:
+        return 0.0
+    return 2.0 ** (-level)
+
+
+def probability_table(ell_max: int) -> List[Tuple[int, float]]:
+    """The full ``(ℓ, p(ℓ))`` table over ``ℓ ∈ [−ℓmax, ℓmax]``.
+
+    This is exactly the data plotted in the paper's Figure 1; the
+    ``bench_figure1`` benchmark regenerates and prints it.
+    """
+    return [(level, beep_probability(level, ell_max)) for level in range(-ell_max, ell_max + 1)]
+
+
+def is_prominent(level: int) -> bool:
+    """Definition 3.3: a vertex is *prominent* in round t iff ``ℓ_t(v) ≤ 0``."""
+    return level <= 0
+
+
+def clamp_level(level: int, ell_max: int) -> int:
+    """Clamp an arbitrary integer into the legal range ``[−ℓmax, ℓmax]``.
+
+    Used when interpreting corrupted RAM: any stored integer is read back
+    as a valid level (the algorithm's state universe is exactly this
+    range, so corruption produces a uniformly random element of it —
+    see ``Algorithm*.random_state``).
+    """
+    return max(-ell_max, min(ell_max, level))
+
+
+def update_level(level: int, beeped: bool, heard: bool, ell_max: int) -> int:
+    """The single-channel update rule of Algorithm 1, transcribed literally.
+
+    ::
+
+        if any signal received:   ℓ ← min{ℓ+1, ℓmax}
+        else if beeped:           ℓ ← −ℓmax
+        else:                     ℓ ← max{ℓ−1, 1}
+
+    Note the asymmetric clamp in the last branch: a silent vertex that
+    hears nothing never drops below level 1 — levels ≤ 0 are reachable
+    *only* by beeping alone, which is what makes a non-positive level a
+    certificate of a solo beep (Lemma 3.4).
+    """
+    if heard:
+        return min(level + 1, ell_max)
+    if beeped:
+        return -ell_max
+    return max(level - 1, 1)
+
+
+def update_level_two_channel(
+    level: int,
+    beeped1: bool,
+    heard1: bool,
+    heard2: bool,
+    ell_max: int,
+) -> int:
+    """The update rule of Algorithm 2 (two channels), transcribed literally.
+
+    State universe is ``{0, …, ℓmax}``; ``ℓ = 0`` means MIS member (and
+    the vertex beeps on the second channel every round), ``ℓ = ℓmax``
+    means non-member.
+
+    ::
+
+        if beep₂ received:        ℓ ← ℓmax
+        else if beep₁ received:   ℓ ← min{ℓ+1, ℓmax}
+        else if beeped₁:          ℓ ← 0
+        else if not beep₂ sent:   ℓ ← max{ℓ−1, 1}
+
+    (A vertex at ``ℓ = 0`` that hears nothing keeps ``ℓ = 0``: none of
+    the four branches applies, because it sent ``beep₂``.)
+    """
+    beeped2 = level == 0
+    if heard2:
+        return ell_max
+    if heard1:
+        return min(level + 1, ell_max)
+    if beeped1:
+        return 0
+    if not beeped2:
+        return max(level - 1, 1)
+    return level

@@ -1,0 +1,161 @@
+"""Legality (stabilization) predicates and the stable-set structure.
+
+From the paper (Section 3): a vertex ``v`` is permanently in the MIS
+prior to round ``t`` iff
+
+    ℓ_t(v) = −ℓmax(v)   and   ∀u ∈ N(v): ℓ_t(u) = ℓmax(u),
+
+equivalently ``ℓ_t(v) = −ℓmax(v) ∧ μ_t(v) = 1`` where
+``μ_t(v) = min_{u∈N(v)} ℓ_t(u)/ℓmax(u)``.  The set of such vertices is
+``I_t``; the stable set is ``S_t = I_t ∪ N(I_t)``; the configuration is
+*legal* iff ``S_t = V`` (then ``I_t`` is an MIS and the configuration is
+a fixed point of the dynamics).
+
+For Algorithm 2 the analogous structure uses ``ℓ = 0`` as the MIS state
+and ``ℓ = ℓmax`` as the non-member state.
+
+For isolated vertices the minimum over an empty neighborhood is taken to
+be 1 (``μ = 1``), so an isolated vertex is in ``I_t`` iff it reached
+``−ℓmax`` (resp. 0) — the only sensible convention, and the one under
+which legality remains a fixed point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Sequence, Tuple
+
+from ..graphs.graph import Graph
+
+__all__ = [
+    "mu",
+    "StableSets",
+    "stable_sets_single",
+    "legal_single",
+    "stable_sets_two_channel",
+    "legal_two_channel",
+]
+
+
+def mu(
+    graph: Graph,
+    levels: Sequence[int],
+    ell_max: Sequence[int],
+    v: int,
+) -> float:
+    """``μ_t(v) = min_{u ∈ N(v)} ℓ_t(u) / ℓmax(u)`` (empty min = 1.0)."""
+    neighbors = graph.neighbors(v)
+    if not neighbors:
+        return 1.0
+    return min(levels[u] / ell_max[u] for u in neighbors)
+
+
+@dataclass(frozen=True)
+class StableSets:
+    """The pair ``(I_t, S_t)`` of Section 3."""
+
+    mis: FrozenSet[int]  # I_t
+    stable: FrozenSet[int]  # S_t = I_t ∪ N(I_t)
+
+    def is_legal(self, num_vertices: int) -> bool:
+        """Legal iff every vertex is stable."""
+        return len(self.stable) == num_vertices
+
+
+def stable_sets_single(
+    graph: Graph,
+    levels: Sequence[int],
+    ell_max: Sequence[int],
+) -> StableSets:
+    """``(I_t, S_t)`` for Algorithm 1 (single channel).
+
+    ``I_t = {v : ℓ(v) = −ℓmax(v) and all neighbors at their ℓmax}``.
+    """
+    mis = set()
+    for v in graph.vertices():
+        if levels[v] != -ell_max[v]:
+            continue
+        if all(levels[u] == ell_max[u] for u in graph.neighbors(v)):
+            mis.add(v)
+    stable = set(mis)
+    for v in mis:
+        stable.update(graph.neighbors(v))
+    return StableSets(mis=frozenset(mis), stable=frozenset(stable))
+
+
+def legal_single(
+    graph: Graph,
+    levels: Sequence[int],
+    ell_max: Sequence[int],
+) -> bool:
+    """Legality check for Algorithm 1, without building the sets.
+
+    Equivalent to ``stable_sets_single(...).is_legal(n)`` but does a
+    single pass: every vertex must be either an ``I``-vertex or at
+    ``ℓmax`` with an ``I``-neighbor.
+    """
+    n = graph.num_vertices
+    # First pass: identify I-vertices.
+    in_mis = [False] * n
+    for v in range(n):
+        if levels[v] == -ell_max[v] and all(
+            levels[u] == ell_max[u] for u in graph.neighbors(v)
+        ):
+            in_mis[v] = True
+    # Second pass: everyone else must be a dominated ℓmax vertex.
+    for v in range(n):
+        if in_mis[v]:
+            continue
+        if levels[v] != ell_max[v]:
+            return False
+        if not any(in_mis[u] for u in graph.neighbors(v)):
+            return False
+    return True
+
+
+def stable_sets_two_channel(
+    graph: Graph,
+    levels: Sequence[int],
+    ell_max: Sequence[int],
+) -> StableSets:
+    """``(I, S)`` for Algorithm 2: MIS state is ``ℓ = 0``.
+
+    A ``0``-vertex is a *confirmed* MIS member only if no neighbor is
+    also at 0 (two adjacent 0-vertices silence each other's claim via
+    the second channel in the next round) and every neighbor is at its
+    ``ℓmax``.
+    """
+    mis = set()
+    for v in graph.vertices():
+        if levels[v] != 0:
+            continue
+        if all(levels[u] == ell_max[u] for u in graph.neighbors(v)):
+            mis.add(v)
+    stable = set(mis)
+    for v in mis:
+        stable.update(graph.neighbors(v))
+    return StableSets(mis=frozenset(mis), stable=frozenset(stable))
+
+
+def legal_two_channel(
+    graph: Graph,
+    levels: Sequence[int],
+    ell_max: Sequence[int],
+) -> bool:
+    """Legality for Algorithm 2: every vertex is a confirmed 0-vertex or
+    an ``ℓmax`` vertex with a confirmed 0-neighbor."""
+    n = graph.num_vertices
+    in_mis = [False] * n
+    for v in range(n):
+        if levels[v] == 0 and all(
+            levels[u] == ell_max[u] for u in graph.neighbors(v)
+        ):
+            in_mis[v] = True
+    for v in range(n):
+        if in_mis[v]:
+            continue
+        if levels[v] != ell_max[v]:
+            return False
+        if not any(in_mis[u] for u in graph.neighbors(v)):
+            return False
+    return True

@@ -1,0 +1,210 @@
+"""Immutable undirected graph used as the network topology substrate.
+
+The beeping model runs on an anonymous, undirected, simple graph.  This
+module provides the single :class:`Graph` type that every other subsystem
+(the round engine, the vectorized engine, the MIS validators, the workload
+generators) consumes.
+
+Design notes
+------------
+* Vertices are the integers ``0 .. n-1``.  Vertex ids are *simulator
+  handles* only: the algorithms in :mod:`repro.core` never observe them,
+  which preserves the anonymity assumption of the beeping model.
+* The adjacency structure is frozen at construction.  All neighbor lists
+  are sorted tuples, so iteration order is deterministic, which in turn
+  makes every seeded simulation reproducible bit-for-bit.
+* Construction validates the edge list: endpoints in range, no self
+  loops.  Parallel edges are collapsed (the beeping model cannot observe
+  multiplicity: a vertex only hears "at least one neighbor beeped").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+__all__ = ["Graph"]
+
+
+def _normalize_edge(u: int, v: int) -> Tuple[int, int]:
+    """Return the canonical (min, max) form of an undirected edge."""
+    return (u, v) if u <= v else (v, u)
+
+
+class Graph:
+    """An immutable, simple, undirected graph on vertices ``0 .. n-1``.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices ``n``; must be >= 0.
+    edges:
+        Iterable of ``(u, v)`` pairs with ``0 <= u, v < n`` and ``u != v``.
+        Duplicates (in either orientation) are collapsed.
+
+    Examples
+    --------
+    >>> g = Graph(3, [(0, 1), (1, 2)])
+    >>> g.num_vertices
+    3
+    >>> g.degree(1)
+    2
+    >>> g.neighbors(1)
+    (0, 2)
+    """
+
+    __slots__ = ("_n", "_adjacency", "_edges", "_degrees")
+
+    def __init__(self, num_vertices: int, edges: Iterable[Tuple[int, int]] = ()):
+        if num_vertices < 0:
+            raise ValueError(f"num_vertices must be >= 0, got {num_vertices}")
+        self._n = int(num_vertices)
+
+        neighbor_sets: List[set] = [set() for _ in range(self._n)]
+        edge_set = set()
+        for u, v in edges:
+            u, v = int(u), int(v)
+            if not (0 <= u < self._n and 0 <= v < self._n):
+                raise ValueError(
+                    f"edge ({u}, {v}) out of range for {self._n} vertices"
+                )
+            if u == v:
+                raise ValueError(f"self loop at vertex {u} is not allowed")
+            canonical = _normalize_edge(u, v)
+            if canonical in edge_set:
+                continue
+            edge_set.add(canonical)
+            neighbor_sets[u].add(v)
+            neighbor_sets[v].add(u)
+
+        self._adjacency: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(s)) for s in neighbor_sets
+        )
+        self._edges: Tuple[Tuple[int, int], ...] = tuple(sorted(edge_set))
+        self._degrees: Tuple[int, ...] = tuple(len(s) for s in self._adjacency)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of (undirected, deduplicated) edges."""
+        return len(self._edges)
+
+    @property
+    def edges(self) -> Tuple[Tuple[int, int], ...]:
+        """All edges as sorted canonical ``(u, v)`` pairs with ``u < v``."""
+        return self._edges
+
+    def vertices(self) -> range:
+        """Iterate over all vertex ids in increasing order."""
+        return range(self._n)
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """The sorted tuple of neighbors of ``v``."""
+        return self._adjacency[v]
+
+    def closed_neighborhood(self, v: int) -> Tuple[int, ...]:
+        """``N+(v) = N(v) ∪ {v}`` as a sorted tuple (paper notation)."""
+        return tuple(sorted(self._adjacency[v] + (v,)))
+
+    def degree(self, v: int) -> int:
+        """``deg(v) = |N(v)|``."""
+        return self._degrees[v]
+
+    def degrees(self) -> Tuple[int, ...]:
+        """Tuple of all vertex degrees, indexed by vertex id."""
+        return self._degrees
+
+    def max_degree(self) -> int:
+        """The maximum degree Δ of the graph (0 for an empty graph)."""
+        return max(self._degrees, default=0)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True iff ``{u, v}`` is an edge."""
+        if u == v:
+            return False
+        # Neighbor tuples are sorted; binary search would be possible, but
+        # degree-bounded linear membership is simpler and fast enough.
+        a, b = (u, v) if self._degrees[u] <= self._degrees[v] else (v, u)
+        return b in self._adjacency[a]
+
+    # ------------------------------------------------------------------
+    # Python protocol support
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self._n))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._n == other._n and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._edges))
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self._n}, m={self.num_edges})"
+
+    # ------------------------------------------------------------------
+    # Derived constructions
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_adjacency(cls, adjacency: Dict[int, Sequence[int]]) -> "Graph":
+        """Build a graph from a ``{vertex: neighbors}`` mapping.
+
+        The vertex set is ``0 .. max_key`` (missing keys become isolated
+        vertices).  Both orientations of each edge may be present; they
+        are collapsed.
+        """
+        if not adjacency:
+            return cls(0)
+        n = max(adjacency) + 1
+        edges = [
+            (u, v)
+            for u, neighbors in adjacency.items()
+            for v in neighbors
+        ]
+        return cls(n, edges)
+
+    def subgraph(self, keep: Iterable[int]) -> "Graph":
+        """The induced subgraph on ``keep``, relabeled to ``0..k-1``.
+
+        Vertices in ``keep`` are relabeled in increasing original-id
+        order.  Useful for analyzing residual graphs of undecided
+        vertices.
+        """
+        kept = sorted(set(keep))
+        relabel = {old: new for new, old in enumerate(kept)}
+        kept_set = set(kept)
+        edges = [
+            (relabel[u], relabel[v])
+            for u, v in self._edges
+            if u in kept_set and v in kept_set
+        ]
+        return Graph(len(kept), edges)
+
+    def complement(self) -> "Graph":
+        """The complement graph (no self loops)."""
+        edges = [
+            (u, v)
+            for u in range(self._n)
+            for v in range(u + 1, self._n)
+            if not self.has_edge(u, v)
+        ]
+        return Graph(self._n, edges)
+
+    def union_disjoint(self, other: "Graph") -> "Graph":
+        """Disjoint union; ``other``'s vertices are shifted by ``self.n``."""
+        offset = self._n
+        edges = list(self._edges) + [
+            (u + offset, v + offset) for u, v in other._edges
+        ]
+        return Graph(self._n + other._n, edges)

@@ -1,0 +1,68 @@
+"""Line-graph construction.
+
+The line graph L(G) has one vertex per edge of G, with two L(G)-vertices
+adjacent iff the corresponding G-edges share an endpoint.  It is the
+standard reduction from *maximal matching* to *MIS*: an independent set
+of L(G) is a matching of G, and maximality carries over.
+
+The construction returns both the graph and the edge table so results
+can be mapped back to G.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .graph import Graph
+
+__all__ = ["LineGraph", "line_graph"]
+
+
+class LineGraph:
+    """The line graph of ``base`` plus the vertex↔edge correspondence.
+
+    Attributes
+    ----------
+    graph:
+        L(G) as a plain :class:`Graph`.
+    edge_of:
+        ``edge_of[i]`` is the G-edge ``(u, v)`` represented by L(G)'s
+        vertex ``i`` (canonical ``u < v`` order, sorted — identical to
+        ``base.edges``).
+    """
+
+    def __init__(self, base: Graph):
+        self.base = base
+        self.edge_of: Tuple[Tuple[int, int], ...] = base.edges
+        index_of = {edge: i for i, edge in enumerate(self.edge_of)}
+
+        # Two edges are adjacent in L(G) iff they share an endpoint:
+        # group edge indices by endpoint and connect within groups.
+        incident: List[List[int]] = [[] for _ in range(base.num_vertices)]
+        for i, (u, v) in enumerate(self.edge_of):
+            incident[u].append(i)
+            incident[v].append(i)
+        lg_edges = set()
+        for bucket in incident:
+            for a in range(len(bucket)):
+                for b in range(a + 1, len(bucket)):
+                    lg_edges.add((bucket[a], bucket[b]))
+        self.graph = Graph(len(self.edge_of), lg_edges)
+        self._index_of = index_of
+
+    def vertex_for_edge(self, u: int, v: int) -> int:
+        """The L(G)-vertex representing the G-edge ``{u, v}``."""
+        edge = (u, v) if u < v else (v, u)
+        try:
+            return self._index_of[edge]
+        except KeyError:
+            raise KeyError(f"({u}, {v}) is not an edge of the base graph") from None
+
+    def edges_for_vertices(self, vertices) -> Tuple[Tuple[int, int], ...]:
+        """Map a set of L(G)-vertices back to G-edges."""
+        return tuple(sorted(self.edge_of[i] for i in vertices))
+
+
+def line_graph(base: Graph) -> LineGraph:
+    """Build :class:`LineGraph` for ``base``."""
+    return LineGraph(base)

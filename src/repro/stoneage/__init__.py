@@ -1,0 +1,25 @@
+"""The Stone Age model substrate (Emek–Wattenhofer style).
+
+Randomized finite state machines over a fixed message alphabet with
+one-two-many bounded counting.  ``b = 1`` is informationally equivalent
+to beeping (:class:`.adapters.BeepingOnStoneAge` makes any
+single-channel beeping algorithm run here unmodified, bit-identically);
+larger ``b`` is the "slightly stronger" model of Emek et al. [8], which
+:class:`.mis.CountingMIS` exploits.
+"""
+
+from .model import Observation, StoneAgeMachine
+from .network import StoneAgeNetwork, StoneAgeRound, run_stone_age_until_stable
+from .adapters import BEEP_LETTER, BeepingOnStoneAge
+from .mis import CountingMIS
+
+__all__ = [
+    "Observation",
+    "StoneAgeMachine",
+    "StoneAgeNetwork",
+    "StoneAgeRound",
+    "run_stone_age_until_stable",
+    "BEEP_LETTER",
+    "BeepingOnStoneAge",
+    "CountingMIS",
+]

@@ -1,0 +1,82 @@
+"""Model adapters: running beeping algorithms on the Stone Age substrate.
+
+With bound ``b = 1`` and the two-letter-per-channel encoding below, the
+Stone Age model delivers exactly the information of the (full-duplex)
+beeping model: for each channel, one "did any neighbor beep" bit.  The
+adapter therefore lets any single-channel
+:class:`~repro.beeping.algorithm.BeepingAlgorithm` run unmodified on a
+:class:`~repro.stoneage.network.StoneAgeNetwork`, and the trajectories
+are *bit-identical* to the native beeping engine's for the same seed —
+the executable form of "Stone Age (b = 1) subsumes beeping", tested in
+``tests/test_stoneage.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from ..beeping.algorithm import BeepingAlgorithm, LocalKnowledge, NodeOutput
+from .model import Observation, StoneAgeMachine
+
+__all__ = ["BEEP_LETTER", "BeepingOnStoneAge"]
+
+#: The single letter used to encode a (single-channel) beep.
+BEEP_LETTER = "beep"
+
+
+class BeepingOnStoneAge(StoneAgeMachine):
+    """Wrap a single-channel beeping algorithm as a Stone Age machine.
+
+    Emission: the wrapped algorithm's beep becomes the letter
+    ``"beep"``; silence stays silence.  Observation: ``heard`` is
+    ``observed["beep"] >= 1`` (with b = 1 the count is already the bit).
+    """
+
+    alphabet = (BEEP_LETTER,)
+
+    def __init__(self, algorithm: BeepingAlgorithm):
+        if algorithm.num_channels != 1:
+            raise ValueError(
+                "BeepingOnStoneAge supports single-channel algorithms only "
+                f"(got {algorithm.num_channels} channels); multi-channel "
+                "beeping would need one letter per channel"
+            )
+        self.algorithm = algorithm
+
+    # -- state lifecycle (delegated) -------------------------------------
+    def fresh_state(self, knowledge: LocalKnowledge) -> Any:
+        return self.algorithm.fresh_state(knowledge)
+
+    def random_state(self, knowledge: LocalKnowledge, rng: np.random.Generator) -> Any:
+        return self.algorithm.random_state(knowledge, rng)
+
+    # -- round behaviour --------------------------------------------------
+    def emit(self, state: Any, knowledge: LocalKnowledge, u: float) -> Optional[str]:
+        beeped = self.algorithm.beeps(state, knowledge, u)[0]
+        return BEEP_LETTER if beeped else None
+
+    def transition(
+        self,
+        state: Any,
+        emitted: Optional[str],
+        observed: Observation,
+        knowledge: LocalKnowledge,
+        u: float,
+    ) -> Any:
+        sent = (emitted == BEEP_LETTER,)
+        heard = (observed[BEEP_LETTER] >= 1,)
+        return self.algorithm.step(state, sent, heard, knowledge, u=u)
+
+    # -- observation --------------------------------------------------------
+    def output(self, state: Any, knowledge: LocalKnowledge) -> NodeOutput:
+        return self.algorithm.output(state, knowledge)
+
+    def is_legal_configuration(
+        self,
+        graph,
+        states: Sequence[Any],
+        knowledge: Sequence[LocalKnowledge],
+    ) -> bool:
+        return self.algorithm.is_legal_configuration(graph, states, knowledge)

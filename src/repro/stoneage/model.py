@@ -1,0 +1,100 @@
+"""The (synchronous) Stone Age model of Emek & Wattenhofer.
+
+Paper §1: "The Stone Age model … provides an abstraction of a network of
+randomized finite state machines that communicate with their neighbors
+using a fixed message alphabet based on a weak communication scheme."
+
+Semantics implemented here (the synchronous variant):
+
+* every vertex runs the same randomized finite state machine over a
+  fixed finite message **alphabet** Σ;
+* each round, every machine *emits* one letter (or stays silent);
+* each machine then *observes*, for every letter σ ∈ Σ, the **clipped
+  count** ``min(#neighbors that emitted σ, b)`` — the "one-two-many"
+  bounded-counting parameter ``b`` is the model's knob.  ``b = 1``
+  collapses counts to a single did-anyone bit, which makes the model
+  equivalent to (multi-letter) beeping; larger ``b`` is strictly
+  stronger — the "slightly stronger than the beeping communication
+  model" setting of Emek et al. [8].
+
+The machine protocol mirrors :class:`repro.beeping.algorithm
+.BeepingAlgorithm`, including the one-uniform-per-vertex-per-round
+randomness discipline shared by ``emit`` and ``transition``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..beeping.algorithm import LocalKnowledge, NodeOutput
+
+__all__ = ["Observation", "StoneAgeMachine"]
+
+#: Per-letter clipped neighbor counts, keyed by letter.
+Observation = Mapping[str, int]
+
+
+class StoneAgeMachine(abc.ABC):
+    """An anonymous randomized finite state machine (one per vertex).
+
+    Subclasses fix the :attr:`alphabet` and implement the emit /
+    transition rules.  Silence is represented by emitting ``None`` —
+    silence is not a letter and is never observed.
+    """
+
+    #: The fixed message alphabet Σ (letters are short strings).
+    alphabet: Tuple[str, ...] = ()
+
+    # -- state lifecycle ------------------------------------------------
+    @abc.abstractmethod
+    def fresh_state(self, knowledge: LocalKnowledge) -> Any:
+        """The designated boot state."""
+
+    @abc.abstractmethod
+    def random_state(self, knowledge: LocalKnowledge, rng: np.random.Generator) -> Any:
+        """A uniformly random state (transient-fault model)."""
+
+    # -- round behaviour ------------------------------------------------
+    @abc.abstractmethod
+    def emit(self, state: Any, knowledge: LocalKnowledge, u: float) -> Optional[str]:
+        """The letter transmitted this round (``None`` = silent).
+
+        Must return an element of :attr:`alphabet` or ``None``; ``u`` is
+        the round's uniform draw.
+        """
+
+    @abc.abstractmethod
+    def transition(
+        self,
+        state: Any,
+        emitted: Optional[str],
+        observed: Observation,
+        knowledge: LocalKnowledge,
+        u: float,
+    ) -> Any:
+        """The state update.
+
+        ``observed[σ]`` is the clipped count ``min(count, b)`` of
+        neighbors that emitted σ; every letter of the alphabet is
+        present as a key.  ``u`` is the *same* draw given to
+        :meth:`emit`.
+        """
+
+    # -- observation -----------------------------------------------------
+    @abc.abstractmethod
+    def output(self, state: Any, knowledge: LocalKnowledge) -> NodeOutput:
+        """The decision the state encodes."""
+
+    def is_legal_configuration(
+        self,
+        graph,
+        states: Sequence[Any],
+        knowledge: Sequence[LocalKnowledge],
+    ) -> bool:
+        """Global stabilization predicate (optional)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define a legality predicate"
+        )

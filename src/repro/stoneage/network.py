@@ -1,0 +1,176 @@
+"""Synchronous round engine for the Stone Age model.
+
+Mirrors :class:`repro.beeping.network.BeepingNetwork` (same randomness
+discipline, same fault-injection surface) but delivers per-letter
+clipped neighbor counts instead of per-channel OR bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..beeping.algorithm import LocalKnowledge, NodeOutput
+from ..graphs.graph import Graph
+from .model import StoneAgeMachine
+
+__all__ = ["StoneAgeRound", "StoneAgeNetwork", "run_stone_age_until_stable"]
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+@dataclass(frozen=True)
+class StoneAgeRound:
+    """One round's transcript: emitted letters and per-vertex observations."""
+
+    round_index: int
+    emitted: Tuple[Optional[str], ...]
+    observed: Tuple[Dict[str, int], ...]
+
+    def letter_count(self, letter: str) -> int:
+        return sum(1 for e in self.emitted if e == letter)
+
+
+class StoneAgeNetwork:
+    """A synchronous anonymous Stone Age network.
+
+    Parameters
+    ----------
+    graph, machine, knowledge, seed, initial_states:
+        As in :class:`repro.beeping.network.BeepingNetwork`.
+    bound:
+        The one-two-many counting bound ``b >= 1``: observations are
+        clipped at ``b``.  ``b = 1`` makes the model informationally
+        equivalent to |Σ|-letter beeping.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        machine: StoneAgeMachine,
+        knowledge: Sequence[LocalKnowledge],
+        seed: SeedLike = None,
+        initial_states: Optional[Sequence[Any]] = None,
+        bound: int = 1,
+    ):
+        if len(knowledge) != graph.num_vertices:
+            raise ValueError("knowledge length does not match the graph")
+        if bound < 1:
+            raise ValueError("bound must be >= 1")
+        if not machine.alphabet:
+            raise ValueError("machine must declare a non-empty alphabet")
+        self.graph = graph
+        self.machine = machine
+        self.knowledge = tuple(knowledge)
+        self.bound = int(bound)
+        self._rng = (
+            seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        )
+        if initial_states is None:
+            self._states: List[Any] = [
+                machine.fresh_state(k) for k in self.knowledge
+            ]
+        else:
+            if len(initial_states) != graph.num_vertices:
+                raise ValueError("initial_states has wrong length")
+            self._states = list(initial_states)
+        self._round = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def round_index(self) -> int:
+        return self._round
+
+    @property
+    def states(self) -> Tuple[Any, ...]:
+        return tuple(self._states)
+
+    def set_states(self, states: Sequence[Any]) -> None:
+        if len(states) != self.graph.num_vertices:
+            raise ValueError("states has wrong length")
+        self._states = list(states)
+
+    def randomize_states(self) -> None:
+        self._states = [
+            self.machine.random_state(k, self._rng) for k in self.knowledge
+        ]
+
+    def outputs(self) -> Tuple[NodeOutput, ...]:
+        return tuple(
+            self.machine.output(s, k) for s, k in zip(self._states, self.knowledge)
+        )
+
+    def mis_vertices(self) -> frozenset:
+        return frozenset(
+            v
+            for v, (s, k) in enumerate(zip(self._states, self.knowledge))
+            if self.machine.output(s, k) is NodeOutput.IN_MIS
+        )
+
+    def is_legal(self) -> bool:
+        return self.machine.is_legal_configuration(
+            self.graph, self._states, self.knowledge
+        )
+
+    # ------------------------------------------------------------------
+    def step(self) -> StoneAgeRound:
+        n = self.graph.num_vertices
+        machine = self.machine
+        alphabet = machine.alphabet
+        draws = self._rng.random(n)
+
+        emitted: List[Optional[str]] = []
+        for v in range(n):
+            letter = machine.emit(self._states[v], self.knowledge[v], float(draws[v]))
+            if letter is not None and letter not in alphabet:
+                raise ValueError(
+                    f"vertex {v} emitted {letter!r}, not in alphabet {alphabet}"
+                )
+            emitted.append(letter)
+
+        observed: List[Dict[str, int]] = []
+        for v in range(n):
+            counts = {letter: 0 for letter in alphabet}
+            for w in self.graph.neighbors(v):
+                letter = emitted[w]
+                if letter is not None and counts[letter] < self.bound:
+                    counts[letter] += 1
+            observed.append(counts)
+
+        self._states = [
+            machine.transition(
+                self._states[v],
+                emitted[v],
+                observed[v],
+                self.knowledge[v],
+                float(draws[v]),
+            )
+            for v in range(n)
+        ]
+        transcript = StoneAgeRound(
+            round_index=self._round,
+            emitted=tuple(emitted),
+            observed=tuple(observed),
+        )
+        self._round += 1
+        return transcript
+
+    def run(self, rounds: int) -> List[StoneAgeRound]:
+        return [self.step() for _ in range(rounds)]
+
+
+def run_stone_age_until_stable(
+    network: StoneAgeNetwork,
+    max_rounds: int,
+) -> Tuple[bool, int, frozenset]:
+    """Run until legality; returns ``(stabilized, rounds, mis)``."""
+    executed = 0
+    while True:
+        if network.is_legal():
+            return True, executed, network.mis_vertices()
+        if executed >= max_rounds:
+            return False, executed, frozenset()
+        network.step()
+        executed += 1

@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    return Graph(3, [(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def path4() -> Graph:
+    return generators.path(4)
+
+
+@pytest.fixture
+def star6() -> Graph:
+    """A star with hub 0 and five leaves."""
+    return generators.star(6)
+
+
+@pytest.fixture
+def petersen() -> Graph:
+    """The Petersen graph — 3-regular, girth 5, a classic stress case."""
+    outer = [(i, (i + 1) % 5) for i in range(5)]
+    spokes = [(i, i + 5) for i in range(5)]
+    inner = [(5 + i, 5 + (i + 2) % 5) for i in range(5)]
+    return Graph(10, outer + spokes + inner)
+
+
+@pytest.fixture
+def er_graph() -> Graph:
+    """A fixed mid-size sparse random graph (may be disconnected)."""
+    return generators.erdos_renyi_mean_degree(80, 6.0, seed=42)
+
+
+@pytest.fixture
+def isolated_plus_edge() -> Graph:
+    """Two connected vertices plus an isolated one — min edge-case combo."""
+    return Graph(3, [(0, 1)])
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(2024)
+
+
+def small_graph_zoo():
+    """A deterministic list of (name, graph) pairs covering the families.
+
+    Function (not fixture) so tests can parametrize over it at collection
+    time.
+    """
+    return [
+        ("empty3", Graph(3)),
+        ("single", Graph(1)),
+        ("edge", Graph(2, [(0, 1)])),
+        ("path7", generators.path(7)),
+        ("cycle8", generators.cycle(8)),
+        ("star9", generators.star(9)),
+        ("complete5", generators.complete(5)),
+        ("grid3x4", generators.grid_2d(3, 4)),
+        ("tree_d3", generators.binary_tree(3)),
+        ("hypercube3", generators.hypercube(3)),
+        ("er20", generators.erdos_renyi_mean_degree(20, 4.0, seed=3)),
+        ("regular12", generators.random_regular(12, 3, seed=4)),
+        ("ba25", generators.barabasi_albert(25, 2, seed=5)),
+        ("bipartite", generators.complete_bipartite(3, 4)),
+    ]

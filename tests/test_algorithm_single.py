@@ -1,0 +1,126 @@
+"""Unit & integration tests for Algorithm 1 (SelfStabilizingMIS)."""
+
+import numpy as np
+import pytest
+
+from repro.beeping.algorithm import LocalKnowledge, NodeOutput
+from repro.beeping.network import BeepingNetwork
+from repro.beeping.simulator import run_until_stable
+from repro.core.algorithm_single import SelfStabilizingMIS
+from repro.core.knowledge import max_degree_policy, uniform_policy
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.graphs.mis import check_mis
+
+from conftest import small_graph_zoo
+
+
+K = LocalKnowledge(ell_max=5)
+ALG = SelfStabilizingMIS()
+
+
+class TestStateLifecycle:
+    def test_fresh_state_is_level_one(self):
+        assert ALG.fresh_state(K) == 1
+
+    def test_missing_ell_max_rejected(self):
+        with pytest.raises(ValueError, match="ell_max"):
+            ALG.fresh_state(LocalKnowledge())
+        with pytest.raises(ValueError, match="ell_max"):
+            ALG.fresh_state(LocalKnowledge(ell_max=0))
+
+    def test_random_state_covers_universe(self):
+        rng = np.random.default_rng(0)
+        samples = {ALG.random_state(K, rng) for _ in range(2000)}
+        assert samples == set(range(-5, 6))
+
+
+class TestRoundBehaviour:
+    def test_beep_decision_thresholds(self):
+        # Level 1 → p = 1/2: u just below beeps, just above doesn't.
+        assert ALG.beeps(1, K, 0.499) == (True,)
+        assert ALG.beeps(1, K, 0.5) == (False,)
+        # Prominent → always beep.
+        assert ALG.beeps(-2, K, 0.999) == (True,)
+        assert ALG.beeps(0, K, 0.999) == (True,)
+        # At ℓmax → never beep.
+        assert ALG.beeps(5, K, 0.0) == (False,)
+
+    def test_step_delegates_to_update_rule(self):
+        assert ALG.step(2, (False,), (True,), K) == 3
+        assert ALG.step(2, (True,), (False,), K) == -5
+        assert ALG.step(2, (False,), (False,), K) == 1
+
+    def test_output_map(self):
+        assert ALG.output(-5, K) is NodeOutput.IN_MIS
+        assert ALG.output(0, K) is NodeOutput.IN_MIS
+        assert ALG.output(5, K) is NodeOutput.NOT_IN_MIS
+        assert ALG.output(3, K) is NodeOutput.UNDECIDED
+
+
+class TestSmallGraphDynamics:
+    def test_single_vertex_stabilizes_fast(self):
+        g = Graph(1)
+        policy = uniform_policy(g, 3)
+        network = BeepingNetwork(g, ALG, policy.knowledge(g), seed=1)
+        result = run_until_stable(network, max_rounds=50)
+        assert result.stabilized
+        assert result.mis == {0}
+
+    def test_two_vertices_elect_exactly_one(self):
+        g = Graph(2, [(0, 1)])
+        policy = uniform_policy(g, 3)
+        for seed in range(10):
+            network = BeepingNetwork(g, ALG, policy.knowledge(g), seed=seed)
+            result = run_until_stable(network, max_rounds=500)
+            assert result.stabilized
+            assert len(result.mis) == 1
+
+    def test_triangle_elects_exactly_one(self, triangle):
+        policy = uniform_policy(triangle, 4)
+        for seed in range(10):
+            network = BeepingNetwork(
+                triangle, ALG, policy.knowledge(triangle), seed=seed
+            )
+            result = run_until_stable(network, max_rounds=800)
+            assert result.stabilized
+            assert len(result.mis) == 1
+
+    @pytest.mark.parametrize("name,graph", small_graph_zoo())
+    def test_stabilizes_to_valid_mis_from_fresh_start(self, name, graph):
+        policy = max_degree_policy(graph, c1=4)
+        network = BeepingNetwork(graph, ALG, policy.knowledge(graph), seed=7)
+        result = run_until_stable(network, max_rounds=5000)
+        assert result.stabilized, name
+        assert check_mis(graph, result.mis) is None, name
+
+    @pytest.mark.parametrize("name,graph", small_graph_zoo())
+    def test_stabilizes_from_arbitrary_start(self, name, graph):
+        policy = max_degree_policy(graph, c1=4)
+        algorithm = SelfStabilizingMIS()
+        rng = np.random.default_rng(13)
+        knowledge = policy.knowledge(graph)
+        initial = [algorithm.random_state(k, rng) for k in knowledge]
+        network = BeepingNetwork(
+            graph, algorithm, knowledge, seed=rng, initial_states=initial
+        )
+        result = run_until_stable(network, max_rounds=5000)
+        assert result.stabilized, name
+        assert check_mis(graph, result.mis) is None, name
+
+
+class TestStableSetsAccessor:
+    def test_stable_sets_match_module_function(self, path4):
+        policy = uniform_policy(path4, 4)
+        knowledge = policy.knowledge(path4)
+        levels = [-4, 4, -4, 4]
+        sets = ALG.stable_sets(path4, levels, knowledge)
+        assert sets.mis == {0, 2}
+        assert sets.stable == {0, 1, 2, 3}
+
+    def test_mis_vertices_uses_output(self, path4):
+        policy = uniform_policy(path4, 4)
+        knowledge = policy.knowledge(path4)
+        states = [-4, 4, 0, 2]
+        # Output-level membership counts all prominent vertices.
+        assert ALG.mis_vertices(states, knowledge) == {0, 2}

@@ -1,0 +1,112 @@
+"""Unit & integration tests for Algorithm 2 (TwoChannelMIS)."""
+
+import numpy as np
+import pytest
+
+from repro.beeping.algorithm import LocalKnowledge, NodeOutput
+from repro.beeping.network import BeepingNetwork
+from repro.beeping.simulator import run_until_stable
+from repro.core.algorithm_two_channel import TwoChannelMIS
+from repro.core.knowledge import neighborhood_degree_policy, uniform_policy
+from repro.graphs.graph import Graph
+from repro.graphs.mis import check_mis
+
+from conftest import small_graph_zoo
+
+
+K = LocalKnowledge(ell_max=5)
+ALG = TwoChannelMIS()
+
+
+class TestStateLifecycle:
+    def test_fresh_state(self):
+        assert ALG.fresh_state(K) == 1
+
+    def test_missing_ell_max_rejected(self):
+        with pytest.raises(ValueError, match="ell_max"):
+            ALG.fresh_state(LocalKnowledge())
+
+    def test_random_state_covers_universe(self):
+        rng = np.random.default_rng(0)
+        samples = {ALG.random_state(K, rng) for _ in range(2000)}
+        assert samples == set(range(0, 6))
+
+
+class TestRoundBehaviour:
+    def test_two_channels_declared(self):
+        assert ALG.num_channels == 2
+
+    def test_mis_member_beeps_only_channel2(self):
+        assert ALG.beeps(0, K, 0.0) == (False, True)
+
+    def test_competitor_beeps_channel1_probabilistically(self):
+        assert ALG.beeps(1, K, 0.49) == (True, False)
+        assert ALG.beeps(1, K, 0.51) == (False, False)
+        assert ALG.beeps(2, K, 0.24) == (True, False)
+
+    def test_max_level_silent(self):
+        assert ALG.beeps(5, K, 0.0) == (False, False)
+
+    def test_step_branches(self):
+        # beep2 received dominates everything.
+        assert ALG.step(2, (True, False), (True, True), K) == 5
+        # beep1 received increments.
+        assert ALG.step(2, (False, False), (True, False), K) == 3
+        # solo beep1 joins the MIS.
+        assert ALG.step(2, (True, False), (False, False), K) == 0
+        # silence decrements with floor 1.
+        assert ALG.step(3, (False, False), (False, False), K) == 2
+        assert ALG.step(1, (False, False), (False, False), K) == 1
+        # a 0-vertex hearing nothing holds its position.
+        assert ALG.step(0, (False, True), (False, False), K) == 0
+
+    def test_output_map(self):
+        assert ALG.output(0, K) is NodeOutput.IN_MIS
+        assert ALG.output(5, K) is NodeOutput.NOT_IN_MIS
+        assert ALG.output(2, K) is NodeOutput.UNDECIDED
+
+
+class TestConflictResolution:
+    def test_adjacent_members_mutually_retreat(self):
+        """Two adjacent corrupted 0-vertices both hear beep₂ and leave."""
+        g = Graph(2, [(0, 1)])
+        policy = uniform_policy(g, 4)
+        network = BeepingNetwork(
+            g, ALG, policy.knowledge(g), seed=0, initial_states=[0, 0]
+        )
+        network.step()
+        assert network.states == (4, 4)
+
+    def test_member_silences_competitor(self):
+        g = Graph(2, [(0, 1)])
+        policy = uniform_policy(g, 4)
+        network = BeepingNetwork(
+            g, ALG, policy.knowledge(g), seed=0, initial_states=[0, 2]
+        )
+        network.step()
+        assert network.states[0] == 0
+        assert network.states[1] == 4
+
+
+class TestSmallGraphDynamics:
+    @pytest.mark.parametrize("name,graph", small_graph_zoo())
+    def test_stabilizes_from_fresh_start(self, name, graph):
+        policy = neighborhood_degree_policy(graph, c1=4)
+        network = BeepingNetwork(graph, ALG, policy.knowledge(graph), seed=5)
+        result = run_until_stable(network, max_rounds=5000)
+        assert result.stabilized, name
+        assert check_mis(graph, result.mis) is None, name
+
+    @pytest.mark.parametrize("name,graph", small_graph_zoo())
+    def test_stabilizes_from_arbitrary_start(self, name, graph):
+        policy = neighborhood_degree_policy(graph, c1=4)
+        algorithm = TwoChannelMIS()
+        rng = np.random.default_rng(29)
+        knowledge = policy.knowledge(graph)
+        initial = [algorithm.random_state(k, rng) for k in knowledge]
+        network = BeepingNetwork(
+            graph, algorithm, knowledge, seed=rng, initial_states=initial
+        )
+        result = run_until_stable(network, max_rounds=5000)
+        assert result.stabilized, name
+        assert check_mis(graph, result.mis) is None, name

@@ -1,0 +1,140 @@
+"""Tests for the downstream applications (coloring, matching, clustering)."""
+
+import pytest
+
+from repro.apps.clustering import elect_clusters
+from repro.apps.coloring import iterated_mis_coloring, validate_coloring
+from repro.apps.matching import maximal_matching, validate_matching
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+
+from conftest import small_graph_zoo
+
+
+class TestColoring:
+    @pytest.mark.parametrize("name,graph", small_graph_zoo())
+    def test_proper_coloring_at_most_delta_plus_one(self, name, graph):
+        result = iterated_mis_coloring(graph, seed=1, c1=4)
+        assert validate_coloring(graph, result.colors) is None, name
+        assert result.num_colors <= graph.max_degree() + 1, name
+        assert len(result.colors) == graph.num_vertices
+
+    def test_color_classes_partition(self, er_graph):
+        result = iterated_mis_coloring(er_graph, seed=2, c1=4)
+        classes = result.color_classes()
+        flat = sorted(v for cls in classes for v in cls)
+        assert flat == list(er_graph.vertices())
+        # First class is the first MIS → independent.
+        from repro.graphs.mis import is_independent_set
+
+        for cls in classes:
+            assert is_independent_set(er_graph, cls)
+
+    def test_bipartite_uses_few_colors(self):
+        g = gen.complete_bipartite(4, 5)
+        result = iterated_mis_coloring(g, seed=3, c1=4)
+        assert result.num_colors == 2
+
+    def test_complete_graph_needs_n_colors(self):
+        g = gen.complete(5)
+        result = iterated_mis_coloring(g, seed=4, c1=4)
+        assert result.num_colors == 5
+
+    def test_empty_graph_one_color(self):
+        result = iterated_mis_coloring(Graph(4), seed=5, c1=4)
+        assert result.num_colors == 1
+        assert result.phases == 1
+
+    def test_null_graph(self):
+        result = iterated_mis_coloring(Graph(0), seed=6, c1=4)
+        assert result.num_colors == 0
+
+    def test_seed_determinism(self, er_graph):
+        a = iterated_mis_coloring(er_graph, seed=7, c1=4)
+        b = iterated_mis_coloring(er_graph, seed=7, c1=4)
+        assert a.colors == b.colors
+
+    def test_validate_reports_conflict(self, triangle):
+        assert validate_coloring(triangle, [0, 0, 1]) == (0, 1)
+        assert validate_coloring(triangle, [0, 1, 2]) is None
+
+    def test_rounds_accumulated(self, er_graph):
+        result = iterated_mis_coloring(er_graph, seed=8, c1=4)
+        assert result.total_rounds > 0
+        assert result.phases >= 2
+
+
+class TestMatching:
+    @pytest.mark.parametrize("name,graph", small_graph_zoo())
+    def test_maximal_matching_everywhere(self, name, graph):
+        result = maximal_matching(graph, seed=1, c1=4)
+        assert validate_matching(graph, result.matching) is None, name
+
+    def test_edgeless_graph(self):
+        result = maximal_matching(Graph(5), seed=2, c1=4)
+        assert result.matching == ()
+        assert result.rounds == 0
+
+    def test_perfect_on_even_path(self):
+        # P_2: single edge must be matched.
+        result = maximal_matching(gen.path(2), seed=3, c1=4)
+        assert result.matching == ((0, 1),)
+
+    def test_star_matches_exactly_one_edge(self, star6):
+        result = maximal_matching(star6, seed=4, c1=4)
+        assert result.size == 1
+
+    def test_matched_vertices(self, er_graph):
+        result = maximal_matching(er_graph, seed=5, c1=4)
+        assert len(result.matched_vertices()) == 2 * result.size
+
+    def test_validator_catches_violations(self, path4):
+        assert "not an edge" in validate_matching(path4, [(0, 2)])
+        assert "reused" in validate_matching(path4, [(0, 1), (1, 2)])
+        assert "not maximal" in validate_matching(path4, [(0, 1)])
+
+    def test_matching_at_least_half_of_maximum_on_paths(self):
+        # Any maximal matching is a 2-approximation of maximum.
+        g = gen.path(20)
+        result = maximal_matching(g, seed=6, c1=4)
+        assert result.size >= 5  # maximum is 10
+
+
+class TestClustering:
+    @pytest.mark.parametrize("name,graph", small_graph_zoo())
+    def test_every_vertex_assigned(self, name, graph):
+        clustering = elect_clusters(graph, seed=1, c1=4)
+        for v in graph.vertices():
+            head = clustering.head_of[v]
+            assert head in clustering.heads
+            assert head == v or graph.has_edge(v, head)
+
+    def test_heads_are_their_own_heads(self, er_graph):
+        clustering = elect_clusters(er_graph, seed=2, c1=4)
+        for head in clustering.heads:
+            assert clustering.head_of[head] == head
+
+    def test_cluster_sizes_sum_to_n(self, er_graph):
+        clustering = elect_clusters(er_graph, seed=3, c1=4)
+        assert sum(clustering.cluster_sizes().values()) == er_graph.num_vertices
+        assert clustering.max_cluster_size() >= 1
+
+    def test_members_listing(self, star6):
+        clustering = elect_clusters(star6, seed=4, c1=4)
+        if 0 in clustering.heads:
+            assert clustering.members(0) == list(range(6))
+        else:
+            assert clustering.heads == frozenset(range(1, 6))
+
+    def test_members_requires_head(self, er_graph):
+        clustering = elect_clusters(er_graph, seed=5, c1=4)
+        non_head = next(
+            v for v in er_graph.vertices() if v not in clustering.heads
+        )
+        with pytest.raises(ValueError):
+            clustering.members(non_head)
+
+    def test_isolated_vertices_become_heads(self):
+        g = Graph(3, [(0, 1)])
+        clustering = elect_clusters(g, seed=6, c1=4)
+        assert 2 in clustering.heads

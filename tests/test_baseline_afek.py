@@ -1,0 +1,101 @@
+"""Tests for the Afek-style doubling-probability baseline."""
+
+import pytest
+
+from repro.baselines.afek import ACTIVE, AfekState, AfekStylePhaseMIS, IN_MIS, OUT, WINNER
+from repro.beeping.algorithm import LocalKnowledge, NodeOutput
+from repro.beeping.network import BeepingNetwork
+from repro.beeping.simulator import run_until_stable
+from repro.graphs import generators as gen
+from repro.graphs.mis import check_mis
+
+from conftest import small_graph_zoo
+
+
+def knowledge_for(graph, n_upper=None):
+    n_upper = n_upper or max(graph.num_vertices, 2)
+    return [LocalKnowledge(n_upper=n_upper) for _ in graph.vertices()]
+
+
+def make_network(graph, seed=0, n_upper=None, beta=2.0):
+    return BeepingNetwork(
+        graph, AfekStylePhaseMIS(beta=beta), knowledge_for(graph, n_upper), seed=seed
+    )
+
+
+class TestScheduleGeometry:
+    def test_knowledge_required(self):
+        alg = AfekStylePhaseMIS()
+        with pytest.raises(ValueError, match="n_upper"):
+            alg.fresh_state(LocalKnowledge())
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            AfekStylePhaseMIS(beta=0)
+
+    def test_schedule_is_theta_log_squared(self):
+        alg = AfekStylePhaseMIS(beta=2.0)
+        k = LocalKnowledge(n_upper=1024)  # log2 = 10
+        assert alg.steps_per_epoch(k) == 20
+        assert alg.num_epochs(k) == 11
+        assert alg.schedule_length(k) == 220
+
+    def test_probability_doubles_per_epoch_capped(self):
+        alg = AfekStylePhaseMIS(beta=1.0)
+        k = LocalKnowledge(n_upper=64)  # 6 bits → steps_per_epoch = 6
+        p0 = alg.exchange_probability(0, k)
+        p1 = alg.exchange_probability(6, k)
+        assert p1 == pytest.approx(2 * p0)
+        # Deep epochs cap at 1/2.
+        assert alg.exchange_probability(6 * 6, k) == 0.5
+
+    def test_position_wraps(self):
+        alg = AfekStylePhaseMIS(beta=1.0)
+        k = LocalKnowledge(n_upper=4)
+        last = alg.schedule_length(k) - 1
+        state = AfekState(ACTIVE, last, 1)
+        after = alg.step(state, (False,), (True,), k)
+        assert after.position == 0
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name,graph", small_graph_zoo())
+    def test_terminates_with_valid_mis(self, name, graph):
+        network = make_network(graph, seed=2)
+        result = run_until_stable(network, max_rounds=20_000)
+        assert result.stabilized, name
+        assert check_mis(graph, result.mis) is None, name
+
+    def test_loose_upper_bound_still_correct(self, er_graph):
+        network = make_network(er_graph, seed=3, n_upper=10_000)
+        result = run_until_stable(network, max_rounds=60_000)
+        assert result.stabilized
+        assert check_mis(er_graph, result.mis) is None
+
+    def test_outputs(self):
+        alg = AfekStylePhaseMIS()
+        k = LocalKnowledge(n_upper=8)
+        assert alg.output(AfekState(IN_MIS, 0, 0), k) is NodeOutput.IN_MIS
+        assert alg.output(AfekState(OUT, 0, 0), k) is NodeOutput.NOT_IN_MIS
+        assert alg.output(AfekState(ACTIVE, 0, 0), k) is NodeOutput.UNDECIDED
+
+
+class TestShapeVsJeavons:
+    def test_slower_than_jeavons_on_same_graph(self):
+        """The doubling schedule starts near p = 1/N, so it takes a
+        log-factor longer than Jeavons — the E6 shape claim."""
+        from repro.baselines.jeavons import JeavonsMIS
+
+        graph = gen.erdos_renyi_mean_degree(100, 6.0, seed=4)
+        afek_rounds, jeavons_rounds = [], []
+        for seed in range(3):
+            net = make_network(graph, seed=seed)
+            afek_rounds.append(run_until_stable(net, max_rounds=60_000).rounds)
+            jnet = BeepingNetwork(
+                graph,
+                JeavonsMIS(),
+                [LocalKnowledge() for _ in graph.vertices()],
+                seed=seed,
+            )
+            jeavons_rounds.append(run_until_stable(jnet, max_rounds=4000).rounds)
+        assert min(afek_rounds) > max(jeavons_rounds)

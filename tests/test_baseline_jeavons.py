@@ -1,0 +1,141 @@
+"""Tests for the Jeavons–Scott–Xu baseline (clean-start correctness and
+the documented non-self-stabilization failure modes)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.jeavons import (
+    ACTIVE,
+    IN_MIS,
+    OUT,
+    WINNER,
+    JeavonsMIS,
+    JeavonsState,
+)
+from repro.beeping.algorithm import LocalKnowledge, NodeOutput
+from repro.beeping.network import BeepingNetwork
+from repro.beeping.simulator import run_until_stable
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.graphs.mis import check_mis
+
+from conftest import small_graph_zoo
+
+
+ALG = JeavonsMIS()
+K = LocalKnowledge()
+
+
+def make_network(graph, seed=0, initial_states=None):
+    knowledge = [LocalKnowledge() for _ in graph.vertices()]
+    return BeepingNetwork(
+        graph, ALG, knowledge, seed=seed, initial_states=initial_states
+    )
+
+
+class TestUnitBehaviour:
+    def test_fresh_state(self):
+        state = ALG.fresh_state(K)
+        assert state == JeavonsState(ACTIVE, 0, 1, False)
+
+    def test_exchange_beep_probability_half(self):
+        state = ALG.fresh_state(K)
+        assert ALG.beeps(state, K, 0.49) == (True,)
+        assert ALG.beeps(state, K, 0.51) == (False,)
+
+    def test_winner_notifies(self):
+        winner = JeavonsState(WINNER, 1, 1, False)
+        assert ALG.beeps(winner, K, 0.99) == (True,)
+
+    def test_decided_states_silent(self):
+        for role in (IN_MIS, OUT):
+            for phase in (0, 1):
+                state = JeavonsState(role, phase, 1, False)
+                assert ALG.beeps(state, K, 0.0) == (False,)
+
+    def test_solo_exchange_beep_wins(self):
+        state = ALG.fresh_state(K)
+        after = ALG.step(state, (True,), (False,), K)
+        assert after.role == WINNER and after.phase == 1
+
+    def test_probability_adaptation(self):
+        # Heard a beep in exchange → p halves at the end of the phase.
+        s = JeavonsState(ACTIVE, 1, exponent=2, heard_exchange=True)
+        assert ALG.step(s, (False,), (False,), K).exponent == 3
+        # Silent exchange → p doubles, capped at 1/2 (exponent >= 1).
+        s = JeavonsState(ACTIVE, 1, exponent=1, heard_exchange=False)
+        assert ALG.step(s, (False,), (False,), K).exponent == 1
+
+    def test_notification_eliminates_neighbor(self):
+        s = JeavonsState(ACTIVE, 1, 1, False)
+        assert ALG.step(s, (False,), (True,), K).role == OUT
+
+    def test_winner_becomes_mis(self):
+        s = JeavonsState(WINNER, 1, 1, False)
+        assert ALG.step(s, (True,), (False,), K).role == IN_MIS
+
+    def test_outputs(self):
+        assert ALG.output(JeavonsState(IN_MIS, 0, 1, False), K) is NodeOutput.IN_MIS
+        assert ALG.output(JeavonsState(OUT, 0, 1, False), K) is NodeOutput.NOT_IN_MIS
+        assert ALG.output(JeavonsState(ACTIVE, 0, 1, False), K) is NodeOutput.UNDECIDED
+
+
+class TestCleanStartCorrectness:
+    @pytest.mark.parametrize("name,graph", small_graph_zoo())
+    def test_terminates_with_valid_mis(self, name, graph):
+        network = make_network(graph, seed=3)
+        result = run_until_stable(network, max_rounds=4000)
+        assert result.stabilized, name
+        assert check_mis(graph, result.mis) is None, name
+
+    def test_round_count_reasonable(self, er_graph):
+        rounds = []
+        for seed in range(5):
+            network = make_network(er_graph, seed=seed)
+            result = run_until_stable(network, max_rounds=4000)
+            assert result.stabilized
+            rounds.append(result.rounds)
+        # O(log n) regime: double-digit rounds for n = 80, not hundreds.
+        assert max(rounds) < 200
+
+
+class TestNonSelfStabilization:
+    def test_adjacent_mis_corruption_is_permanent(self):
+        """Two adjacent vertices corrupted into the MIS state stay there:
+        decided states are silent and absorbing, so the configuration
+        never becomes legal — the failure Algorithm 1 fixes."""
+        g = Graph(2, [(0, 1)])
+        bad = JeavonsState(IN_MIS, 0, 1, False)
+        network = make_network(g, seed=1, initial_states=[bad, bad])
+        result = run_until_stable(network, max_rounds=500)
+        assert not result.stabilized
+
+    def test_all_out_corruption_is_permanent(self):
+        """Everyone corrupted to non-member: nobody ever joins again."""
+        g = gen.path(4)
+        bad = JeavonsState(OUT, 0, 1, False)
+        network = make_network(g, seed=1, initial_states=[bad] * 4)
+        result = run_until_stable(network, max_rounds=500)
+        assert not result.stabilized
+
+    def test_phase_desynchronization_breaks_the_star(self):
+        """The modulo-2 synchronization failure the paper removes: start
+        the hub of a star one phase *ahead* of its leaves (hub = WINNER
+        about to notify, leaves in their exchange round).  The leaves
+        interpret the notification as exchange noise and never learn the
+        hub joined; since the hub is silent afterwards, every leaf
+        eventually beeps alone and joins the MIS too — the final set
+        contains the hub and its leaves, which is not independent, so the
+        run never reaches a legal configuration."""
+        g = gen.star(6)
+        states = [JeavonsState(WINNER, 1, 1, False)] + [
+            JeavonsState(ACTIVE, 0, 1, False) for _ in range(5)
+        ]
+        for seed in range(5):
+            network = make_network(g, seed=seed, initial_states=states)
+            result = run_until_stable(network, max_rounds=600)
+            assert not result.stabilized
+            # The hub decided IN_MIS and at least one leaf joined too.
+            roles = [s.role for s in network.states]
+            assert roles[0] == IN_MIS
+            assert IN_MIS in roles[1:]

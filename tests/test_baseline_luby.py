@@ -1,0 +1,47 @@
+"""Tests for the Luby message-passing reference baseline."""
+
+import pytest
+
+from repro.baselines.luby import luby_mis
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.graphs.mis import check_mis
+
+from conftest import small_graph_zoo
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name,graph", small_graph_zoo())
+    def test_valid_mis_everywhere(self, name, graph):
+        result = luby_mis(graph, seed=1)
+        assert check_mis(graph, result.mis) is None, name
+
+    def test_empty_graph(self):
+        result = luby_mis(Graph(0), seed=0)
+        assert result.mis == frozenset() and result.rounds == 0
+
+    def test_edgeless_graph_one_round(self):
+        result = luby_mis(Graph(5), seed=0)
+        assert result.mis == {0, 1, 2, 3, 4}
+        assert result.rounds == 1
+
+    def test_complete_graph_one_winner(self):
+        result = luby_mis(gen.complete(30), seed=2)
+        assert len(result.mis) == 1
+
+
+class TestBehaviour:
+    def test_seeded_determinism(self, er_graph):
+        a = luby_mis(er_graph, seed=9)
+        b = luby_mis(er_graph, seed=9)
+        assert a.mis == b.mis and a.rounds == b.rounds
+
+    def test_round_counts_logarithmic_regime(self):
+        g = gen.erdos_renyi_mean_degree(400, 8.0, seed=3)
+        result = luby_mis(g, seed=4)
+        # log2(400) ≈ 8.6; Luby finishes within a small multiple.
+        assert result.rounds <= 30
+
+    def test_max_rounds_guard(self, er_graph):
+        with pytest.raises(RuntimeError):
+            luby_mis(er_graph, seed=1, max_rounds=0)

@@ -1,0 +1,60 @@
+"""Smoke tests: every example script runs to completion at small scale.
+
+Examples are user-facing documentation; a broken one is a bug.  Each is
+executed as a subprocess with a reduced problem size to keep the suite
+fast.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", ["80"], ["stabilized after", "|MIS|"]),
+    (
+        "wireless_sensor_clustering.py",
+        ["120"],
+        ["cluster heads elected", "re-stabilized"],
+    ),
+    ("fault_recovery.py", ["80"], ["recovery rounds", "certified MIS"]),
+    ("tdma_slot_assignment.py", ["60"], ["TDMA schedule", "link schedule"]),
+    ("engine_comparison.py", [], ["IDENTICAL", "Engine throughput"]),
+    ("fly_neural_selection.py", ["6", "12"], ["SOP pattern", "re-selected"]),
+]
+
+
+@pytest.mark.parametrize("script,args,expected", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, args, expected):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr
+    for needle in expected:
+        assert needle in completed.stdout, (script, needle)
+
+
+def test_two_channel_pipeline_importable():
+    """two_channel_pipeline sweeps several sizes (slower); only check it
+    imports and its helper works at tiny scale."""
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    try:
+        import importlib
+
+        module = importlib.import_module("two_channel_pipeline")
+        from repro.core import own_degree_policy, simulate_single
+        from repro.graphs import generators
+
+        graph = generators.barabasi_albert(32, 3, seed=1)
+        summary = module.measure(
+            graph, simulate_single, own_degree_policy(graph, c1=4), [1, 2]
+        )
+        assert summary.count == 2
+    finally:
+        sys.path.pop(0)

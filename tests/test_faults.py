@@ -1,0 +1,146 @@
+"""Tests for the transient-fault injection machinery."""
+
+import numpy as np
+import pytest
+
+from repro.beeping.faults import (
+    AdversarialPattern,
+    BernoulliCorruption,
+    FaultSchedule,
+    RandomCorruption,
+    TargetedCorruption,
+    random_states,
+)
+from repro.beeping.network import BeepingNetwork
+from repro.beeping.simulator import run_until_stable
+from repro.core.algorithm_single import SelfStabilizingMIS
+from repro.core.knowledge import max_degree_policy
+from repro.graphs import generators as gen
+from repro.graphs.mis import check_mis
+
+
+def make_network(graph, seed=0, c1=4):
+    policy = max_degree_policy(graph, c1=c1)
+    return BeepingNetwork(
+        graph, SelfStabilizingMIS(), policy.knowledge(graph), seed=seed
+    )
+
+
+def stabilize(network, budget=20_000):
+    result = run_until_stable(network, max_rounds=budget)
+    assert result.stabilized
+    return result
+
+
+class TestCorruptionModels:
+    def test_random_states_in_universe(self, er_graph):
+        policy = max_degree_policy(er_graph, c1=4)
+        states = random_states(
+            SelfStabilizingMIS(), policy.knowledge(er_graph), seed=1
+        )
+        e = policy.ell_max[0]
+        assert all(-e <= s <= e for s in states)
+
+    def test_random_corruption_replaces_everything(self, er_graph):
+        network = make_network(er_graph)
+        rng = np.random.default_rng(2)
+        RandomCorruption().apply(network, rng)
+        # Fresh states are all 1; after corruption most are not.
+        assert sum(1 for s in network.states if s != 1) > 40
+
+    def test_bernoulli_rho_zero_is_noop(self, er_graph):
+        network = make_network(er_graph)
+        before = network.states
+        BernoulliCorruption(0.0).apply(network, np.random.default_rng(3))
+        assert network.states == before
+
+    def test_bernoulli_rho_validated(self):
+        with pytest.raises(ValueError):
+            BernoulliCorruption(1.5)
+
+    def test_bernoulli_partial(self, er_graph):
+        network = make_network(er_graph)
+        BernoulliCorruption(0.3).apply(network, np.random.default_rng(4))
+        changed = sum(1 for s in network.states if s != 1)
+        # ~24 of 80 expected; allow generous slack but demand partiality.
+        assert 5 < changed < 60
+
+    def test_targeted(self, path4):
+        network = make_network(path4)
+        TargetedCorruption(vertices=(2,)).apply(network, np.random.default_rng(1))
+        assert network.states[0] == 1 and network.states[1] == 1
+
+    def test_adversarial_patterns(self, er_graph):
+        network = make_network(er_graph)
+        e = network.knowledge[0].ell_max
+        AdversarialPattern.all_silent().apply(network, np.random.default_rng(0))
+        assert all(s == e for s in network.states)
+        AdversarialPattern.all_prominent().apply(network, np.random.default_rng(0))
+        assert all(s == -e for s in network.states)
+        AdversarialPattern.threshold().apply(network, np.random.default_rng(0))
+        assert all(s == e - 1 for s in network.states)
+
+
+class TestRecovery:
+    @pytest.mark.parametrize(
+        "fault",
+        [
+            RandomCorruption(),
+            BernoulliCorruption(0.5),
+            AdversarialPattern.all_silent(),
+            AdversarialPattern.all_prominent(),
+            AdversarialPattern.threshold(),
+        ],
+        ids=["random", "bernoulli", "all_silent", "all_prominent", "threshold"],
+    )
+    def test_recovers_from_any_corruption(self, er_graph, fault):
+        """Self-stabilization: stabilize, corrupt, stabilize again."""
+        network = make_network(er_graph, seed=5)
+        stabilize(network)
+        fault.apply(network, np.random.default_rng(6))
+        result = stabilize(network)
+        assert check_mis(er_graph, result.mis) is None
+
+    def test_recovery_after_targeted_single_fault(self, er_graph):
+        """Corrupting one vertex out of a legal configuration recovers,
+        possibly to a different MIS."""
+        network = make_network(er_graph, seed=7)
+        stabilize(network)
+        TargetedCorruption(vertices=(0,)).apply(network, np.random.default_rng(8))
+        result = stabilize(network)
+        assert check_mis(er_graph, result.mis) is None
+
+
+class TestFaultSchedule:
+    def test_events_sorted(self):
+        schedule = FaultSchedule(
+            events=((30, RandomCorruption()), (10, BernoulliCorruption(0.1)))
+        )
+        assert [when for when, _ in schedule.events] == [10, 30]
+        assert schedule.last_fault_round == 30
+
+    def test_empty_schedule(self):
+        assert FaultSchedule(events=()).last_fault_round == -1
+
+    def test_maybe_fire(self, path4):
+        network = make_network(path4)
+        schedule = FaultSchedule(events=((2, AdversarialPattern.all_silent()),))
+        rng = np.random.default_rng(0)
+        assert not schedule.maybe_fire(0, network, rng)
+        assert schedule.maybe_fire(2, network, rng)
+        assert all(s == network.knowledge[0].ell_max for s in network.states)
+
+    def test_run_with_faults_measures_suffix(self, er_graph):
+        network = make_network(er_graph, seed=9)
+        schedule = FaultSchedule(
+            events=(
+                (5, BernoulliCorruption(0.3)),
+                (15, RandomCorruption()),
+            )
+        )
+        stabilized, recovery = schedule.run_with_faults(
+            network, max_rounds=20_000, seed=10
+        )
+        assert stabilized
+        assert recovery >= 0
+        assert network.is_legal()

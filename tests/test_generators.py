@@ -1,0 +1,255 @@
+"""Unit tests for the graph generators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.properties import (
+    connected_components,
+    is_connected,
+    triangle_count,
+)
+
+
+class TestDeterministicFamilies:
+    def test_empty(self):
+        g = gen.empty(4)
+        assert g.num_vertices == 4 and g.num_edges == 0
+
+    def test_path(self):
+        g = gen.path(5)
+        assert g.num_edges == 4
+        assert g.degree(0) == g.degree(4) == 1
+        assert all(g.degree(v) == 2 for v in (1, 2, 3))
+
+    def test_path_trivial(self):
+        assert gen.path(1).num_edges == 0
+        assert gen.path(0).num_vertices == 0
+
+    def test_cycle(self):
+        g = gen.cycle(6)
+        assert g.num_edges == 6
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            gen.cycle(2)
+
+    def test_star(self):
+        g = gen.star(7)
+        assert g.degree(0) == 6
+        assert all(g.degree(v) == 1 for v in range(1, 7))
+
+    def test_complete(self):
+        g = gen.complete(6)
+        assert g.num_edges == 15
+        assert all(g.degree(v) == 5 for v in g.vertices())
+
+    def test_complete_bipartite(self):
+        g = gen.complete_bipartite(2, 3)
+        assert g.num_edges == 6
+        assert not g.has_edge(0, 1)  # within left part
+        assert not g.has_edge(2, 3)  # within right part
+        assert g.has_edge(0, 2)
+
+    def test_grid(self):
+        g = gen.grid_2d(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert g.degree(0) == 2  # corner
+        assert g.degree(5) == 4  # interior
+
+    def test_torus_regular(self):
+        g = gen.torus_2d(4, 5)
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+    def test_torus_too_small(self):
+        with pytest.raises(ValueError):
+            gen.torus_2d(2, 5)
+
+    def test_triangular_lattice_has_triangles(self):
+        g = gen.triangular_lattice(4, 4)
+        assert triangle_count(g) > 0
+        assert is_connected(g)
+
+    def test_binary_tree(self):
+        g = gen.binary_tree(3)
+        assert g.num_vertices == 15
+        assert g.num_edges == 14
+        assert is_connected(g)
+        assert g.degree(0) == 2  # root
+
+    def test_binary_tree_depth0(self):
+        assert gen.binary_tree(0).num_vertices == 1
+
+    def test_hypercube(self):
+        g = gen.hypercube(4)
+        assert g.num_vertices == 16
+        assert all(g.degree(v) == 4 for v in g.vertices())
+        assert is_connected(g)
+
+    def test_caterpillar(self):
+        g = gen.caterpillar(4, 2)
+        assert g.num_vertices == 4 + 8
+        assert g.num_edges == 3 + 8
+        assert is_connected(g)
+
+    def test_lollipop(self):
+        g = gen.lollipop(4, 3)
+        assert g.num_vertices == 7
+        assert g.num_edges == 6 + 3
+        assert is_connected(g)
+
+    def test_barbell(self):
+        g = gen.barbell(4, 2)
+        assert g.num_vertices == 10
+        assert is_connected(g)
+        assert g.num_edges == 2 * 6 + 3
+
+
+class TestRandomFamilies:
+    def test_er_reproducible(self):
+        a = gen.erdos_renyi(50, 0.1, seed=7)
+        b = gen.erdos_renyi(50, 0.1, seed=7)
+        assert a == b
+
+    def test_er_different_seeds_differ(self):
+        a = gen.erdos_renyi(50, 0.1, seed=7)
+        b = gen.erdos_renyi(50, 0.1, seed=8)
+        assert a != b
+
+    def test_er_edge_count_plausible(self):
+        n, p = 200, 0.05
+        g = gen.erdos_renyi(n, p, seed=1)
+        expected = p * n * (n - 1) / 2
+        assert 0.5 * expected < g.num_edges < 1.5 * expected
+
+    def test_er_extremes(self):
+        assert gen.erdos_renyi(10, 0.0, seed=1).num_edges == 0
+        assert gen.erdos_renyi(6, 1.0, seed=1).num_edges == 15
+
+    def test_er_denormal_p_regression(self):
+        # Regression (found by the stateful fuzzer): denormally small p
+        # made the geometric skip length overflow float range.
+        for p in (5e-324, 1e-300, 1e-18):
+            assert gen.erdos_renyi(12, p, seed=1).num_edges == 0
+
+    def test_er_invalid_p(self):
+        with pytest.raises(ValueError):
+            gen.erdos_renyi(10, 1.5)
+
+    def test_er_mean_degree(self):
+        g = gen.erdos_renyi_mean_degree(300, 10.0, seed=2)
+        mean = 2 * g.num_edges / g.num_vertices
+        assert 8.0 < mean < 12.0
+
+    def test_random_regular(self):
+        g = gen.random_regular(20, 4, seed=3)
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+    def test_random_regular_parity_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            gen.random_regular(5, 3)
+
+    def test_random_regular_degree_bounds(self):
+        with pytest.raises(ValueError):
+            gen.random_regular(4, 4)
+        assert gen.random_regular(5, 0).num_edges == 0
+
+    def test_random_bipartite(self):
+        g = gen.random_bipartite(10, 12, 0.3, seed=4)
+        for u, v in g.edges:
+            assert (u < 10) != (v < 10)
+
+    def test_barabasi_albert(self):
+        g = gen.barabasi_albert(100, 3, seed=5)
+        assert g.num_vertices == 100
+        assert is_connected(g)
+        # Every non-seed vertex attached with exactly m distinct edges.
+        assert g.num_edges == 3 + 3 * (100 - 4)
+        # Scale-free skew: max degree far above m.
+        assert g.max_degree() >= 9
+
+    def test_barabasi_albert_invalid(self):
+        with pytest.raises(ValueError):
+            gen.barabasi_albert(5, 5)
+
+    def test_power_law_cluster(self):
+        g = gen.power_law_cluster(100, 3, 0.8, seed=6)
+        low = gen.power_law_cluster(100, 3, 0.0, seed=6)
+        assert g.num_vertices == 100
+        assert triangle_count(g) > triangle_count(low) * 0.5  # clustering knob works
+
+    def test_unit_disk_radius_monotone(self):
+        sparse = gen.unit_disk(100, 0.05, seed=7)
+        dense = gen.unit_disk(100, 0.3, seed=7)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_unit_disk_distances_respected(self):
+        # With r covering the whole square every pair is connected.
+        g = gen.unit_disk(15, 2.0, seed=8)
+        assert g.num_edges == 15 * 14 // 2
+
+    def test_watts_strogatz_ring_degrees(self):
+        g = gen.watts_strogatz(30, 4, 0.0, seed=1)
+        assert all(g.degree(v) == 4 for v in g.vertices())
+        assert g.num_edges == 60
+
+    def test_watts_strogatz_rewiring_preserves_edge_count(self):
+        base = gen.watts_strogatz(40, 4, 0.0, seed=2)
+        rewired = gen.watts_strogatz(40, 4, 0.5, seed=2)
+        assert rewired.num_edges == base.num_edges
+        assert rewired != base
+
+    def test_watts_strogatz_validation(self):
+        with pytest.raises(ValueError):
+            gen.watts_strogatz(10, 3, 0.1)  # odd k
+        with pytest.raises(ValueError):
+            gen.watts_strogatz(4, 4, 0.1)  # k >= n
+        with pytest.raises(ValueError):
+            gen.watts_strogatz(10, 4, 1.5)  # bad p
+
+    def test_complete_multipartite(self):
+        g = gen.complete_multipartite([2, 3])
+        assert g == gen.complete_bipartite(2, 3)
+        g3 = gen.complete_multipartite([2, 2, 2])
+        assert g3.num_edges == 12
+        assert not g3.has_edge(0, 1)
+        assert g3.has_edge(0, 2)
+
+    def test_complete_multipartite_empty_parts(self):
+        assert gen.complete_multipartite([0, 3, 0]).num_edges == 0
+
+    def test_wheel(self):
+        g = gen.wheel(6)
+        assert g.degree(0) == 5  # hub
+        assert all(g.degree(v) == 3 for v in range(1, 6))
+        with pytest.raises(ValueError):
+            gen.wheel(3)
+
+    def test_random_tree_is_tree(self):
+        g = gen.random_tree(40, seed=9)
+        assert g.num_edges == 39
+        assert is_connected(g)
+
+    def test_random_tree_small(self):
+        assert gen.random_tree(1).num_vertices == 1
+        assert gen.random_tree(2).num_edges == 1
+
+
+class TestByName:
+    @pytest.mark.parametrize("name", gen.FAMILY_NAMES)
+    def test_all_families_buildable(self, name):
+        g = gen.by_name(name, 30, seed=11)
+        assert g.num_vertices >= 16  # roughly the requested size
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown graph family"):
+            gen.by_name("nope", 10)
+
+    def test_generator_object_accepted(self):
+        rng = np.random.default_rng(0)
+        g = gen.erdos_renyi(20, 0.2, seed=rng)
+        assert g.num_vertices == 20

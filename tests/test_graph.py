@@ -1,0 +1,125 @@
+"""Unit tests for the core Graph type."""
+
+import pytest
+
+from repro.graphs.graph import Graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph(0)
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert list(g.vertices()) == []
+
+    def test_isolated_vertices(self):
+        g = Graph(5)
+        assert g.num_vertices == 5
+        assert all(g.degree(v) == 0 for v in g.vertices())
+        assert g.max_degree() == 0
+
+    def test_basic_edges(self, triangle):
+        assert triangle.num_edges == 3
+        assert triangle.degree(0) == 2
+        assert triangle.neighbors(1) == (0, 2)
+
+    def test_duplicate_edges_collapsed(self):
+        g = Graph(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+        assert g.degree(0) == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self loop"):
+            Graph(2, [(1, 1)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Graph(2, [(0, 2)])
+        with pytest.raises(ValueError, match="out of range"):
+            Graph(2, [(-1, 0)])
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(-1)
+
+    def test_edges_are_canonical_and_sorted(self):
+        g = Graph(4, [(3, 0), (2, 1)])
+        assert g.edges == ((0, 3), (1, 2))
+
+
+class TestAccessors:
+    def test_neighbors_sorted(self):
+        g = Graph(5, [(2, 4), (2, 0), (2, 3), (2, 1)])
+        assert g.neighbors(2) == (0, 1, 3, 4)
+
+    def test_closed_neighborhood(self, path4):
+        assert path4.closed_neighborhood(1) == (0, 1, 2)
+        assert path4.closed_neighborhood(0) == (0, 1)
+
+    def test_closed_neighborhood_isolated(self):
+        g = Graph(2)
+        assert g.closed_neighborhood(0) == (0,)
+
+    def test_degrees_tuple(self, star6):
+        assert star6.degrees() == (5, 1, 1, 1, 1, 1)
+        assert star6.max_degree() == 5
+
+    def test_has_edge(self, triangle, path4):
+        assert triangle.has_edge(0, 2)
+        assert triangle.has_edge(2, 0)
+        assert not path4.has_edge(0, 2)
+        assert not path4.has_edge(1, 1)
+
+    def test_len_and_iter(self, path4):
+        assert len(path4) == 4
+        assert list(path4) == [0, 1, 2, 3]
+
+
+class TestEqualityHash:
+    def test_equal_graphs(self):
+        a = Graph(3, [(0, 1), (1, 2)])
+        b = Graph(3, [(1, 2), (1, 0)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal_by_edges(self):
+        assert Graph(3, [(0, 1)]) != Graph(3, [(1, 2)])
+
+    def test_unequal_by_size(self):
+        assert Graph(3, [(0, 1)]) != Graph(4, [(0, 1)])
+
+    def test_repr(self, triangle):
+        assert repr(triangle) == "Graph(n=3, m=3)"
+
+
+class TestDerived:
+    def test_from_adjacency(self):
+        g = Graph.from_adjacency({0: [1, 2], 1: [0], 2: [0], 4: []})
+        assert g.num_vertices == 5
+        assert g.num_edges == 2
+        assert g.degree(3) == 0
+
+    def test_from_adjacency_empty(self):
+        assert Graph.from_adjacency({}).num_vertices == 0
+
+    def test_subgraph_relabels(self, path4):
+        sub = path4.subgraph([1, 2, 3])
+        assert sub.num_vertices == 3
+        assert sub.edges == ((0, 1), (1, 2))
+
+    def test_subgraph_drops_cross_edges(self, triangle):
+        sub = triangle.subgraph([0, 2])
+        assert sub.num_edges == 1
+
+    def test_complement_of_triangle_is_empty(self, triangle):
+        assert triangle.complement().num_edges == 0
+
+    def test_complement_involution(self, path4):
+        assert path4.complement().complement() == path4
+
+    def test_union_disjoint(self, triangle, path4):
+        g = triangle.union_disjoint(path4)
+        assert g.num_vertices == 7
+        assert g.num_edges == 6
+        assert g.has_edge(3, 4)  # shifted path edge
+        assert not g.has_edge(2, 3)  # no cross edges

@@ -1,0 +1,105 @@
+"""Unit tests for graph serialization and interop."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.graphs.io import (
+    from_edge_list_text,
+    from_networkx,
+    load_edge_list,
+    save_edge_list,
+    to_adjacency_dict,
+    to_edge_list_text,
+    to_networkx,
+    to_sparse_adjacency,
+)
+
+
+class TestEdgeListText:
+    def test_round_trip(self, petersen):
+        assert from_edge_list_text(to_edge_list_text(petersen)) == petersen
+
+    def test_round_trip_with_isolated(self):
+        g = Graph(5, [(0, 1)])
+        restored = from_edge_list_text(to_edge_list_text(g))
+        assert restored.num_vertices == 5  # header preserves isolated nodes
+
+    def test_parse_without_header(self):
+        g = from_edge_list_text("0 1\n1 2\n")
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_comments_and_blanks(self):
+        text = "# a comment\nn 4\n\n0 1  # trailing comment\n2 3\n"
+        g = from_edge_list_text(text)
+        assert g.num_vertices == 4
+        assert g.num_edges == 2
+
+    def test_malformed_line(self):
+        with pytest.raises(ValueError, match="expected"):
+            from_edge_list_text("0 1 2\n")
+
+    def test_malformed_header(self):
+        with pytest.raises(ValueError, match="header"):
+            from_edge_list_text("n\n")
+
+    def test_empty_text(self):
+        g = from_edge_list_text("")
+        assert g.num_vertices == 0
+
+    def test_file_round_trip(self, tmp_path, er_graph):
+        path = tmp_path / "graph.txt"
+        save_edge_list(er_graph, path)
+        assert load_edge_list(path) == er_graph
+
+
+class TestAdjacency:
+    def test_adjacency_dict(self, path4):
+        assert to_adjacency_dict(path4) == {
+            0: (1,),
+            1: (0, 2),
+            2: (1, 3),
+            3: (2,),
+        }
+
+    def test_sparse_adjacency_symmetric(self, petersen):
+        A = to_sparse_adjacency(petersen)
+        assert A.shape == (10, 10)
+        assert (A != A.T).nnz == 0
+        assert A.diagonal().sum() == 0
+        assert A.sum() == 2 * petersen.num_edges
+
+    def test_sparse_adjacency_empty(self):
+        A = to_sparse_adjacency(Graph(3))
+        assert A.shape == (3, 3)
+        assert A.nnz == 0
+
+    def test_sparse_matvec_is_neighborhood_or(self, star6):
+        A = to_sparse_adjacency(star6)
+        beeps = np.zeros(6, dtype=np.int8)
+        beeps[3] = 1  # one leaf beeps
+        heard = A.dot(beeps) > 0
+        assert heard[0] and not heard[3]
+        assert not heard[1]
+
+
+class TestNetworkx:
+    def test_round_trip(self, petersen):
+        pytest.importorskip("networkx")
+        assert from_networkx(to_networkx(petersen)) == petersen
+
+    def test_isolated_preserved(self):
+        pytest.importorskip("networkx")
+        g = Graph(4, [(0, 1)])
+        assert from_networkx(to_networkx(g)).num_vertices == 4
+
+    def test_from_networkx_relabels(self):
+        nx = pytest.importorskip("networkx")
+        h = nx.Graph()
+        h.add_edge(10, 20)
+        h.add_node(15)
+        g = from_networkx(h)
+        assert g.num_vertices == 3
+        assert g.has_edge(0, 2)  # 10 -> 0, 20 -> 2

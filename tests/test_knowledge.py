@@ -1,0 +1,134 @@
+"""Unit tests for the ℓmax knowledge policies."""
+
+import math
+
+import pytest
+
+from repro.core.knowledge import (
+    COROLLARY_23_C1,
+    EllMaxPolicy,
+    KnowledgeModel,
+    THEOREM_21_C1,
+    THEOREM_22_C1,
+    explicit_policy,
+    max_degree_policy,
+    neighborhood_degree_policy,
+    own_degree_policy,
+    uniform_policy,
+)
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.graphs.properties import deg2_all
+
+
+class TestMaxDegreePolicy:
+    def test_uniform_over_vertices(self, er_graph):
+        policy = max_degree_policy(er_graph)
+        assert len(set(policy.ell_max)) == 1
+        assert policy.model is KnowledgeModel.MAX_DEGREE
+
+    def test_theorem_value(self, star6):
+        # Δ = 5 → ceil(log2 5) = 3, + default c1 = 15.
+        policy = max_degree_policy(star6)
+        assert policy.ell_max[0] == 3 + THEOREM_21_C1
+
+    def test_custom_c1(self, star6):
+        assert max_degree_policy(star6, c1=4).ell_max[0] == 7
+
+    def test_slack_loosens_bound(self, star6):
+        tight = max_degree_policy(star6, c1=4)
+        loose = max_degree_policy(star6, c1=4, slack=4.0)
+        assert loose.ell_max[0] > tight.ell_max[0]
+
+    def test_explicit_delta_upper(self, star6):
+        policy = max_degree_policy(star6, c1=4, delta_upper=8)
+        assert policy.ell_max[0] == 3 + 4
+
+    def test_delta_upper_below_true_rejected(self, star6):
+        with pytest.raises(ValueError, match="below"):
+            max_degree_policy(star6, delta_upper=3)
+
+    def test_edgeless_graph(self):
+        policy = max_degree_policy(Graph(4), c1=2)
+        assert all(e == 2 for e in policy.ell_max)
+
+    def test_minimum_two(self):
+        # ℓmax = 1 deadlocks (level 1 = ℓmax never beeps and never drops),
+        # so every policy floors at 2.
+        policy = max_degree_policy(Graph(3), c1=0)
+        assert all(e >= 2 for e in policy.ell_max)
+
+    def test_degenerate_ell_max_one_rejected(self):
+        with pytest.raises(ValueError, match="deadlock"):
+            explicit_policy([1, 3])
+
+
+class TestOwnDegreePolicy:
+    def test_per_vertex_values(self, star6):
+        policy = own_degree_policy(star6, c1=6)
+        # Hub: 2*ceil(log2 5) + 6 = 12; leaves: 2*0 + 6 = 6.
+        assert policy.ell_max[0] == 12
+        assert all(policy.ell_max[v] == 6 for v in range(1, 6))
+
+    def test_default_constant(self, path4):
+        policy = own_degree_policy(path4)
+        assert policy.c1 == THEOREM_22_C1
+
+    def test_degree_skew_gives_skewed_ellmax(self):
+        g = gen.barabasi_albert(60, 2, seed=1)
+        policy = own_degree_policy(g, c1=4)
+        assert len(set(policy.ell_max)) > 1
+
+
+class TestNeighborhoodDegreePolicy:
+    def test_uses_deg2(self, star6):
+        policy = neighborhood_degree_policy(star6, c1=5)
+        d2 = deg2_all(star6)
+        for v in star6.vertices():
+            expected = 2 * math.ceil(math.log2(max(d2[v], 1))) + 5 if d2[v] > 1 else 5
+            assert policy.ell_max[v] == max(1, expected)
+
+    def test_default_constant(self, path4):
+        assert neighborhood_degree_policy(path4).c1 == COROLLARY_23_C1
+
+    def test_leaves_inherit_hub_degree(self, star6):
+        policy = neighborhood_degree_policy(star6, c1=5)
+        # deg2 is 5 for everyone in a star, so the policy is uniform.
+        assert len(set(policy.ell_max)) == 1
+
+
+class TestExplicitPolicies:
+    def test_uniform(self, path4):
+        policy = uniform_policy(path4, 7)
+        assert policy.ell_max == (7, 7, 7, 7)
+
+    def test_explicit(self):
+        policy = explicit_policy([3, 5, 2])
+        assert policy.ell_max == (3, 5, 2)
+        assert policy.num_vertices == 3
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            explicit_policy([2, 0])
+
+
+class TestPolicyApi:
+    def test_max_ell_max(self):
+        assert explicit_policy([3, 9, 2]).max_ell_max == 9
+
+    def test_knowledge_carries_values(self, path4):
+        policy = own_degree_policy(path4, c1=3)
+        knowledge = policy.knowledge(path4)
+        assert [k.ell_max for k in knowledge] == list(policy.ell_max)
+        assert [k.degree for k in knowledge] == list(path4.degrees())
+
+    def test_knowledge_size_mismatch(self, path4, star6):
+        policy = own_degree_policy(path4)
+        with pytest.raises(ValueError):
+            policy.knowledge(star6)
+
+    def test_lemma35_check(self, star6):
+        # Theorem constants always satisfy Lemma 3.5's margin...
+        assert max_degree_policy(star6).satisfies_lemma35(star6)
+        # ...but a tiny uniform policy on a high-degree graph does not.
+        assert not uniform_policy(star6, 2).satisfies_lemma35(star6)

@@ -1,0 +1,90 @@
+"""Tests for the empirical lemma verifiers (repro.core.lemmas)."""
+
+import pytest
+
+from repro.core.knowledge import max_degree_policy, own_degree_policy, uniform_policy
+from repro.core.lemmas import (
+    estimate_platinum_tail,
+    verify_lemma31,
+    verify_lemma34,
+    verify_lemma36_uniform,
+)
+from repro.graphs import generators as gen
+
+
+GRAPHS = [
+    ("er", lambda: gen.erdos_renyi_mean_degree(50, 5.0, seed=1)),
+    ("regular", lambda: gen.random_regular(40, 4, seed=2)),
+    ("star", lambda: gen.star(30)),
+    ("cycle", lambda: gen.cycle(36)),
+    ("ba", lambda: gen.barabasi_albert(45, 2, seed=3)),
+]
+
+
+class TestLemma31:
+    @pytest.mark.parametrize("name,builder", GRAPHS)
+    def test_invariant_holds_everywhere(self, name, builder):
+        graph = builder()
+        report = verify_lemma31(graph, max_degree_policy(graph, c1=4), seed=5)
+        assert report.holds, (name, report)
+        assert report.first_violation_round is None
+
+    def test_heterogeneous_policy(self):
+        graph = gen.barabasi_albert(45, 2, seed=3)
+        report = verify_lemma31(graph, own_degree_policy(graph, c1=4), seed=6)
+        assert report.holds
+
+    def test_horizon_reported(self):
+        graph = gen.cycle(10)
+        policy = uniform_policy(graph, 7)
+        report = verify_lemma31(graph, policy, seed=7, extra_rounds=50)
+        assert report.horizon == 7
+        assert report.rounds_checked == 50
+
+
+class TestLemma34:
+    @pytest.mark.parametrize("name,builder", GRAPHS)
+    def test_solo_beep_certificate(self, name, builder):
+        graph = builder()
+        report = verify_lemma34(graph, max_degree_policy(graph, c1=4), seed=8)
+        assert report.holds, (name, report)
+        assert report.platinum_events_checked > 0
+
+    def test_multiple_seeds(self):
+        graph = gen.erdos_renyi_mean_degree(40, 5.0, seed=9)
+        policy = max_degree_policy(graph, c1=4)
+        for seed in range(5):
+            assert verify_lemma34(graph, policy, seed=seed, rounds=150).holds
+
+
+class TestPlatinumTail:
+    def test_exponential_tail_positive_rate(self):
+        graph = gen.erdos_renyi_mean_degree(60, 6.0, seed=10)
+        policy = max_degree_policy(graph, c1=4)
+        report = estimate_platinum_tail(graph, policy, seed=11, runs=20)
+        assert len(report.waiting_times) == 20
+        assert all(w >= 0 for w in report.waiting_times)
+        # Waits are short and concentrated — far better than e^-30.
+        assert report.mean_wait < 50
+
+    def test_waits_recorded_per_run(self):
+        graph = gen.cycle(20)
+        policy = max_degree_policy(graph, c1=4)
+        report = estimate_platinum_tail(graph, policy, seed=12, runs=5)
+        assert len(report.waiting_times) == 5
+
+
+class TestLemma36Uniform:
+    @pytest.mark.parametrize("name,builder", GRAPHS)
+    def test_platinum_leads_to_stabilization(self, name, builder):
+        graph = builder()
+        policy = max_degree_policy(graph, c1=4)  # uniform by construction
+        report = verify_lemma36_uniform(graph, policy, seed=13)
+        assert report.holds, (name, report)
+        assert report.events_checked > 0
+        assert report.worst_lag <= 2 * policy.max_ell_max + 2
+
+    def test_requires_uniform_policy(self):
+        graph = gen.barabasi_albert(30, 2, seed=14)
+        with pytest.raises(ValueError, match="uniform"):
+            verify_lemma36_uniform(graph, own_degree_policy(graph, c1=4))

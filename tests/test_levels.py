@@ -1,0 +1,192 @@
+"""Unit tests for the level mechanics (Figure 1 + update rules)."""
+
+import pytest
+
+from repro.core.levels import (
+    beep_probability,
+    clamp_level,
+    is_prominent,
+    probability_table,
+    update_level,
+    update_level_two_channel,
+)
+
+
+class TestActivationFunction:
+    """The Figure-1 shape, checked pointwise."""
+
+    def test_prominent_levels_beep_surely(self):
+        for level in range(-5, 1):
+            assert beep_probability(level, 5) == 1.0
+
+    def test_competition_regime_halves(self):
+        assert beep_probability(1, 5) == 0.5
+        assert beep_probability(2, 5) == 0.25
+        assert beep_probability(4, 5) == 0.0625
+
+    def test_max_level_silent(self):
+        assert beep_probability(5, 5) == 0.0
+
+    def test_monotone_nonincreasing(self):
+        ell_max = 8
+        probabilities = [
+            beep_probability(l, ell_max) for l in range(-ell_max, ell_max + 1)
+        ]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            beep_probability(6, 5)
+        with pytest.raises(ValueError):
+            beep_probability(-6, 5)
+
+    def test_invalid_ell_max(self):
+        with pytest.raises(ValueError):
+            beep_probability(0, 0)
+
+    def test_table_covers_full_range(self):
+        table = probability_table(3)
+        assert [lvl for lvl, _ in table] == [-3, -2, -1, 0, 1, 2, 3]
+        assert table[0][1] == 1.0 and table[-1][1] == 0.0
+        assert dict(table)[2] == 0.25
+
+    def test_ell_max_one_is_degenerate_binary(self):
+        # ℓmax = 1: only levels -1, 0 (beep surely) and 1 (silent).
+        assert probability_table(1) == [(-1, 1.0), (0, 1.0), (1, 0.0)]
+
+
+class TestProminence:
+    def test_boundary(self):
+        assert is_prominent(0)
+        assert is_prominent(-3)
+        assert not is_prominent(1)
+
+
+class TestClamp:
+    def test_identity_in_range(self):
+        assert clamp_level(3, 5) == 3
+        assert clamp_level(-5, 5) == -5
+
+    def test_clamps_extremes(self):
+        assert clamp_level(99, 5) == 5
+        assert clamp_level(-99, 5) == -5
+
+
+class TestSingleChannelUpdate:
+    """Algorithm 1's update rule, all branches."""
+
+    def test_heard_increments(self):
+        assert update_level(2, beeped=False, heard=True, ell_max=5) == 3
+        assert update_level(2, beeped=True, heard=True, ell_max=5) == 3
+
+    def test_heard_caps_at_ell_max(self):
+        assert update_level(5, beeped=False, heard=True, ell_max=5) == 5
+
+    def test_solo_beep_resets_to_minus_ell_max(self):
+        assert update_level(1, beeped=True, heard=False, ell_max=5) == -5
+        assert update_level(-5, beeped=True, heard=False, ell_max=5) == -5
+
+    def test_silence_decrements_with_floor_one(self):
+        assert update_level(4, beeped=False, heard=False, ell_max=5) == 3
+        assert update_level(1, beeped=False, heard=False, ell_max=5) == 1
+        # The asymmetric clamp: a non-beeping vertex can never go below 1.
+        assert update_level(2, beeped=False, heard=False, ell_max=5) == 1
+        assert update_level(0, beeped=False, heard=False, ell_max=5) == 1
+
+    def test_negative_levels_only_via_solo_beep(self):
+        """Exhaustively: from any non-negative level, the only transition
+        into negative territory is (beeped, not heard)."""
+        ell_max = 4
+        for level in range(-ell_max, ell_max + 1):
+            for beeped in (False, True):
+                for heard in (False, True):
+                    new = update_level(level, beeped, heard, ell_max)
+                    if new < 0 and level >= 0:
+                        assert beeped and not heard
+
+    def test_range_preserved(self):
+        ell_max = 6
+        for level in range(-ell_max, ell_max + 1):
+            for beeped in (False, True):
+                for heard in (False, True):
+                    new = update_level(level, beeped, heard, ell_max)
+                    assert -ell_max <= new <= ell_max
+
+
+class TestTwoChannelUpdate:
+    """Algorithm 2's update rule, all branches."""
+
+    def test_beep2_received_dominates(self):
+        # Hearing an MIS announcement sends any level to ℓmax.
+        for level in range(0, 6):
+            assert (
+                update_level_two_channel(
+                    level, beeped1=False, heard1=True, heard2=True, ell_max=5
+                )
+                == 5
+            )
+
+    def test_beep1_received_increments(self):
+        assert (
+            update_level_two_channel(
+                2, beeped1=False, heard1=True, heard2=False, ell_max=5
+            )
+            == 3
+        )
+        assert (
+            update_level_two_channel(
+                5, beeped1=False, heard1=True, heard2=False, ell_max=5
+            )
+            == 5
+        )
+
+    def test_solo_beep1_joins_mis(self):
+        assert (
+            update_level_two_channel(
+                3, beeped1=True, heard1=False, heard2=False, ell_max=5
+            )
+            == 0
+        )
+
+    def test_silent_nonmember_decrements_with_floor(self):
+        assert (
+            update_level_two_channel(
+                4, beeped1=False, heard1=False, heard2=False, ell_max=5
+            )
+            == 3
+        )
+        assert (
+            update_level_two_channel(
+                1, beeped1=False, heard1=False, heard2=False, ell_max=5
+            )
+            == 1
+        )
+
+    def test_mis_member_holding_position(self):
+        # Level 0 sent beep2; hearing nothing keeps it at 0.
+        assert (
+            update_level_two_channel(
+                0, beeped1=False, heard1=False, heard2=False, ell_max=5
+            )
+            == 0
+        )
+
+    def test_adjacent_mis_members_retreat(self):
+        # A 0-vertex that hears another beep2 leaves the MIS (to ℓmax).
+        assert (
+            update_level_two_channel(
+                0, beeped1=False, heard1=False, heard2=True, ell_max=5
+            )
+            == 5
+        )
+
+    def test_range_preserved(self):
+        ell_max = 4
+        for level in range(0, ell_max + 1):
+            for beeped1 in (False, True):
+                for heard1 in (False, True):
+                    for heard2 in (False, True):
+                        new = update_level_two_channel(
+                            level, beeped1, heard1, heard2, ell_max
+                        )
+                        assert 0 <= new <= ell_max

@@ -1,0 +1,69 @@
+"""Tests for the line-graph construction."""
+
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.graphs.linegraph import line_graph
+
+
+class TestStructure:
+    def test_path_line_graph_is_shorter_path(self):
+        # L(P_4) = P_3.
+        lg = line_graph(gen.path(4))
+        assert lg.graph.num_vertices == 3
+        assert lg.graph.edges == ((0, 1), (1, 2))
+
+    def test_cycle_line_graph_is_cycle(self):
+        lg = line_graph(gen.cycle(5))
+        assert lg.graph.num_vertices == 5
+        assert all(lg.graph.degree(v) == 2 for v in lg.graph.vertices())
+
+    def test_star_line_graph_is_complete(self):
+        # All star edges share the hub → L(K_{1,k}) = K_k.
+        lg = line_graph(gen.star(6))
+        assert lg.graph == gen.complete(5)
+
+    def test_triangle_line_graph_is_triangle(self):
+        lg = line_graph(Graph(3, [(0, 1), (1, 2), (0, 2)]))
+        assert lg.graph.num_edges == 3
+
+    def test_edge_count_formula(self):
+        # |E(L(G))| = Σ_v C(deg(v), 2).
+        g = gen.erdos_renyi_mean_degree(40, 5.0, seed=1)
+        lg = line_graph(g)
+        expected = sum(d * (d - 1) // 2 for d in g.degrees())
+        assert lg.graph.num_edges == expected
+
+    def test_empty_and_edgeless(self):
+        assert line_graph(Graph(0)).graph.num_vertices == 0
+        assert line_graph(Graph(5)).graph.num_vertices == 0
+
+
+class TestMapping:
+    def test_vertex_for_edge_both_orientations(self):
+        g = gen.path(4)
+        lg = line_graph(g)
+        assert lg.vertex_for_edge(0, 1) == lg.vertex_for_edge(1, 0)
+        assert lg.edge_of[lg.vertex_for_edge(2, 3)] == (2, 3)
+
+    def test_vertex_for_missing_edge(self):
+        lg = line_graph(gen.path(4))
+        with pytest.raises(KeyError):
+            lg.vertex_for_edge(0, 3)
+
+    def test_round_trip(self):
+        g = gen.erdos_renyi_mean_degree(20, 4.0, seed=2)
+        lg = line_graph(g)
+        indices = [lg.vertex_for_edge(u, v) for u, v in g.edges]
+        assert lg.edges_for_vertices(indices) == g.edges
+
+    def test_adjacency_iff_shared_endpoint(self):
+        g = gen.erdos_renyi_mean_degree(15, 4.0, seed=3)
+        lg = line_graph(g)
+        for i in lg.graph.vertices():
+            for j in lg.graph.vertices():
+                if i >= j:
+                    continue
+                shares = bool(set(lg.edge_of[i]) & set(lg.edge_of[j]))
+                assert lg.graph.has_edge(i, j) == shares

@@ -1,0 +1,186 @@
+"""Unit tests for the MIS ground-truth oracles."""
+
+import itertools
+
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.graphs.mis import (
+    check_mis,
+    greedy_mis,
+    is_dominating_set,
+    is_independent_set,
+    is_maximal_independent_set,
+    mis_size_bounds,
+    random_priority_mis,
+)
+
+
+def brute_force_is_mis(graph: Graph, candidate) -> bool:
+    """Definition-level MIS check by explicit quantification (tiny n)."""
+    members = set(candidate)
+    independent = all(
+        not (u in members and v in members) for u, v in graph.edges
+    )
+    maximal = all(
+        v in members or any(u in members for u in graph.neighbors(v))
+        for v in graph.vertices()
+    )
+    return independent and maximal
+
+
+class TestValidators:
+    def test_independent(self, path4):
+        assert is_independent_set(path4, {0, 2})
+        assert not is_independent_set(path4, {0, 1})
+        assert is_independent_set(path4, set())
+
+    def test_dominating(self, path4):
+        assert is_dominating_set(path4, {1, 3})
+        assert not is_dominating_set(path4, {0})
+
+    def test_mis_on_path(self, path4):
+        assert is_maximal_independent_set(path4, {0, 2})
+        assert is_maximal_independent_set(path4, {1, 3})
+        assert is_maximal_independent_set(path4, {0, 3})
+        assert not is_maximal_independent_set(path4, {0})  # not maximal
+        assert not is_maximal_independent_set(path4, {0, 1, 3})  # not indep
+
+    def test_mis_on_empty_graph(self):
+        g = Graph(3)
+        assert is_maximal_independent_set(g, {0, 1, 2})
+        assert not is_maximal_independent_set(g, {0, 1})
+
+    def test_mis_empty_set_on_null_graph(self):
+        assert is_maximal_independent_set(Graph(0), set())
+
+    def test_star_mis_variants(self, star6):
+        assert is_maximal_independent_set(star6, {0})
+        assert is_maximal_independent_set(star6, {1, 2, 3, 4, 5})
+        assert not is_maximal_independent_set(star6, {1})
+
+    def test_validators_agree_with_brute_force(self, petersen):
+        # Check every subset of a fixed 5-vertex subregion against the
+        # definition (the rest of the graph constrains maximality).
+        for size in range(4):
+            for subset in itertools.combinations(range(10), size):
+                assert is_maximal_independent_set(
+                    petersen, subset
+                ) == brute_force_is_mis(petersen, subset)
+
+
+class TestCheckMis:
+    def test_valid_returns_none(self, path4):
+        assert check_mis(path4, {1, 3}) is None
+
+    def test_independence_witness(self, triangle):
+        violation = check_mis(triangle, {0, 1})
+        assert violation is not None
+        assert violation.conflicting_edge == (0, 1)
+        assert "independence" in violation.describe()
+
+    def test_maximality_witness(self, path4):
+        violation = check_mis(path4, {0})
+        assert violation is not None
+        assert violation.undominated_vertex in (2, 3)
+        assert "maximality" in violation.describe()
+
+    def test_independence_preferred_over_maximality(self):
+        g = gen.path(5)
+        violation = check_mis(g, {0, 1})  # both violations present
+        assert violation.conflicting_edge == (0, 1)
+
+
+class TestGreedy:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: gen.path(9),
+            lambda: gen.cycle(10),
+            lambda: gen.star(8),
+            lambda: gen.complete(6),
+            lambda: gen.grid_2d(4, 4),
+            lambda: gen.erdos_renyi_mean_degree(40, 5.0, seed=1),
+            lambda: Graph(5),
+        ],
+    )
+    def test_greedy_produces_mis(self, builder):
+        g = builder()
+        assert check_mis(g, greedy_mis(g)) is None
+
+    def test_greedy_id_order_deterministic(self, er_graph):
+        assert greedy_mis(er_graph) == greedy_mis(er_graph)
+
+    def test_greedy_custom_order(self, star6):
+        # Scanning the hub first yields {0}; leaves first yields all leaves.
+        assert greedy_mis(star6, [0, 1, 2, 3, 4, 5]) == {0}
+        assert greedy_mis(star6, [1, 2, 3, 4, 5, 0]) == {1, 2, 3, 4, 5}
+
+    def test_random_priority_mis_valid_and_seeded(self, er_graph):
+        a = random_priority_mis(er_graph, seed=5)
+        b = random_priority_mis(er_graph, seed=5)
+        assert a == b
+        assert check_mis(er_graph, a) is None
+
+
+class TestIndependenceNumber:
+    def test_known_values(self, petersen):
+        from repro.graphs.mis import maximum_independent_set_size as alpha
+
+        assert alpha(gen.cycle(5)) == 2
+        assert alpha(gen.cycle(6)) == 3
+        assert alpha(gen.complete(7)) == 1
+        assert alpha(gen.star(9)) == 8
+        assert alpha(gen.complete_bipartite(3, 5)) == 5
+        assert alpha(petersen) == 4
+        assert alpha(Graph(6)) == 6
+        assert alpha(Graph(0)) == 0
+
+    def test_alpha_dominates_every_mis(self):
+        from repro.graphs.mis import maximum_independent_set_size as alpha
+
+        for seed in range(5):
+            g = gen.erdos_renyi_mean_degree(25, 4.0, seed=seed)
+            a = alpha(g)
+            assert len(greedy_mis(g)) <= a
+            assert len(random_priority_mis(g, seed=seed)) <= a
+
+    def test_alpha_matches_brute_force_on_tiny_graphs(self):
+        from repro.graphs.mis import maximum_independent_set_size as alpha
+        from repro.graphs.mis import is_independent_set
+
+        for seed in range(4):
+            g = gen.erdos_renyi(9, 0.3, seed=seed)
+            brute = max(
+                sum(1 for v in range(9) if bits & (1 << v))
+                for bits in range(1 << 9)
+                if is_independent_set(
+                    g, {v for v in range(9) if bits & (1 << v)}
+                )
+            )
+            assert alpha(g) == brute
+
+    def test_size_guard(self):
+        from repro.graphs.mis import maximum_independent_set_size as alpha
+
+        with pytest.raises(ValueError, match="limited"):
+            alpha(gen.path(41))
+        assert alpha(gen.path(41), max_vertices=41) == 21
+
+
+class TestBounds:
+    def test_bounds_bracket_greedy(self, er_graph):
+        lower, upper = mis_size_bounds(er_graph)
+        size = len(greedy_mis(er_graph))
+        assert lower <= size <= upper
+
+    def test_bounds_empty_graph(self):
+        assert mis_size_bounds(Graph(0)) == (0, 0)
+
+    def test_bounds_edgeless(self):
+        assert mis_size_bounds(Graph(4)) == (4, 4)
+
+    def test_bounds_complete(self):
+        lower, upper = mis_size_bounds(gen.complete(7))
+        assert lower == 1

@@ -1,0 +1,104 @@
+"""Tests of the reception-model variants (full vs half duplex).
+
+The paper works in the *full-duplex* beeping model (a transmitter still
+hears its neighbors — also called beeping with collision detection).
+Algorithm 1's membership certificate is a *solo* beep, which is only
+detectable with full duplex.  These tests pin down that dependence.
+"""
+
+import pytest
+
+from repro.beeping.algorithm import LocalKnowledge, NodeOutput
+from repro.beeping.network import BeepingNetwork
+from repro.beeping.simulator import run_until_stable
+from repro.core.algorithm_single import SelfStabilizingMIS
+from repro.core.knowledge import uniform_policy
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+
+
+def make_network(graph, ell=4, seed=0, full_duplex=True, initial=None):
+    policy = uniform_policy(graph, ell)
+    return BeepingNetwork(
+        graph,
+        SelfStabilizingMIS(),
+        policy.knowledge(graph),
+        seed=seed,
+        initial_states=initial,
+        full_duplex=full_duplex,
+    )
+
+
+class TestFullDuplexDefault:
+    def test_default_is_full_duplex(self, path4):
+        assert make_network(path4).full_duplex is True
+
+
+class TestHalfDuplexSemantics:
+    def test_transmitter_is_deaf(self):
+        """On K2 with both vertices beeping, full duplex delivers the
+        neighbor's beep; half duplex delivers silence."""
+        g = Graph(2, [(0, 1)])
+        # Both prominent → both beep deterministically.
+        full = make_network(g, seed=1, initial=[0, 0])
+        full.step()
+        # Full duplex: both heard each other → both increment.
+        assert full.states == (1, 1)
+
+        half = make_network(g, seed=1, full_duplex=False, initial=[0, 0])
+        half.step()
+        # Half duplex: each beeped, heard nothing → both claim the MIS.
+        assert half.states == (-4, -4)
+
+    def test_half_duplex_breaks_algorithm1_on_k2(self):
+        """The deterministic failure: two adjacent vertices that both
+        reached −ℓmax keep re-claiming membership forever under half
+        duplex (each beeps, hears nothing, resets) — the configuration
+        where both are 'in the MIS' is absorbing but never legal."""
+        g = Graph(2, [(0, 1)])
+        network = make_network(g, seed=2, full_duplex=False, initial=[-4, -4])
+        result = run_until_stable(network, max_rounds=300)
+        assert not result.stabilized
+        assert network.states == (-4, -4)
+
+    def test_full_duplex_resolves_the_same_configuration(self):
+        g = Graph(2, [(0, 1)])
+        network = make_network(g, seed=2, full_duplex=True, initial=[-4, -4])
+        result = run_until_stable(network, max_rounds=500)
+        assert result.stabilized
+        assert len(result.mis) == 1
+
+    def test_half_duplex_nonbeeping_vertices_still_hear(self):
+        """Half duplex only deafens transmitters: a silent vertex's
+        reception is unchanged."""
+        g = gen.star(4)
+        # Hub prominent (beeps surely), leaves at ℓmax (silent).
+        network = make_network(g, seed=3, full_duplex=False,
+                               initial=[0, 4, 4, 4])
+        network.step()
+        # Leaves heard the hub and stay at ℓmax; hub heard nothing
+        # (nobody else beeped) and resets to -ℓmax.
+        assert network.states == (-4, 4, 4, 4)
+
+
+class TestHalfDuplexStatistics:
+    def test_half_duplex_inflates_false_claims(self):
+        """On a clique, count rounds where two adjacent vertices hold
+        negative levels simultaneously — impossible under full duplex
+        past the warm-up horizon (Lemma 3.4's certificate), frequent
+        under half duplex."""
+        g = gen.complete(6)
+
+        def conflicting_rounds(full_duplex):
+            network = make_network(g, ell=4, seed=5, full_duplex=full_duplex)
+            count = 0
+            for _ in range(150):
+                network.step()
+                negatives = [s for s in network.states if s < 0]
+                if len(negatives) >= 2:
+                    count += 1
+            return count
+
+        # Warm-up horizon is 4; run length 150 makes the contrast stark.
+        assert conflicting_rounds(False) > 20
+        assert conflicting_rounds(True) == 0

@@ -1,0 +1,186 @@
+"""Unit tests for the reference round engine's semantics."""
+
+import numpy as np
+import pytest
+
+from repro.beeping.algorithm import BeepingAlgorithm, LocalKnowledge, NodeOutput
+from repro.beeping.network import BeepingNetwork
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+
+
+class AlwaysBeep(BeepingAlgorithm):
+    """Deterministic probe: everyone beeps; state counts heard rounds."""
+
+    num_channels = 1
+
+    def fresh_state(self, knowledge):
+        return 0
+
+    def random_state(self, knowledge, rng):
+        return int(rng.integers(100))
+
+    def beeps(self, state, knowledge, u):
+        return (True,)
+
+    def step(self, state, sent, heard, knowledge, u=0.0):
+        return state + (1 if heard[0] else 0)
+
+    def output(self, state, knowledge):
+        return NodeOutput.UNDECIDED
+
+
+class EchoOnce(BeepingAlgorithm):
+    """Only vertex-with-state-'source' beeps in round 0 (via state flag)."""
+
+    num_channels = 1
+
+    def fresh_state(self, knowledge):
+        return {"source": False, "heard": False, "sent": False}
+
+    def random_state(self, knowledge, rng):
+        return self.fresh_state(knowledge)
+
+    def beeps(self, state, knowledge, u):
+        return (state["source"] and not state["sent"],)
+
+    def step(self, state, sent, heard, knowledge, u=0.0):
+        return {
+            "source": state["source"],
+            "heard": state["heard"] or heard[0],
+            "sent": state["sent"] or sent[0],
+        }
+
+    def output(self, state, knowledge):
+        return NodeOutput.UNDECIDED
+
+
+def make_network(graph, algorithm, seed=0, **kwargs):
+    knowledge = [LocalKnowledge() for _ in graph.vertices()]
+    return BeepingNetwork(graph, algorithm, knowledge, seed=seed, **kwargs)
+
+
+class TestFullDuplexSemantics:
+    def test_neighbors_hear_beeps(self, star6):
+        network = make_network(star6, EchoOnce())
+        states = list(network.states)
+        states[3]["source"] = True  # one leaf is the source
+        network.set_states(states)
+        network.step()
+        heard = [s["heard"] for s in network.states]
+        assert heard[0] is True  # hub hears
+        assert heard[3] is False  # the beeper does NOT hear itself
+        assert heard[1] is False  # other leaves are not neighbors
+
+    def test_isolated_vertex_never_hears(self):
+        g = Graph(2)  # two isolated vertices
+        network = make_network(g, AlwaysBeep())
+        network.run(5)
+        assert network.states == (0, 0)
+
+    def test_everyone_hears_in_clique(self):
+        g = gen.complete(4)
+        network = make_network(g, AlwaysBeep())
+        network.run(3)
+        assert network.states == (3, 3, 3, 3)
+
+    def test_round_record_contents(self, star6):
+        network = make_network(star6, AlwaysBeep())
+        record = network.step()
+        assert record.round_index == 0
+        assert record.beep_count(0) == 6
+        assert all(pattern == (True,) for pattern in record.sent)
+        # Hub hears its 5 leaves; each leaf hears the hub.
+        assert all(h == (True,) for h in record.heard)
+
+
+class TestEngineContract:
+    def test_knowledge_length_validated(self, path4):
+        with pytest.raises(ValueError, match="knowledge"):
+            BeepingNetwork(path4, AlwaysBeep(), [LocalKnowledge()] * 3)
+
+    def test_initial_states_length_validated(self, path4):
+        with pytest.raises(ValueError, match="initial_states"):
+            make_network(path4, AlwaysBeep(), initial_states=[0, 0])
+
+    def test_channel_width_validated(self, path4):
+        class Wrong(AlwaysBeep):
+            def beeps(self, state, knowledge, u):
+                return (True, False)  # declares 1 channel, returns 2
+
+        network = make_network(path4, Wrong())
+        with pytest.raises(ValueError, match="channel"):
+            network.step()
+
+    def test_round_counter(self, path4):
+        network = make_network(path4, AlwaysBeep())
+        assert network.round_index == 0
+        network.run(7)
+        assert network.round_index == 7
+
+    def test_set_state_targets_one_vertex(self, path4):
+        network = make_network(path4, AlwaysBeep())
+        network.set_state(2, 99)
+        assert network.states[2] == 99
+        assert network.states[0] == 0
+
+    def test_same_seed_same_trajectory(self, er_graph):
+        from repro.core import SelfStabilizingMIS, max_degree_policy
+
+        policy = max_degree_policy(er_graph, c1=4)
+        runs = []
+        for _ in range(2):
+            network = BeepingNetwork(
+                er_graph,
+                SelfStabilizingMIS(),
+                policy.knowledge(er_graph),
+                seed=11,
+            )
+            network.run(30)
+            runs.append(network.states)
+        assert runs[0] == runs[1]
+
+    def test_legality_unsupported_raises(self, path4):
+        network = make_network(path4, AlwaysBeep())
+        with pytest.raises(NotImplementedError):
+            network.is_legal()
+
+    def test_randomize_states(self, path4):
+        network = make_network(path4, AlwaysBeep(), seed=3)
+        network.randomize_states()
+        assert any(s != 0 for s in network.states)
+
+
+class TestSynchrony:
+    def test_updates_use_start_of_round_states(self):
+        """A vertex's beep decision must not see a neighbor's same-round
+        update: on a path 0-1, if only vertex 0 beeps in round 0, vertex
+        1 must still base its own round-0 beep on its initial state."""
+
+        class BeepIfStateOne(BeepingAlgorithm):
+            num_channels = 1
+
+            def fresh_state(self, knowledge):
+                return 0
+
+            def random_state(self, knowledge, rng):
+                return 0
+
+            def beeps(self, state, knowledge, u):
+                return (state == 1,)
+
+            def step(self, state, sent, heard, knowledge, u=0.0):
+                return 1 if heard[0] else state
+
+            def output(self, state, knowledge):
+                return NodeOutput.UNDECIDED
+
+        g = gen.path(3)
+        network = make_network(g, BeepIfStateOne())
+        network.set_states([1, 0, 0])
+        network.step()
+        # After round 0 vertex 1 heard and became 1, but it must not have
+        # beeped in round 0 itself, so vertex 2 stays 0.
+        assert network.states == (1, 1, 0)
+        network.step()
+        assert network.states == (1, 1, 1)

@@ -1,0 +1,76 @@
+"""Tests for the JSON result persistence."""
+
+import json
+
+import pytest
+
+from repro.analysis.persistence import load_rows, load_sweep, save_rows, save_sweep
+from repro.analysis.sweep import run_sweep
+
+
+def make_sweep():
+    return run_sweep(
+        [{"n": 4}, {"n": 8}],
+        lambda config, rng: config["n"] + rng.normal(),
+        repetitions=5,
+        master_seed=3,
+    )
+
+
+class TestSweepRoundTrip:
+    def test_round_trip_preserves_samples(self, tmp_path):
+        sweep = make_sweep()
+        path = tmp_path / "sweep.json"
+        save_sweep(sweep, path, experiment="E1", parameters={"family": "er"})
+        restored = load_sweep(path)
+        assert len(restored.cells) == 2
+        for original, loaded in zip(sweep.cells, restored.cells):
+            assert loaded.config == dict(original.config)
+            assert loaded.samples == original.samples
+            assert loaded.summary.mean == pytest.approx(original.summary.mean)
+
+    def test_envelope_metadata(self, tmp_path):
+        import repro
+
+        path = tmp_path / "sweep.json"
+        save_sweep(make_sweep(), path, experiment="E1", parameters={"reps": 5})
+        payload = json.loads(path.read_text())
+        envelope = payload["envelope"]
+        assert envelope["experiment"] == "E1"
+        assert envelope["library_version"] == repro.__version__
+        assert envelope["parameters"] == {"reps": 5}
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "rows.json"
+        save_rows([{"a": 1}], path, experiment="E6")
+        with pytest.raises(ValueError, match="not a sweep"):
+            load_sweep(path)
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_sweep(make_sweep(), path, experiment="E1")
+        payload = json.loads(path.read_text())
+        payload["envelope"]["format_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="format version"):
+            load_sweep(path)
+
+    def test_series_usable_after_reload(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_sweep(make_sweep(), path, experiment="E1")
+        xs, ys = load_sweep(path).series("n")
+        assert xs == [4.0, 8.0]
+
+
+class TestRowsRoundTrip:
+    def test_round_trip(self, tmp_path):
+        rows = [{"n": 16, "rounds": 34.5}, {"n": 32, "rounds": 42.0}]
+        path = tmp_path / "rows.json"
+        save_rows(rows, path, experiment="E6")
+        assert load_rows(path) == rows
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_sweep(make_sweep(), path, experiment="E1")
+        with pytest.raises(ValueError, match="not rows"):
+            load_rows(path)

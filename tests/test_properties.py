@@ -1,0 +1,107 @@
+"""Unit tests for structural graph properties."""
+
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.graphs.properties import (
+    average_degree,
+    bfs_distances,
+    clustering_coefficient,
+    connected_components,
+    deg2,
+    deg2_all,
+    degree_histogram,
+    diameter,
+    is_connected,
+    triangle_count,
+)
+
+
+class TestDeg2:
+    def test_star_center_and_leaves(self, star6):
+        # Hub sees its own degree 5; leaves see the hub's 5.
+        assert deg2(star6, 0) == 5
+        assert all(deg2(star6, v) == 5 for v in range(1, 6))
+
+    def test_path_interior(self):
+        g = gen.path(5)
+        assert deg2(g, 0) == 2  # endpoint sees its degree-2 neighbor
+        assert deg2(g, 2) == 2
+
+    def test_isolated_vertex(self):
+        g = Graph(2)
+        assert deg2(g, 0) == 0
+
+    def test_deg2_all_matches_pointwise(self, petersen):
+        values = deg2_all(petersen)
+        assert values == tuple(deg2(petersen, v) for v in petersen.vertices())
+
+    def test_deg2_dominates_degree(self, er_graph):
+        values = deg2_all(er_graph)
+        assert all(
+            values[v] >= er_graph.degree(v) for v in er_graph.vertices()
+        )
+
+
+class TestTraversal:
+    def test_bfs_distances_path(self):
+        g = gen.path(5)
+        assert bfs_distances(g, 0) == [0, 1, 2, 3, 4]
+
+    def test_bfs_unreachable(self, isolated_plus_edge):
+        dist = bfs_distances(isolated_plus_edge, 0)
+        assert dist == [0, 1, None]
+
+    def test_components(self, isolated_plus_edge):
+        assert connected_components(isolated_plus_edge) == [[0, 1], [2]]
+
+    def test_components_cover_all_vertices(self, er_graph):
+        comps = connected_components(er_graph)
+        seen = sorted(v for c in comps for v in c)
+        assert seen == list(er_graph.vertices())
+
+    def test_is_connected(self, petersen, isolated_plus_edge):
+        assert is_connected(petersen)
+        assert not is_connected(isolated_plus_edge)
+        assert is_connected(Graph(0))
+        assert is_connected(Graph(1))
+
+    def test_diameter(self):
+        assert diameter(gen.path(6)) == 5
+        assert diameter(gen.cycle(8)) == 4
+        assert diameter(gen.complete(5)) == 1
+
+    def test_diameter_disconnected(self, isolated_plus_edge):
+        assert diameter(isolated_plus_edge) is None
+
+    def test_petersen_diameter(self, petersen):
+        assert diameter(petersen) == 2
+
+
+class TestAggregates:
+    def test_average_degree(self, triangle):
+        assert average_degree(triangle) == 2.0
+        assert average_degree(Graph(0)) == 0.0
+
+    def test_degree_histogram(self, star6):
+        assert degree_histogram(star6) == {5: 1, 1: 5}
+
+    def test_triangle_count(self, triangle):
+        assert triangle_count(triangle) == 1
+
+    def test_triangle_count_k4(self):
+        assert triangle_count(gen.complete(4)) == 4
+
+    def test_triangle_free(self):
+        assert triangle_count(gen.complete_bipartite(3, 3)) == 0
+        assert triangle_count(gen.cycle(5)) == 0
+
+    def test_clustering_complete(self):
+        assert clustering_coefficient(gen.complete(5)) == pytest.approx(1.0)
+
+    def test_clustering_triangle_free(self):
+        assert clustering_coefficient(gen.cycle(6)) == 0.0
+
+    def test_clustering_empty(self):
+        assert clustering_coefficient(Graph(3)) == 0.0

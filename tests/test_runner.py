@@ -1,0 +1,115 @@
+"""Tests for the high-level compute_mis API."""
+
+import pytest
+
+from repro.core.knowledge import uniform_policy
+from repro.core.runner import (
+    MISResult,
+    compute_mis,
+    default_round_budget,
+    policy_for_variant,
+)
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.graphs.mis import check_mis
+
+
+class TestPolicyForVariant:
+    def test_variants_dispatch(self, er_graph):
+        from repro.core.knowledge import KnowledgeModel
+
+        assert (
+            policy_for_variant(er_graph, "max_degree").model
+            is KnowledgeModel.MAX_DEGREE
+        )
+        assert (
+            policy_for_variant(er_graph, "own_degree").model
+            is KnowledgeModel.OWN_DEGREE
+        )
+        assert (
+            policy_for_variant(er_graph, "two_channel").model
+            is KnowledgeModel.NEIGHBORHOOD_DEGREE
+        )
+
+    def test_c1_forwarded(self, er_graph):
+        tight = policy_for_variant(er_graph, "max_degree", c1=4)
+        default = policy_for_variant(er_graph, "max_degree")
+        assert tight.max_ell_max < default.max_ell_max
+
+    def test_unknown_variant(self, er_graph):
+        with pytest.raises(ValueError, match="unknown variant"):
+            policy_for_variant(er_graph, "telepathy")
+
+
+class TestBudget:
+    def test_budget_grows_with_n_and_ellmax(self):
+        small = gen.path(8)
+        large = gen.path(4096)
+        assert default_round_budget(large, uniform_policy(large, 5)) > (
+            default_round_budget(small, uniform_policy(small, 5))
+        )
+        assert default_round_budget(small, uniform_policy(small, 50)) > (
+            default_round_budget(small, uniform_policy(small, 5))
+        )
+
+
+class TestComputeMis:
+    @pytest.mark.parametrize("variant", ["max_degree", "own_degree", "two_channel"])
+    def test_all_variants_produce_valid_mis(self, er_graph, variant):
+        result = compute_mis(er_graph, variant=variant, seed=1, c1=4)
+        assert isinstance(result, MISResult)
+        assert result.stabilized
+        assert check_mis(er_graph, result.mis) is None
+        assert result.variant == variant
+
+    @pytest.mark.parametrize("variant", ["max_degree", "own_degree", "two_channel"])
+    def test_arbitrary_start(self, er_graph, variant):
+        result = compute_mis(
+            er_graph, variant=variant, seed=2, c1=4, arbitrary_start=True
+        )
+        assert check_mis(er_graph, result.mis) is None
+
+    def test_reference_engine_agrees_on_validity(self, path4):
+        result = compute_mis(path4, seed=3, c1=3, engine="reference")
+        assert check_mis(path4, result.mis) is None
+
+    def test_seed_determinism(self, er_graph):
+        a = compute_mis(er_graph, seed=11, c1=4)
+        b = compute_mis(er_graph, seed=11, c1=4)
+        assert a.mis == b.mis and a.rounds == b.rounds
+
+    def test_explicit_policy_respected(self, er_graph):
+        policy = uniform_policy(er_graph, 8)
+        result = compute_mis(er_graph, seed=4, policy=policy)
+        assert check_mis(er_graph, result.mis) is None
+
+    def test_theorem_constants_default(self, path4):
+        # With the default c1 = 15 the run still stabilizes (slower).
+        result = compute_mis(path4, seed=5)
+        assert result.stabilized
+
+    def test_budget_exhaustion_raises(self, er_graph):
+        with pytest.raises(RuntimeError, match="did not stabilize"):
+            compute_mis(er_graph, seed=6, c1=4, max_rounds=1)
+
+    def test_unknown_engine(self, path4):
+        with pytest.raises(ValueError, match="engine"):
+            compute_mis(path4, seed=0, engine="quantum")
+
+    def test_unknown_variant(self, path4):
+        with pytest.raises(ValueError, match="variant"):
+            compute_mis(path4, variant="nope")
+
+    def test_empty_graph(self):
+        result = compute_mis(Graph(0), seed=0, c1=4)
+        assert result.mis == frozenset()
+        assert result.rounds == 0
+
+    def test_single_vertex(self):
+        result = compute_mis(Graph(1), seed=0, c1=4)
+        assert result.mis == {0}
+
+    def test_disconnected_graph(self):
+        g = gen.path(5).union_disjoint(gen.complete(4))
+        result = compute_mis(g, seed=7, c1=4)
+        assert check_mis(g, result.mis) is None

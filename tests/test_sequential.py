@@ -1,0 +1,50 @@
+"""Tests for the sequential greedy MIS baselines."""
+
+import pytest
+
+from repro.baselines.sequential import (
+    id_order_mis,
+    max_degree_last_mis,
+    min_degree_greedy_mis,
+    random_order_mis,
+)
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.graphs.mis import check_mis
+
+from conftest import small_graph_zoo
+
+
+ALL_BASELINES = [
+    ("id_order", lambda g: id_order_mis(g)),
+    ("random_order", lambda g: random_order_mis(g, seed=7)),
+    ("min_degree", lambda g: min_degree_greedy_mis(g)),
+    ("max_degree_last", lambda g: max_degree_last_mis(g)),
+]
+
+
+@pytest.mark.parametrize("alg_name,alg", ALL_BASELINES)
+@pytest.mark.parametrize("graph_name,graph", small_graph_zoo())
+def test_all_sequential_baselines_produce_mis(alg_name, alg, graph_name, graph):
+    mis = alg(graph)
+    assert check_mis(graph, mis) is None, f"{alg_name} on {graph_name}"
+
+
+def test_min_degree_beats_hub_first_on_star():
+    g = gen.star(10)
+    assert min_degree_greedy_mis(g) == frozenset(range(1, 10))
+    assert id_order_mis(g) == frozenset({0})
+
+
+def test_min_degree_on_empty_and_trivial():
+    assert min_degree_greedy_mis(Graph(0)) == frozenset()
+    assert min_degree_greedy_mis(Graph(3)) == {0, 1, 2}
+
+
+def test_max_degree_last_prefers_leaves(star6):
+    assert max_degree_last_mis(star6) == frozenset(range(1, 6))
+
+
+def test_min_degree_at_least_as_large_on_skewed_graphs():
+    g = gen.barabasi_albert(120, 3, seed=5)
+    assert len(min_degree_greedy_mis(g)) >= len(id_order_mis(g))

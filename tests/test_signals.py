@@ -1,0 +1,52 @@
+"""Unit tests for the signal primitives."""
+
+import pytest
+
+from repro.beeping.signals import (
+    BEEP1,
+    CHANNEL_MAIN,
+    CHANNEL_MIS,
+    SILENT1,
+    SILENT2,
+    merge_heard,
+    silence,
+    single,
+)
+
+
+class TestConstants:
+    def test_widths(self):
+        assert len(SILENT1) == 1 and len(BEEP1) == 1
+        assert len(SILENT2) == 2
+
+    def test_channel_indices_distinct(self):
+        assert CHANNEL_MAIN != CHANNEL_MIS
+
+
+class TestBuilders:
+    def test_silence(self):
+        assert silence(1) == (False,)
+        assert silence(3) == (False, False, False)
+
+    def test_single(self):
+        assert single(0, 2) == (True, False)
+        assert single(1, 2) == (False, True)
+
+    def test_single_out_of_range(self):
+        with pytest.raises(ValueError):
+            single(2, 2)
+        with pytest.raises(ValueError):
+            single(-1, 1)
+
+
+class TestMerge:
+    def test_or_semantics(self):
+        merged = merge_heard([(True, False), (False, False), (False, True)])
+        assert merged == (True, True)
+
+    def test_single_pattern(self):
+        assert merge_heard([(False, True)]) == (False, True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_heard([])

@@ -1,0 +1,108 @@
+"""Tests for the high-level run loops (run_until_stable / run_fixed_rounds)."""
+
+import pytest
+
+from repro.beeping.network import BeepingNetwork
+from repro.beeping.simulator import run_fixed_rounds, run_until_stable
+from repro.core.algorithm_single import SelfStabilizingMIS
+from repro.core.knowledge import max_degree_policy, uniform_policy
+from repro.graphs import generators as gen
+from repro.graphs.mis import check_mis
+
+
+def make_network(graph, seed=0, c1=4, initial_states=None):
+    policy = max_degree_policy(graph, c1=c1)
+    return BeepingNetwork(
+        graph,
+        SelfStabilizingMIS(),
+        policy.knowledge(graph),
+        seed=seed,
+        initial_states=initial_states,
+    )
+
+
+class TestRunUntilStable:
+    def test_reports_first_legal_round(self, er_graph):
+        network = make_network(er_graph, seed=1)
+        result = run_until_stable(network, max_rounds=10_000)
+        assert result.stabilized
+        assert result.rounds == network.round_index
+        assert check_mis(er_graph, result.mis) is None
+
+    def test_zero_rounds_when_start_legal(self, path4):
+        policy = uniform_policy(path4, 3)
+        network = BeepingNetwork(
+            path4,
+            SelfStabilizingMIS(),
+            policy.knowledge(path4),
+            seed=0,
+            initial_states=[-3, 3, -3, 3],
+        )
+        result = run_until_stable(network, max_rounds=10)
+        assert result.stabilized and result.rounds == 0
+        assert result.mis == {0, 2}
+
+    def test_budget_exhaustion(self, er_graph):
+        network = make_network(er_graph, seed=2)
+        result = run_until_stable(network, max_rounds=1)
+        assert not result.stabilized
+        assert result.rounds == 1
+        assert result.mis == frozenset()
+        assert not result  # __bool__ is stabilized
+
+    def test_negative_budget_rejected(self, path4):
+        with pytest.raises(ValueError):
+            run_until_stable(make_network(path4), max_rounds=-1)
+
+    def test_invalid_check_every(self, path4):
+        with pytest.raises(ValueError):
+            run_until_stable(make_network(path4), max_rounds=5, check_every=0)
+
+    def test_check_every_bounded_overreport(self, er_graph):
+        exact = run_until_stable(make_network(er_graph, seed=3), max_rounds=10_000)
+        sparse = run_until_stable(
+            make_network(er_graph, seed=3), max_rounds=10_000, check_every=5
+        )
+        assert sparse.stabilized
+        assert exact.rounds <= sparse.rounds < exact.rounds + 5
+        assert sparse.mis == exact.mis
+
+    def test_trace_recorded(self, er_graph):
+        network = make_network(er_graph, seed=4)
+        result = run_until_stable(network, max_rounds=10_000, record_trace=True)
+        assert result.trace is not None
+        assert len(result.trace) == result.rounds
+        assert result.trace.first_legal_round() is None  # legal only after last recorded round
+        # Beep counts are sane: between 0 and n per round.
+        for metrics in result.trace.rounds:
+            assert 0 <= metrics.beeps_per_channel[0] <= er_graph.num_vertices
+
+    def test_final_states_snapshot(self, path4):
+        network = make_network(path4, seed=5)
+        result = run_until_stable(network, max_rounds=1000)
+        assert result.final_states == network.states
+
+
+class TestRunFixedRounds:
+    def test_runs_exactly_n_rounds(self, er_graph):
+        network = make_network(er_graph, seed=6)
+        result = run_fixed_rounds(network, rounds=25)
+        assert network.round_index == 25
+        assert result.rounds == 25
+        assert result.trace is not None and len(result.trace) == 25
+
+    def test_legality_persists_after_stabilization(self, er_graph):
+        """Run far past stabilization: legality, once reached, holds."""
+        network = make_network(er_graph, seed=7)
+        first = run_until_stable(network, max_rounds=10_000)
+        assert first.stabilized
+        later = run_fixed_rounds(network, rounds=50)
+        assert later.stabilized
+        assert later.mis == first.mis
+        # Every recorded round was legal.
+        assert all(m.legal for m in later.trace.rounds)
+
+    def test_without_trace(self, path4):
+        network = make_network(path4, seed=8)
+        result = run_fixed_rounds(network, rounds=5, record_trace=False)
+        assert result.trace is None

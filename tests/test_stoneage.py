@@ -1,0 +1,196 @@
+"""Tests for the Stone Age substrate, the beeping adapter, and CountingMIS."""
+
+import numpy as np
+import pytest
+
+from repro.beeping.algorithm import LocalKnowledge, NodeOutput
+from repro.beeping.network import BeepingNetwork
+from repro.core.algorithm_single import SelfStabilizingMIS
+from repro.core.knowledge import max_degree_policy
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.graphs.mis import check_mis
+from repro.stoneage import (
+    BeepingOnStoneAge,
+    CountingMIS,
+    StoneAgeMachine,
+    StoneAgeNetwork,
+    run_stone_age_until_stable,
+)
+
+
+class TwoLetterProbe(StoneAgeMachine):
+    """Test machine: everyone alternates letters; state counts observations."""
+
+    alphabet = ("a", "b")
+
+    def fresh_state(self, knowledge):
+        return {"round": 0, "seen_a": 0, "seen_b": 0}
+
+    def random_state(self, knowledge, rng):
+        return self.fresh_state(knowledge)
+
+    def emit(self, state, knowledge, u):
+        return "a" if state["round"] % 2 == 0 else "b"
+
+    def transition(self, state, emitted, observed, knowledge, u):
+        return {
+            "round": state["round"] + 1,
+            "seen_a": state["seen_a"] + observed["a"],
+            "seen_b": state["seen_b"] + observed["b"],
+        }
+
+    def output(self, state, knowledge):
+        return NodeOutput.UNDECIDED
+
+
+def knowledge_for(graph):
+    return [LocalKnowledge() for _ in graph.vertices()]
+
+
+class TestStoneAgeEngine:
+    def test_counting_clipped_at_bound(self, star6):
+        for bound in (1, 2, 4):
+            network = StoneAgeNetwork(
+                star6, TwoLetterProbe(), knowledge_for(star6), seed=0, bound=bound
+            )
+            record = network.step()
+            # All 5 leaves emitted 'a'; the hub observes min(5, bound).
+            assert record.observed[0]["a"] == min(5, bound)
+            assert record.observed[0]["b"] == 0
+            # Leaves observe the hub's single 'a'.
+            assert record.observed[1]["a"] == 1
+
+    def test_own_emission_not_observed(self):
+        g = Graph(1)
+        network = StoneAgeNetwork(g, TwoLetterProbe(), knowledge_for(g), seed=0)
+        record = network.step()
+        assert record.observed[0] == {"a": 0, "b": 0}
+
+    def test_alphabet_enforced(self, path4):
+        class Rogue(TwoLetterProbe):
+            def emit(self, state, knowledge, u):
+                return "z"
+
+        network = StoneAgeNetwork(path4, Rogue(), knowledge_for(path4), seed=0)
+        with pytest.raises(ValueError, match="alphabet"):
+            network.step()
+
+    def test_validation(self, path4):
+        with pytest.raises(ValueError, match="bound"):
+            StoneAgeNetwork(path4, TwoLetterProbe(), knowledge_for(path4), bound=0)
+        with pytest.raises(ValueError, match="knowledge"):
+            StoneAgeNetwork(path4, TwoLetterProbe(), [LocalKnowledge()])
+
+        class NoAlphabet(TwoLetterProbe):
+            alphabet = ()
+
+        with pytest.raises(ValueError, match="alphabet"):
+            StoneAgeNetwork(path4, NoAlphabet(), knowledge_for(path4))
+
+    def test_letter_count_helper(self, path4):
+        network = StoneAgeNetwork(path4, TwoLetterProbe(), knowledge_for(path4), seed=0)
+        record = network.step()
+        assert record.letter_count("a") == 4
+        assert record.letter_count("b") == 0
+
+
+class TestBeepingAdapter:
+    def test_rejects_multichannel(self):
+        from repro.core.algorithm_two_channel import TwoChannelMIS
+
+        with pytest.raises(ValueError, match="single-channel"):
+            BeepingOnStoneAge(TwoChannelMIS())
+
+    def test_bit_identical_to_native_beeping_engine(self):
+        """Stone Age (b=1) ≡ beeping, executable form."""
+        graph = gen.erdos_renyi_mean_degree(40, 5.0, seed=2)
+        policy = max_degree_policy(graph, c1=4)
+        knowledge = policy.knowledge(graph)
+        seed = 55
+        init = [
+            int(x)
+            for x in np.random.default_rng(8).integers(
+                -policy.ell_max[0], policy.ell_max[0] + 1, graph.num_vertices
+            )
+        ]
+
+        native = BeepingNetwork(
+            graph, SelfStabilizingMIS(), knowledge, seed=seed, initial_states=init
+        )
+        adapted = StoneAgeNetwork(
+            graph,
+            BeepingOnStoneAge(SelfStabilizingMIS()),
+            knowledge,
+            seed=seed,
+            initial_states=list(init),
+            bound=1,
+        )
+        for round_index in range(150):
+            native.step()
+            adapted.step()
+            assert native.states == adapted.states, f"round {round_index}"
+        assert native.is_legal() == adapted.is_legal()
+
+    def test_adapter_stabilizes_to_valid_mis(self):
+        graph = gen.random_regular(30, 4, seed=3)
+        policy = max_degree_policy(graph, c1=4)
+        network = StoneAgeNetwork(
+            graph,
+            BeepingOnStoneAge(SelfStabilizingMIS()),
+            policy.knowledge(graph),
+            seed=4,
+        )
+        network.randomize_states()
+        ok, rounds, mis = run_stone_age_until_stable(network, max_rounds=20_000)
+        assert ok
+        assert check_mis(graph, mis) is None
+
+
+class TestCountingMIS:
+    def test_b1_identical_to_algorithm1(self):
+        """With bound 1 the counting machine *is* Algorithm 1."""
+        graph = gen.erdos_renyi_mean_degree(40, 5.0, seed=5)
+        policy = max_degree_policy(graph, c1=4)
+        knowledge = policy.knowledge(graph)
+        seed = 66
+        native = BeepingNetwork(graph, SelfStabilizingMIS(), knowledge, seed=seed)
+        counting = StoneAgeNetwork(
+            graph, CountingMIS(), knowledge, seed=seed, bound=1
+        )
+        for _ in range(150):
+            native.step()
+            counting.step()
+            assert native.states == counting.states
+
+    @pytest.mark.parametrize("bound", [1, 2, 4])
+    def test_stabilizes_to_valid_mis_any_bound(self, bound):
+        graph = gen.erdos_renyi_mean_degree(50, 6.0, seed=6)
+        policy = max_degree_policy(graph, c1=4)
+        network = StoneAgeNetwork(
+            graph, CountingMIS(), policy.knowledge(graph), seed=7, bound=bound
+        )
+        network.randomize_states()
+        ok, rounds, mis = run_stone_age_until_stable(network, max_rounds=20_000)
+        assert ok, f"bound={bound}"
+        assert check_mis(graph, mis) is None
+
+    def test_stable_configurations_identical_to_algorithm1(self):
+        """b changes the transient, not the fixed points."""
+        graph = gen.path(6)
+        policy = max_degree_policy(graph, c1=4)
+        machine = CountingMIS()
+        knowledge = policy.knowledge(graph)
+        e = policy.ell_max[0]
+        legal = [-e, e, -e, e, -e, e]
+        assert machine.is_legal_configuration(graph, legal, knowledge)
+        network = StoneAgeNetwork(
+            graph, machine, knowledge, seed=8, bound=4, initial_states=legal
+        )
+        for _ in range(20):
+            network.step()
+        assert list(network.states) == legal
+
+    def test_requires_ell_max(self):
+        with pytest.raises(ValueError, match="ell_max"):
+            CountingMIS().fresh_state(LocalKnowledge())

@@ -1,0 +1,87 @@
+"""Tests for execution tracing and metric collection."""
+
+from repro.beeping.network import BeepingNetwork
+from repro.beeping.trace import ExecutionTrace, RoundMetrics, TraceRecorder
+from repro.core.algorithm_single import SelfStabilizingMIS
+from repro.core.knowledge import max_degree_policy
+from repro.graphs import generators as gen
+
+
+def make_network(graph, seed=0):
+    policy = max_degree_policy(graph, c1=4)
+    return BeepingNetwork(
+        graph, SelfStabilizingMIS(), policy.knowledge(graph), seed=seed
+    )
+
+
+def stable_counter(network):
+    algorithm = network.algorithm
+    return len(
+        algorithm.stable_sets(network.graph, network.states, network.knowledge).stable
+    )
+
+
+class TestTraceRecorder:
+    def test_records_one_metrics_per_round(self, er_graph):
+        network = make_network(er_graph)
+        recorder = TraceRecorder()
+        trace = recorder.run(network, rounds=12)
+        assert len(trace) == 12
+        assert [m.round_index for m in trace.rounds] == list(range(12))
+        assert network.round_index == 12
+
+    def test_stable_counter_plumbed(self, er_graph):
+        network = make_network(er_graph)
+        recorder = TraceRecorder(stable_counter=stable_counter)
+        trace = recorder.run(network, rounds=30)
+        counts = trace.series("stable_count")
+        assert all(c >= 0 for c in counts)
+        # S_t is monotone non-decreasing.
+        assert counts == sorted(counts)
+
+    def test_stable_count_defaults_to_minus_one(self, path4):
+        network = make_network(path4)
+        recorder = TraceRecorder()
+        trace = recorder.run(network, rounds=3)
+        assert trace.series("stable_count") == [-1, -1, -1]
+
+    def test_snapshots(self, path4):
+        network = make_network(path4)
+        recorder = TraceRecorder(snapshot_every=2)
+        recorder.run(network, rounds=5)
+        assert sorted(recorder.trace.snapshots) == [0, 2, 4]
+        assert len(recorder.trace.snapshots[0]) == 4
+
+
+class TestExecutionTrace:
+    def _trace_with(self, legal_flags):
+        trace = ExecutionTrace()
+        for i, legal in enumerate(legal_flags):
+            trace.append(
+                RoundMetrics(
+                    round_index=i,
+                    beeps_per_channel=(i,),
+                    mis_size=i,
+                    stable_count=i,
+                    legal=legal,
+                )
+            )
+        return trace
+
+    def test_first_legal_round(self):
+        trace = self._trace_with([False, False, True, True])
+        assert trace.first_legal_round() == 2
+
+    def test_first_legal_round_none(self):
+        assert self._trace_with([False, False]).first_legal_round() is None
+
+    def test_total_beeps(self):
+        trace = self._trace_with([False] * 4)
+        assert trace.total_beeps() == 0 + 1 + 2 + 3
+
+    def test_series_and_rows(self):
+        trace = self._trace_with([False, True])
+        assert trace.series("mis_size") == [0, 1]
+        rows = trace.as_rows()
+        assert rows[1]["legal"] is True
+        assert rows[0]["beeps"] == (0,)

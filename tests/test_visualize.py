@@ -1,0 +1,92 @@
+"""Tests for the plain-text run visualization."""
+
+import pytest
+
+from repro.analysis.visualize import (
+    level_glyph,
+    render_histogram,
+    render_levels,
+    render_run,
+)
+
+
+class TestLevelGlyph:
+    def test_mis_corner(self):
+        assert level_glyph(-5, 5) == "■"
+
+    def test_prominent(self):
+        assert level_glyph(0, 5) == "▲"
+        assert level_glyph(-3, 5) == "▲"
+
+    def test_max_level(self):
+        assert level_glyph(5, 5) == "·"
+        assert level_glyph(9, 5) == "·"  # clamped above
+
+    def test_competition_digits_small_ellmax(self):
+        assert level_glyph(1, 5) == "1"
+        assert level_glyph(4, 5) == "4"
+
+    def test_competition_digits_scaled(self):
+        # ℓmax = 40: digits must stay in 1..9.
+        glyphs = {level_glyph(l, 40) for l in range(1, 40)}
+        assert glyphs <= set("123456789")
+        assert level_glyph(1, 40) == "1"
+        assert level_glyph(39, 40) == "9"
+
+    def test_invalid_ellmax(self):
+        with pytest.raises(ValueError):
+            level_glyph(0, 0)
+
+
+class TestRenderLevels:
+    def test_line_per_vertex(self):
+        line = render_levels([-4, 4, 1, 0], [4, 4, 4, 4])
+        assert line == "■·1▲"
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_levels([1], [4, 4])
+
+    def test_heterogeneous_ell_max(self):
+        assert render_levels([-2, 8], [2, 8]) == "■·"
+
+
+class TestRenderRun:
+    def test_short_run_shows_all_rounds(self):
+        snapshots = [[1, 1], [0, 2], [-2, 2]]
+        text = render_run(snapshots, [2, 2])
+        assert text.count("\n") == 3  # 3 rows + legend
+        assert "t=0" in text and "t=2" in text
+        assert "legend" in text
+
+    def test_long_run_elides_middle(self):
+        snapshots = [[i % 3] * 2 for i in range(100)]
+        text = render_run(snapshots, [4, 4], max_rows=10)
+        assert "elided" in text
+        assert "t=0" in text and "t=99" in text
+        assert "t=50" not in text
+
+    def test_annotations(self):
+        text = render_run([[1], [2]], [4], annotate=["boot", "after"])
+        assert "boot" in text and "after" in text
+
+    def test_annotation_length_checked(self):
+        with pytest.raises(ValueError):
+            render_run([[1], [2]], [4], annotate=["only-one"])
+
+
+class TestRenderHistogram:
+    def test_counts_rendered(self):
+        text = render_histogram([-2, -2, 0, 2], 2)
+        lines = text.splitlines()
+        assert len(lines) == 5  # -2..2
+        assert lines[0].startswith("  -2")
+        assert "2" in lines[0]  # count of the -2 bucket
+
+    def test_out_of_range_level(self):
+        with pytest.raises(ValueError):
+            render_histogram([5], 2)
+
+    def test_empty_input(self):
+        text = render_histogram([], 1)
+        assert len(text.splitlines()) == 3
