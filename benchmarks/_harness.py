@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import os
 import sys
-from typing import Callable, Dict, List, Mapping, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -39,6 +39,28 @@ def sizes_and_reps(full: bool):
     if full:
         return FULL_SIZES, FULL_REPS
     return SMOKE_SIZES, SMOKE_REPS
+
+
+#: Where machine-readable benchmark artifacts land (committed alongside
+#: the human-readable ``results/*.txt`` transcripts).
+RESULTS_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "results"
+)
+
+
+def save_bench_rows(name: str, rows, parameters=None) -> str:
+    """Persist ``rows`` as ``results/BENCH_<name>.json``.
+
+    Uses the versioned :mod:`repro.analysis.persistence` envelope so the
+    artifact records the library version and creation parameters and can
+    be read back with ``load_rows``.  Returns the written path.
+    """
+    from repro.analysis.persistence import save_rows
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    save_rows(rows, path, experiment=name, parameters=parameters or {})
+    return path
 
 
 def seed_for(*parts) -> int:

@@ -21,34 +21,21 @@ from _harness import (
 )
 
 from repro.analysis.fitting import best_model, fit_all_models
+from repro.analysis.measurements import StabilizationRounds
 from repro.analysis.sweep import run_sweep
-from repro.core import (
-    neighborhood_degree_policy,
-    own_degree_policy,
-    simulate_single,
-    simulate_two_channel,
-)
+from repro.core import neighborhood_degree_policy, simulate_two_channel
 from repro.graphs.generators import by_name
 
 FAMILIES = SCALING_FAMILIES + ["ba"]
 
+#: Algorithm 2 with ℓmax(v) = 2·log₂deg₂(v) + 15, and the head-to-head
+#: single-channel Theorem-2.2 policy, as batch-capable measurements.
+measure_two_channel = StabilizationRounds(variant="two_channel", max_rounds=400_000)
+measure_single = StabilizationRounds(variant="own_degree", max_rounds=400_000)
 
-def measure_rounds(config, rng):
-    graph = by_name(
-        config["family"], config["n"], seed=seed_for("E3g", config["family"], config["n"])
-    )
-    if config["alg"] == "two_channel":
-        policy = neighborhood_degree_policy(graph, c1=15)
-        simulate = simulate_two_channel
-    else:
-        policy = own_degree_policy(graph, c1=30)
-        simulate = simulate_single
-    result = simulate(
-        graph, policy, seed=rng, arbitrary_start=True, max_rounds=400_000
-    )
-    if not result.stabilized:
-        raise RuntimeError(f"E3 run failed to stabilize: {config}")
-    return float(result.rounds)
+
+def e3_config(family: str, n: int) -> dict:
+    return {"family": family, "n": n, "graph_seed": seed_for("E3g", family, n)}
 
 
 def run_experiment(full: bool = False) -> dict:
@@ -59,13 +46,14 @@ def run_experiment(full: bool = False) -> dict:
     )
     outputs = {}
     for family in FAMILIES:
-        configs = [{"family": family, "n": n, "alg": "two_channel"} for n in sizes]
-        sweep = run_sweep(configs, measure_rounds, repetitions=reps, master_seed=303)
-        single_configs = [
-            {"family": family, "n": n, "alg": "single"} for n in sizes
-        ]
+        configs = [e3_config(family, n) for n in sizes]
+        sweep = run_sweep(
+            configs, measure_two_channel, repetitions=reps, master_seed=303,
+            executor="batched",
+        )
         single = run_sweep(
-            single_configs, measure_rounds, repetitions=max(3, reps // 2), master_seed=304
+            configs, measure_single, repetitions=max(3, reps // 2),
+            master_seed=304, executor="batched",
         )
         print()
         print(sweep.to_table(["family", "n"], title=f"two-channel rounds — {family}"))
@@ -107,14 +95,9 @@ def bench_corollary23_beats_single_channel(benchmark):
     """Smoke check of the headline comparison on one BA graph."""
 
     def run():
-        two = measure_rounds(
-            {"family": "ba", "n": 128, "alg": "two_channel"},
-            __import__("numpy").random.default_rng(1),
-        )
-        one = measure_rounds(
-            {"family": "ba", "n": 128, "alg": "single"},
-            __import__("numpy").random.default_rng(1),
-        )
+        config = e3_config("ba", 128)
+        two = measure_two_channel(config, __import__("numpy").random.default_rng(1))
+        one = measure_single(config, __import__("numpy").random.default_rng(1))
         return one, two
 
     one, two = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -24,7 +24,6 @@ from _harness import print_header, seed_for, sizes_and_reps
 from repro.analysis.tables import format_rows
 from repro.beeping.algorithm import LocalKnowledge
 from repro.beeping.network import BeepingNetwork
-from repro.beeping.simulator import run_until_stable
 from repro.baselines import JeavonsMIS
 from repro.core import (
     max_degree_policy,

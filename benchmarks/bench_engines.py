@@ -5,14 +5,18 @@ experiment: the vectorized engine used by the sweeps is bit-identical to
 the semantics-defining reference engine, and fast enough to run the full
 scaling study on a laptop.
 
-``main()`` prints the equivalence verdict plus a rounds/second table for
-both engines over a size sweep.
+``main()`` prints the equivalence verdict, a rounds/second table for
+both engines over a size sweep, and the batched-executor speedup on the
+Theorem-2.1 smoke sweep (also written to ``results/BENCH_engines.json``
+for machine consumption).
 """
 
 import time
 
-from _harness import print_header, seed_for
+from _harness import print_header, save_bench_rows, seed_for
 
+from repro.analysis.measurements import StabilizationRounds
+from repro.analysis.sweep import run_sweep
 from repro.analysis.tables import format_table
 from repro.beeping.network import BeepingNetwork
 from repro.core import (
@@ -24,6 +28,11 @@ from repro.core import (
     neighborhood_degree_policy,
 )
 from repro.graphs.generators import by_name
+
+#: The Theorem-2.1 smoke sweep behind the executor-speedup artifact:
+#: 6 sizes × 20 repetitions of arbitrary-start stabilization on ER.
+SPEEDUP_SIZES = (32, 64, 128, 256, 512, 1024)
+SPEEDUP_REPS = 20
 
 
 def check_equivalence(n=150, rounds=250) -> bool:
@@ -91,6 +100,53 @@ def throughput_table(sizes=(100, 400, 1600, 6400)) -> str:
     )
 
 
+def sweep_speedup(sizes=SPEEDUP_SIZES, reps=SPEEDUP_REPS, master_seed=2024):
+    """Time the Theorem-2.1 smoke sweep under both sweep executors.
+
+    Returns ``(rows, speedup, identical)`` where ``rows`` is the
+    machine-readable record for ``results/BENCH_engines.json``,
+    ``speedup`` the serial/batched wall-clock ratio, and ``identical``
+    whether the two executors produced byte-identical samples (they
+    must — same seed tree, bit-identical replicas).
+    """
+    measure = StabilizationRounds(variant="max_degree")
+    configs = [{"family": "er", "n": n} for n in sizes]
+
+    start = time.perf_counter()
+    serial = run_sweep(
+        configs, measure, repetitions=reps, master_seed=master_seed,
+        executor="serial",
+    )
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched = run_sweep(
+        configs, measure, repetitions=reps, master_seed=master_seed,
+        executor="batched",
+    )
+    batched_seconds = time.perf_counter() - start
+
+    identical = all(
+        a.samples == b.samples for a, b in zip(serial.cells, batched.cells)
+    )
+    speedup = serial_seconds / batched_seconds if batched_seconds > 0 else 0.0
+    rows = [
+        {
+            "executor": "serial",
+            "wall_seconds": round(serial_seconds, 4),
+            "samples": reps * len(sizes),
+        },
+        {
+            "executor": "batched",
+            "wall_seconds": round(batched_seconds, 4),
+            "samples": reps * len(sizes),
+            "speedup_vs_serial": round(speedup, 2),
+            "samples_identical_to_serial": identical,
+        },
+    ]
+    return rows, speedup, identical
+
+
 def run_experiment(full: bool = False) -> None:
     print_header("E9 (engines)", "bit-identical trajectories + throughput")
     ok1 = check_equivalence()
@@ -99,6 +155,25 @@ def run_experiment(full: bool = False) -> None:
     print(f"two-channel equivalence over 250 rounds:    {'PASS' if ok2 else 'FAIL'}")
     print()
     print(throughput_table())
+    print()
+    rows, speedup, identical = sweep_speedup()
+    print(
+        f"Theorem-2.1 smoke sweep ({len(SPEEDUP_SIZES)} sizes × "
+        f"{SPEEDUP_REPS} seeds): serial {rows[0]['wall_seconds']:.2f}s, "
+        f"batched {rows[1]['wall_seconds']:.2f}s → {speedup:.1f}x speedup"
+    )
+    print(f"executor outputs byte-identical: {'PASS' if identical else 'FAIL'}")
+    path = save_bench_rows(
+        "engines", rows,
+        parameters={
+            "sizes": list(SPEEDUP_SIZES),
+            "repetitions": SPEEDUP_REPS,
+            "family": "er",
+            "variant": "max_degree",
+            "master_seed": 2024,
+        },
+    )
+    print(f"wrote {path}")
 
 
 # ----------------------------------------------------------------------

@@ -18,7 +18,6 @@ import numpy as np
 
 from _harness import print_header, seed_for, sizes_and_reps
 
-from repro.analysis.stats import summarize
 from repro.analysis.tables import format_rows
 from repro.core import max_degree_policy
 from repro.core.instrumentation import Configuration, PlatinumTracker

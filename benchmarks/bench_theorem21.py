@@ -23,23 +23,18 @@ from _harness import (
 )
 
 from repro.analysis.fitting import best_model, fit_all_models
+from repro.analysis.measurements import StabilizationRounds
 from repro.analysis.sweep import run_sweep
 from repro.core import max_degree_policy, simulate_single
 from repro.graphs.generators import by_name
 
+#: The Theorem-2.1 measurement (ℓmax = log₂Δ + 15, arbitrary start).
+#: Picklable and batch-capable, so sweeps below can use any executor.
+measure_rounds = StabilizationRounds(variant="max_degree", max_rounds=200_000)
 
-def measure_rounds(config, rng):
-    """One sample: stabilization rounds from a uniformly random start."""
-    graph = by_name(
-        config["family"], config["n"], seed=seed_for("E1g", config["family"], config["n"])
-    )
-    policy = max_degree_policy(graph, c1=config.get("c1", 15))
-    result = simulate_single(
-        graph, policy, seed=rng, arbitrary_start=True, max_rounds=200_000
-    )
-    if not result.stabilized:
-        raise RuntimeError(f"E1 run failed to stabilize: {config}")
-    return float(result.rounds)
+
+def e1_config(family: str, n: int) -> dict:
+    return {"family": family, "n": n, "graph_seed": seed_for("E1g", family, n)}
 
 
 def run_experiment(full: bool = False) -> dict:
@@ -51,8 +46,11 @@ def run_experiment(full: bool = False) -> dict:
     )
     outputs = {}
     for family in SCALING_FAMILIES:
-        configs = [{"family": family, "n": n} for n in sizes]
-        sweep = run_sweep(configs, measure_rounds, repetitions=reps, master_seed=101)
+        configs = [e1_config(family, n) for n in sizes]
+        sweep = run_sweep(
+            configs, measure_rounds, repetitions=reps, master_seed=101,
+            executor="batched",
+        )
         print()
         print(sweep.to_table(["family", "n"], title=f"stabilization rounds — {family}"))
         xs, ys = sweep.series("n")
@@ -69,8 +67,11 @@ def run_experiment(full: bool = False) -> dict:
         # Deep-scale appendix: the vectorized engine reaches n = 2¹⁶
         # comfortably; the log fit should keep holding (5 seeds/cell).
         deep_sizes = [8192, 16384, 32768, 65536]
-        configs = [{"family": "er", "n": n} for n in deep_sizes]
-        deep = run_sweep(configs, measure_rounds, repetitions=5, master_seed=111)
+        configs = [e1_config("er", n) for n in deep_sizes]
+        deep = run_sweep(
+            configs, measure_rounds, repetitions=5, master_seed=111,
+            executor="batched",
+        )
         print()
         print(deep.to_table(["family", "n"], title="deep-scale appendix — er"))
         xs, ys = deep.series("n")
@@ -111,8 +112,11 @@ def bench_theorem21_log_shape(benchmark):
     """
 
     def sweep_and_fit():
-        configs = [{"family": "er", "n": n} for n in (32, 128, 512, 2048)]
-        sweep = run_sweep(configs, measure_rounds, repetitions=5, master_seed=5)
+        configs = [e1_config("er", n) for n in (32, 128, 512, 2048)]
+        sweep = run_sweep(
+            configs, measure_rounds, repetitions=5, master_seed=5,
+            executor="batched",
+        )
         xs, ys = sweep.series("n")
         return fit_all_models(xs, ys)
 

@@ -19,27 +19,21 @@ Shape checks printed by ``main()``:
 from _harness import print_header, seed_for, sizes_and_reps, whp_spread
 
 from repro.analysis.fitting import fit_all_models
+from repro.analysis.measurements import StabilizationRounds
 from repro.analysis.sweep import run_sweep
-from repro.core import max_degree_policy, own_degree_policy, simulate_single
+from repro.core import own_degree_policy, simulate_single
 from repro.graphs.generators import by_name
 
 FAMILIES = ["er", "ba", "star", "regular"]
 
+#: ℓmax(v) = 2·log₂deg(v) + 30 (the Theorem-2.2 policy) and the
+#: Theorem-2.1 comparison policy, as batch-capable measurements.
+measure_own_degree = StabilizationRounds(variant="own_degree", max_rounds=400_000)
+measure_max_degree = StabilizationRounds(variant="max_degree", max_rounds=400_000)
 
-def measure_rounds(config, rng):
-    graph = by_name(
-        config["family"], config["n"], seed=seed_for("E2g", config["family"], config["n"])
-    )
-    if config["policy"] == "own_degree":
-        policy = own_degree_policy(graph, c1=config.get("c1", 30))
-    else:
-        policy = max_degree_policy(graph, c1=15)
-    result = simulate_single(
-        graph, policy, seed=rng, arbitrary_start=True, max_rounds=400_000
-    )
-    if not result.stabilized:
-        raise RuntimeError(f"E2 run failed to stabilize: {config}")
-    return float(result.rounds)
+
+def e2_config(family: str, n: int) -> dict:
+    return {"family": family, "n": n, "graph_seed": seed_for("E2g", family, n)}
 
 
 def run_experiment(full: bool = False) -> dict:
@@ -51,15 +45,14 @@ def run_experiment(full: bool = False) -> dict:
     )
     outputs = {}
     for family in FAMILIES:
-        configs = [
-            {"family": family, "n": n, "policy": "own_degree"} for n in sizes
-        ]
-        sweep = run_sweep(configs, measure_rounds, repetitions=reps, master_seed=202)
-        ref_configs = [
-            {"family": family, "n": n, "policy": "max_degree"} for n in sizes
-        ]
+        configs = [e2_config(family, n) for n in sizes]
+        sweep = run_sweep(
+            configs, measure_own_degree, repetitions=reps, master_seed=202,
+            executor="batched",
+        )
         reference = run_sweep(
-            ref_configs, measure_rounds, repetitions=max(3, reps // 2), master_seed=203
+            configs, measure_max_degree, repetitions=max(3, reps // 2),
+            master_seed=203, executor="batched",
         )
         print()
         print(sweep.to_table(["family", "n"], title=f"own-degree rounds — {family}"))
@@ -103,11 +96,11 @@ def bench_theorem22_subpolynomial_shape(benchmark):
 
     def sweep_and_fit():
         # 2-decade range so the growth shapes separate beyond noise.
-        configs = [
-            {"family": "ba", "n": n, "policy": "own_degree"}
-            for n in (32, 128, 512, 2048)
-        ]
-        sweep = run_sweep(configs, measure_rounds, repetitions=4, master_seed=6)
+        configs = [e2_config("ba", n) for n in (32, 128, 512, 2048)]
+        sweep = run_sweep(
+            configs, measure_own_degree, repetitions=4, master_seed=6,
+            executor="batched",
+        )
         xs, ys = sweep.series("n")
         return fit_all_models(xs, ys)
 

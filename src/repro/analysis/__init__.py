@@ -3,7 +3,15 @@
 from .stats import Summary, bootstrap_ci, summarize, tail_fraction
 from .fitting import FitResult, MODELS, best_model, fit_all_models, fit_model
 from .tables import format_rows, format_table, series_sparkline
-from .sweep import SweepCell, SweepResult, run_sweep
+from .sweep import (
+    EXECUTORS,
+    SweepCell,
+    SweepResult,
+    run_sweep,
+    spawn_sweep_seeds,
+    supports_batch,
+)
+from .measurements import FaultRecoveryRounds, StabilizationRounds, graph_for_config
 from .persistence import load_rows, load_sweep, save_rows, save_sweep
 from .visualize import level_glyph, render_histogram, render_levels, render_run
 
@@ -20,9 +28,15 @@ __all__ = [
     "format_rows",
     "format_table",
     "series_sparkline",
+    "EXECUTORS",
     "SweepCell",
     "SweepResult",
     "run_sweep",
+    "spawn_sweep_seeds",
+    "supports_batch",
+    "StabilizationRounds",
+    "FaultRecoveryRounds",
+    "graph_for_config",
     "load_rows",
     "load_sweep",
     "save_rows",

@@ -4,25 +4,72 @@ A sweep runs a measurement function over a grid of configurations ×
 seeds, collects per-cell samples, and summarizes them.  All benchmark
 modules are thin wrappers over this.
 
-Seeds are derived per (configuration, repetition) with
-``numpy.random.SeedSequence`` spawning, so cells are independent and the
-whole sweep is reproducible from one master seed.
+Seed-derivation scheme (stable, documented contract)
+----------------------------------------------------
+One master seed reproduces the whole sweep, executor-independently::
+
+    root        = np.random.SeedSequence(master_seed)
+    config_seqs = root.spawn(len(configs))          # one child per config
+    children_i  = config_seqs[i].spawn(repetitions) # one grandchild per rep
+
+Sample ``j`` of configuration ``i`` is
+``measure(configs[i], np.random.default_rng(children_i[j]))``.  Every
+executor hands the *same* grandchild sequences to the measurement, so
+results are byte-identical across ``serial`` / ``process`` / ``batched``
+executors and any ``jobs`` count — asserted by
+``tests/test_sweep_executors.py``, which also pins golden sample values
+so the derivation cannot drift silently.
+
+Executors
+---------
+``serial``
+    One process, one repetition at a time (default when ``jobs == 1``
+    and the measurement has no batch support).
+``process``
+    A ``concurrent.futures.ProcessPoolExecutor`` over (config,
+    seed-chunk) cells; ``measure`` must be picklable (a module-level
+    function or instance of a module-level class — see
+    :mod:`repro.analysis.measurements`).
+``batched``
+    Hands each configuration's whole repetition block to
+    ``measure.measure_batch(config, seed_sequences)`` — e.g. the
+    multi-replica :class:`~repro.core.engines.batched.BatchedEngine`,
+    whose per-replica bit-identity makes this path byte-identical to
+    serial.  With ``jobs > 1`` the per-config batch calls are themselves
+    distributed over a process pool.
+``auto``
+    ``batched`` if the measurement supports it, else ``process`` when
+    ``jobs > 1``, else ``serial``.
 """
 
 from __future__ import annotations
 
+import math
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .stats import Summary, summarize
 from .tables import format_table
 
-__all__ = ["SweepCell", "SweepResult", "run_sweep"]
+__all__ = [
+    "SweepCell",
+    "SweepResult",
+    "run_sweep",
+    "spawn_sweep_seeds",
+    "supports_batch",
+    "EXECUTORS",
+]
 
 #: A measurement: (config, rng) → float (e.g. stabilization rounds).
+#: Batch-capable measurements additionally expose
+#: ``measure_batch(config, seed_sequences) -> Sequence[float]`` with the
+#: contract that it equals the per-child serial results.
 Measurement = Callable[[Mapping[str, Any], np.random.Generator], float]
+
+EXECUTORS = ("auto", "serial", "process", "batched")
 
 
 @dataclass(frozen=True)
@@ -82,12 +129,60 @@ class SweepResult:
         return format_table(headers, rows, title=title)
 
 
+def spawn_sweep_seeds(
+    master_seed: int, num_configs: int, repetitions: int
+) -> List[List[np.random.SeedSequence]]:
+    """The documented seed tree: ``[config][repetition] -> SeedSequence``."""
+    root = np.random.SeedSequence(master_seed)
+    return [child.spawn(repetitions) for child in root.spawn(num_configs)]
+
+
+def supports_batch(measure: Measurement) -> bool:
+    """True iff ``measure`` exposes a ``measure_batch`` block interface."""
+    return callable(getattr(measure, "measure_batch", None))
+
+
+# ----------------------------------------------------------------------
+# Worker functions (module-level so ProcessPoolExecutor can pickle them)
+# ----------------------------------------------------------------------
+def _measure_chunk(measure, config, children) -> List[float]:
+    """Serial repetitions for one (config, seed-chunk) cell."""
+    return [float(measure(config, np.random.default_rng(c))) for c in children]
+
+
+def _measure_batch_block(measure, config, children) -> List[float]:
+    """One whole repetition block through the measurement's batch path."""
+    samples = [float(x) for x in measure.measure_batch(config, children)]
+    if len(samples) != len(children):
+        raise RuntimeError(
+            f"measure_batch returned {len(samples)} samples for "
+            f"{len(children)} seeds"
+        )
+    return samples
+
+
+def _resolve_executor(executor: str, measure: Measurement, jobs: int) -> str:
+    if executor not in EXECUTORS:
+        raise ValueError(f"unknown executor {executor!r}; choose one of {EXECUTORS}")
+    if executor != "auto":
+        if executor == "batched" and not supports_batch(measure):
+            raise ValueError(
+                "executor='batched' requires a measurement with measure_batch()"
+            )
+        return executor
+    if supports_batch(measure):
+        return "batched"
+    return "process" if jobs > 1 else "serial"
+
+
 def run_sweep(
     configs: Sequence[Mapping[str, Any]],
     measure: Measurement,
     repetitions: int,
     master_seed: int = 0,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
+    executor: str = "auto",
 ) -> SweepResult:
     """Run ``measure`` ``repetitions`` times per configuration.
 
@@ -97,34 +192,89 @@ def run_sweep(
         The configuration grid (each a mapping; shown in result tables).
     measure:
         ``(config, rng) → float``; must consume randomness only from the
-        provided generator.
+        provided generator.  May additionally offer
+        ``measure_batch(config, seed_sequences)`` to unlock the batched
+        executor.
     repetitions:
         Samples per configuration.
     master_seed:
-        Root of the seed tree; the (i-th config, j-th repetition) cell
-        gets an independent child generator.
+        Root of the seed tree (see the module docstring for the exact
+        derivation); identical seeds give identical results on every
+        executor.
     progress:
         Optional callback receiving one line per completed cell.
+    jobs:
+        Worker-process count for the parallel paths.  ``jobs=1`` keeps
+        everything in-process.
+    executor:
+        ``"auto"`` (default), ``"serial"``, ``"process"`` or
+        ``"batched"`` — see the module docstring.
     """
     if repetitions < 1:
         raise ValueError("repetitions must be >= 1")
-    root = np.random.SeedSequence(master_seed)
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    configs = list(configs)
+    seeds = spawn_sweep_seeds(master_seed, len(configs), repetitions)
+    chosen = _resolve_executor(executor, measure, jobs)
+
+    if chosen == "serial" or jobs == 1:
+        per_config = _run_cells_serial(configs, measure, seeds, chosen)
+    elif chosen == "process":
+        per_config = _run_cells_process(configs, measure, seeds, jobs)
+    else:  # batched + jobs > 1: distribute per-config blocks over workers
+        per_config = _run_cells_batched_parallel(configs, measure, seeds, jobs)
+
     result = SweepResult()
-    for config_index, config in enumerate(configs):
-        children = np.random.SeedSequence(
-            (master_seed, config_index)
-        ).spawn(repetitions)
-        samples = tuple(
-            float(measure(config, np.random.default_rng(child)))
-            for child in children
+    for config_index, (config, samples) in enumerate(zip(configs, per_config)):
+        cell = SweepCell(
+            config=dict(config), samples=tuple(samples), summary=summarize(samples)
         )
-        cell = SweepCell(config=dict(config), samples=samples, summary=summarize(samples))
         result.cells.append(cell)
         if progress is not None:
             progress(
                 f"[{config_index + 1}/{len(configs)}] {dict(config)} -> "
                 f"mean={cell.summary.mean:.1f}"
             )
-    # root reserved for future global draws; referenced to keep flake-clean
-    del root
     return result
+
+
+def _run_cells_serial(configs, measure, seeds, chosen) -> List[List[float]]:
+    if chosen == "batched":
+        return [
+            _measure_batch_block(measure, config, children)
+            for config, children in zip(configs, seeds)
+        ]
+    return [
+        _measure_chunk(measure, config, children)
+        for config, children in zip(configs, seeds)
+    ]
+
+
+def _run_cells_process(configs, measure, seeds, jobs) -> List[List[float]]:
+    """(config, seed-chunk) cells over a process pool, order-preserving."""
+    repetitions = len(seeds[0]) if seeds else 0
+    chunk = max(1, math.ceil(repetitions / jobs))
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = []
+        for config, children in zip(configs, seeds):
+            futures.append(
+                [
+                    pool.submit(_measure_chunk, measure, config, children[lo : lo + chunk])
+                    for lo in range(0, repetitions, chunk)
+                ]
+            )
+        return [
+            [x for f in config_futures for x in f.result()]
+            for config_futures in futures
+        ]
+
+
+def _run_cells_batched_parallel(configs, measure, seeds, jobs) -> List[List[float]]:
+    """Whole repetition blocks through measure_batch, one task per config."""
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [
+            pool.submit(_measure_batch_block, measure, config, children)
+            for config, children in zip(configs, seeds)
+        ]
+        return [f.result() for f in futures]

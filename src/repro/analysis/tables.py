@@ -7,7 +7,7 @@ in EXPERIMENTS.md).  Kept dependency-free and dumb on purpose.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, List, Mapping, Optional, Sequence
 
 __all__ = ["format_table", "format_rows", "series_sparkline"]
 

@@ -23,6 +23,7 @@ from .faults import (
     FaultSchedule,
     RandomCorruption,
     TargetedCorruption,
+    fault_from_spec,
     random_states,
 )
 
@@ -58,6 +59,7 @@ __all__ = [
     "FaultSchedule",
     "RandomCorruption",
     "TargetedCorruption",
+    "fault_from_spec",
     "random_states",
     # wake-up model
     "WakeupResult",

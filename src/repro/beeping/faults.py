@@ -19,7 +19,7 @@ Three classes of corruption are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, List, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -33,6 +33,8 @@ __all__ = [
     "TargetedCorruption",
     "AdversarialPattern",
     "FaultSchedule",
+    "FAULT_SPECS",
+    "fault_from_spec",
     "random_states",
 ]
 
@@ -144,6 +146,32 @@ class AdversarialPattern(Fault):
     @classmethod
     def threshold(cls) -> "AdversarialPattern":
         return cls(lambda v, k: k.ell_max - 1, name="threshold")
+
+
+#: Spec strings understood by :func:`fault_from_spec` (``bernoulli``
+#: takes a ``:RHO`` suffix).
+FAULT_SPECS = ("random", "bernoulli:RHO", "all_silent", "all_prominent", "threshold")
+
+
+def fault_from_spec(spec: str) -> Fault:
+    """Parse a CLI/config fault spec string into a :class:`Fault`.
+
+    Accepted forms: ``random``, ``bernoulli:RHO`` (ρ ∈ [0, 1]),
+    ``all_silent``, ``all_prominent``, ``threshold``.
+    """
+    if spec == "random":
+        return RandomCorruption()
+    if spec.startswith("bernoulli:"):
+        return BernoulliCorruption(float(spec.split(":", 1)[1]))
+    if spec == "all_silent":
+        return AdversarialPattern.all_silent()
+    if spec == "all_prominent":
+        return AdversarialPattern.all_prominent()
+    if spec == "threshold":
+        return AdversarialPattern.threshold()
+    raise ValueError(
+        f"unknown fault spec {spec!r}; accepted: {', '.join(FAULT_SPECS)}"
+    )
 
 
 @dataclass

@@ -9,7 +9,7 @@ full state snapshots unless explicitly asked to.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 __all__ = ["RoundMetrics", "ExecutionTrace", "TraceRecorder"]
 

@@ -24,7 +24,7 @@ post-wake-up stabilization time is schedule-independent.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import Dict, List, Tuple, Union
 
 import numpy as np
 

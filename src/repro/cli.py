@@ -30,12 +30,13 @@ from typing import List, Optional
 import numpy as np
 
 from .analysis.fitting import fit_all_models
+from .analysis.measurements import FaultRecoveryRounds, StabilizationRounds
 from .analysis.sweep import run_sweep
 from .analysis.tables import format_table
-from .analysis.visualize import render_histogram, render_run
+from .analysis.visualize import render_run
+from .core.engines import SingleChannelEngine, TwoChannelEngine, available_engines
 from .core.levels import probability_table
 from .core.runner import VARIANTS, compute_mis, default_round_budget, policy_for_variant
-from .core.vectorized import SingleChannelEngine, TwoChannelEngine
 from .graphs.generators import FAMILY_NAMES, by_name
 from .graphs.properties import average_degree, connected_components, deg2_all
 
@@ -64,7 +65,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--c1", type=int, default=None, help="ℓmax constant (default: theorem value)")
     run_p.add_argument("--fresh-start", action="store_true",
                        help="boot from level 1 instead of an arbitrary configuration")
-    run_p.add_argument("--engine", choices=["vectorized", "reference"], default="vectorized")
+    run_p.add_argument("--engine", choices=available_engines(), default="vectorized",
+                       help="execution backend (registered engines)")
+    run_p.add_argument("--reps", type=int, default=1,
+                       help="independent repetitions; > 1 prints a summary")
+    run_p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for --reps > 1")
     run_p.add_argument("--watch", action="store_true",
                        help="render the level waterfall (implies vectorized engine)")
 
@@ -76,6 +82,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--reps", type=int, default=10)
     sweep_p.add_argument("--c1", type=int, default=None)
     sweep_p.add_argument("--seed", type=int, default=0)
+    sweep_p.add_argument("--engine", choices=["batched", "vectorized"],
+                         default="batched",
+                         help="batched: whole repetition blocks per size; "
+                              "vectorized: solo runs (parallel with --jobs)")
+    sweep_p.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for the sweep executor")
 
     recover_p = sub.add_parser("recover", help="fault-injection recovery measurement")
     add_graph_args(recover_p)
@@ -84,8 +96,15 @@ def build_parser() -> argparse.ArgumentParser:
     recover_p.add_argument("--c1", type=int, default=None)
     recover_p.add_argument(
         "--fault", default="random",
-        help="random | bernoulli:RHO | all_silent | all_prominent",
+        help="random | bernoulli:RHO | all_silent | all_prominent | threshold",
     )
+    recover_p.add_argument("--engine", choices=["reference", "vectorized"],
+                           default="reference",
+                           help="engine used for the recovery measurement")
+    recover_p.add_argument("--reps", type=int, default=1,
+                           help="independent fault trials; > 1 prints a summary")
+    recover_p.add_argument("--jobs", type=int, default=1,
+                           help="worker processes for --reps > 1")
 
     color_p = sub.add_parser("color", help="(Δ+1)-coloring via iterated MIS")
     add_graph_args(color_p)
@@ -113,6 +132,8 @@ def _cmd_run(args) -> int:
     graph = by_name(args.family, args.n, seed=args.graph_seed)
     if args.watch:
         return _cmd_run_watch(args, graph)
+    if args.reps > 1:
+        return _cmd_run_repeated(args, graph)
     result = compute_mis(
         graph,
         variant=args.variant,
@@ -125,6 +146,31 @@ def _cmd_run(args) -> int:
         f"{args.family}(n={graph.num_vertices}, m={graph.num_edges}) "
         f"variant={args.variant}: stabilized after {result.rounds} rounds, "
         f"|MIS| = {len(result.mis)}"
+    )
+    return 0
+
+
+def _cmd_run_repeated(args, graph) -> int:
+    """``run --reps R``: R independent runs via the sweep executors."""
+    if args.engine == "reference":
+        print("--reps > 1 requires a vectorized/batched engine", file=sys.stderr)
+        return 2
+    measure = StabilizationRounds(
+        variant=args.variant, c1=args.c1, arbitrary_start=not args.fresh_start
+    )
+    config = {"family": args.family, "n": args.n, "graph_seed": args.graph_seed}
+    executor = "batched" if args.engine == "batched" else (
+        "process" if args.jobs > 1 else "serial"
+    )
+    sweep = run_sweep(
+        [config], measure, repetitions=args.reps, master_seed=args.seed,
+        jobs=args.jobs, executor=executor,
+    )
+    summary = sweep.cells[0].summary
+    print(
+        f"{args.family}(n={graph.num_vertices}, m={graph.num_edges}) "
+        f"variant={args.variant}, {args.reps} runs: "
+        f"rounds {summary.format()}"
     )
     return 0
 
@@ -157,17 +203,14 @@ def _cmd_sweep(args) -> int:
         print("no sizes given", file=sys.stderr)
         return 2
 
-    def measure(config, rng):
-        graph = by_name(args.family, config["n"], seed=config["n"])
-        policy = policy_for_variant(graph, args.variant, c1=args.c1)
-        result = compute_mis(
-            graph, variant=args.variant, seed=rng, arbitrary_start=True, policy=policy
-        )
-        return float(result.rounds)
-
+    measure = StabilizationRounds(variant=args.variant, c1=args.c1)
+    executor = "batched" if args.engine == "batched" else (
+        "process" if args.jobs > 1 else "serial"
+    )
     sweep = run_sweep(
-        [{"n": n} for n in sizes], measure, repetitions=args.reps,
-        master_seed=args.seed,
+        [{"family": args.family, "n": n} for n in sizes],
+        measure, repetitions=args.reps, master_seed=args.seed,
+        jobs=args.jobs, executor=executor,
     )
     print(sweep.to_table(
         ["n"], title=f"{args.family} / {args.variant}: stabilization rounds"
@@ -182,49 +225,58 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_recover(args) -> int:
-    from .beeping.faults import (
-        AdversarialPattern,
-        BernoulliCorruption,
-        RandomCorruption,
-    )
+    from .beeping.faults import fault_from_spec
     from .beeping.network import BeepingNetwork
     from .beeping.simulator import run_until_stable
     from .core.algorithm_single import SelfStabilizingMIS
     from .core.algorithm_two_channel import TwoChannelMIS
 
+    try:
+        fault = fault_from_spec(args.fault)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
     graph = by_name(args.family, args.n, seed=args.graph_seed)
     policy = policy_for_variant(graph, args.variant, c1=args.c1)
+    budget = 10 * default_round_budget(graph, policy)
+
+    if args.reps > 1 or args.engine != "reference":
+        measure = FaultRecoveryRounds(
+            variant=args.variant, c1=args.c1, fault=args.fault,
+            engine=args.engine, max_rounds=budget,
+        )
+        config = {"family": args.family, "n": args.n, "graph_seed": args.graph_seed}
+        executor = "process" if args.jobs > 1 else "serial"
+        sweep = run_sweep(
+            [config], measure, repetitions=args.reps, master_seed=args.seed,
+            jobs=args.jobs, executor=executor,
+        )
+        summary = sweep.cells[0].summary
+        print(
+            f"{args.family}(n={graph.num_vertices}) after fault {args.fault!r}: "
+            f"recovered in {summary.format()} rounds "
+            f"({args.reps} trials, engine={args.engine})"
+        )
+        return 0
+
     algorithm = (
         TwoChannelMIS() if args.variant == "two_channel" else SelfStabilizingMIS()
     )
     rng = np.random.default_rng(args.seed)
     network = BeepingNetwork(graph, algorithm, policy.knowledge(graph), seed=rng)
-    budget = 10 * default_round_budget(graph, policy)
 
     first = run_until_stable(network, max_rounds=budget)
     if not first.stabilized:
         print("initial stabilization failed", file=sys.stderr)
         return 1
-
-    spec = args.fault
-    if spec == "random":
-        fault = RandomCorruption()
-    elif spec.startswith("bernoulli:"):
-        fault = BernoulliCorruption(float(spec.split(":", 1)[1]))
-    elif spec == "all_silent":
-        fault = AdversarialPattern.all_silent()
-    elif spec == "all_prominent":
-        fault = AdversarialPattern.all_prominent()
-    else:
-        print(f"unknown fault {spec!r}", file=sys.stderr)
-        return 2
     fault.apply(network, rng)
     recovery = run_until_stable(network, max_rounds=budget)
     if not recovery.stabilized:
         print("recovery failed within budget", file=sys.stderr)
         return 1
     print(
-        f"stabilized in {first.rounds} rounds; after fault {spec!r} "
+        f"stabilized in {first.rounds} rounds; after fault {args.fault!r} "
         f"recovered in {recovery.rounds} rounds (|MIS| = {len(recovery.mis)})"
     )
     return 0

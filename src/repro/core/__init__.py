@@ -42,10 +42,20 @@ from .lemmas import (
     verify_lemma34,
     verify_lemma36_uniform,
 )
-from .vectorized import (
+from .engines import (
+    BatchedEngine,
+    BatchedResult,
+    ConstantStateEngine,
+    EngineBackend,
+    EngineBase,
     SingleChannelEngine,
     TwoChannelEngine,
     VectorizedResult,
+    available_engines,
+    get_engine,
+    register_engine,
+    simulate_batched,
+    simulate_constant_state,
     simulate_single,
     simulate_two_channel,
 )
@@ -99,12 +109,23 @@ __all__ = [
     "verify_lemma31",
     "verify_lemma34",
     "verify_lemma36_uniform",
-    # vectorized engine
+    # execution engines
+    "EngineBase",
     "SingleChannelEngine",
     "TwoChannelEngine",
+    "ConstantStateEngine",
+    "BatchedEngine",
+    "BatchedResult",
     "VectorizedResult",
     "simulate_single",
     "simulate_two_channel",
+    "simulate_constant_state",
+    "simulate_batched",
+    # engine registry
+    "EngineBackend",
+    "register_engine",
+    "get_engine",
+    "available_engines",
     # churn
     "ChurnEvent",
     "carry_levels",

@@ -28,8 +28,8 @@ from typing import FrozenSet, Optional, Tuple, Union
 import numpy as np
 
 from ..graphs.graph import Graph
-from .knowledge import EllMaxPolicy, max_degree_policy
-from .vectorized import SingleChannelEngine, VectorizedResult, simulate_single
+from .knowledge import EllMaxPolicy
+from .vectorized import VectorizedResult, simulate_single
 
 __all__ = ["ChurnEvent", "rewire_edges", "carry_levels", "restabilize_after_churn"]
 

@@ -1,0 +1,213 @@
+"""Shared machinery for every array-program execution engine.
+
+The reference engine (:class:`repro.beeping.network.BeepingNetwork`)
+defines the semantics; the engines in this package re-implement the
+algorithms as numpy/scipy array programs for benchmark-scale runs.
+
+:class:`EngineBase` centralizes what every engine previously duplicated:
+sparse adjacency construction, the ``I_t`` / ``S_t`` masks, the legality
+predicate, and level-vector validation.  Subclasses supply the level
+range (``level_floor``) and the per-round update (:meth:`step`).
+
+Bit-identical equivalence contract
+----------------------------------
+All engines draw exactly ``n`` uniforms per round via a single
+``rng.random(n)`` call, in node order, and a vertex beeps iff
+``u < p(ℓ)`` with the same double-precision ``p`` as the reference
+engine.  Hence, for the same seed and initial levels, trajectories are
+*identical* across engines — asserted by
+``tests/test_engine_equivalence.py`` and ``tests/test_batched_engine.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Union
+
+import numpy as np
+
+from ...graphs.graph import Graph
+from ...graphs.io import to_sparse_adjacency
+from ..knowledge import EllMaxPolicy
+
+__all__ = [
+    "SeedLike",
+    "VectorizedResult",
+    "EngineBase",
+    "as_generator",
+    "drive",
+]
+
+SeedLike = Union[int, np.random.Generator, None]
+
+#: Exponent clip for 2^(−ℓ): ℓmax = O(log n) ≤ 60 at any simulable scale,
+#: and clipping avoids float overflow on corrupted/extreme inputs.
+MAX_EXPONENT = 1023
+
+
+def as_generator(seed: SeedLike) -> np.random.Generator:
+    """Coerce a seed-like value to a ``numpy.random.Generator``."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+@dataclass
+class VectorizedResult:
+    """Outcome of a vectorized stabilization run.
+
+    ``rounds`` counts rounds executed before the first legal
+    configuration (start-of-round convention, as in the paper's ``S_t``).
+    When ``check_every > 1`` the loop only *observes* legality at that
+    cadence, so ``rounds`` is then the first multiple of ``check_every``
+    at which the configuration was seen legal — an overestimate of the
+    true stabilization round by at most ``check_every − 1``.
+    """
+
+    stabilized: bool
+    rounds: int
+    mis: frozenset
+    final_levels: np.ndarray
+    #: Optional per-round series (filled when ``record_series=True``):
+    #: number of beeps on channel 1 and size of the stable set S_t.
+    beep_series: List[int] = field(default_factory=list)
+    stable_series: List[int] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.stabilized
+
+
+class EngineBase:
+    """Common state and predicates for the level-based array engines.
+
+    Subclasses set :attr:`level_floor` (the lowest legal level value —
+    ``-ℓmax`` for Algorithm 1, ``0`` for Algorithm 2) and implement
+    :meth:`step`.
+    """
+
+    #: "-ell_max" or 0 — resolved per-vertex in :meth:`_floor_vector`.
+    uses_negative_levels = True
+
+    def __init__(self, graph: Graph, policy: EllMaxPolicy, seed: SeedLike = None):
+        if policy.num_vertices != graph.num_vertices:
+            raise ValueError("policy size does not match graph size")
+        self.graph = graph
+        self.n = graph.num_vertices
+        self.adjacency = to_sparse_adjacency(graph)
+        self.ell_max = np.asarray(policy.ell_max, dtype=np.int64)
+        self.rng = as_generator(seed)
+        self.levels = np.ones(self.n, dtype=np.int64)
+        self.round_index = 0
+
+    # ------------------------------------------------------------------
+    # Level management
+    # ------------------------------------------------------------------
+    def _floor_vector(self) -> np.ndarray:
+        """Per-vertex lowest admissible level."""
+        return -self.ell_max if self.uses_negative_levels else np.zeros_like(self.ell_max)
+
+    def set_levels(self, levels: np.ndarray) -> None:
+        """Install a level vector (values are validated, not clamped)."""
+        levels = np.asarray(levels, dtype=np.int64)
+        if levels.shape != (self.n,):
+            raise ValueError(f"levels must have shape ({self.n},)")
+        floor = self._floor_vector()
+        if np.any(levels < floor) or np.any(levels > self.ell_max):
+            low = "-ℓmax" if self.uses_negative_levels else "0"
+            raise ValueError(f"levels outside [{low}, ℓmax]")
+        self.levels = levels.copy()
+
+    def randomize_levels(self) -> None:
+        """Uniform arbitrary configuration (full RAM corruption)."""
+        floor = self._floor_vector()
+        span = self.ell_max - floor + 1
+        self.levels = (
+            self.rng.integers(0, span, size=self.n).astype(np.int64) + floor
+        )
+
+    # ------------------------------------------------------------------
+    # One synchronous round — subclass responsibility
+    # ------------------------------------------------------------------
+    def step(self):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Stability structure (paper Section 3), shared by both algorithms:
+    # the MIS candidates sit at the level floor and are blocked by no
+    # neighbor below ℓmax.
+    # ------------------------------------------------------------------
+    def mis_mask(self) -> np.ndarray:
+        """Boolean mask of ``I_t`` (paper Section 3), vectorized."""
+        not_at_max = (self.levels != self.ell_max).astype(np.int32)
+        blocked = self.adjacency.dot(not_at_max)
+        return (self.levels == self._floor_vector()) & (blocked == 0)
+
+    def stable_mask(self) -> np.ndarray:
+        """Boolean mask of ``S_t = I_t ∪ N(I_t)``."""
+        in_mis = self.mis_mask()
+        dominated = self.adjacency.dot(in_mis.astype(np.int32)) > 0
+        return in_mis | dominated
+
+    def is_legal(self) -> bool:
+        """Legal iff S_t covers all vertices and the rest sit at ℓmax."""
+        in_mis = self.mis_mask()
+        dominated = self.adjacency.dot(in_mis.astype(np.int32)) > 0
+        others_ok = (self.levels == self.ell_max) & dominated
+        return bool(np.all(in_mis | others_ok))
+
+    def mis_vertices(self) -> frozenset:
+        return frozenset(int(v) for v in np.nonzero(self.mis_mask())[0])
+
+
+def drive(
+    engine,
+    max_rounds: int,
+    check_every: int,
+    record_series: bool,
+) -> VectorizedResult:
+    """Shared run-until-legal loop for the level-based engines.
+
+    ``rounds`` convention: legality is *observed* before stepping, at
+    rounds ``0, check_every, 2·check_every, …`` — plus once more when the
+    budget runs out.  With ``check_every=1`` (the default everywhere) the
+    returned ``rounds`` is the exact stabilization round; with a coarser
+    cadence it may overshoot by up to ``check_every − 1`` rounds, trading
+    accuracy for two fewer sparse matvecs per skipped round.
+
+    ``record_series`` is independent of the check cadence: the per-round
+    ``S_t``/beep series are appended every round regardless of
+    ``check_every`` (recording needs ``stable_mask``, one matvec, but not
+    the full legality predicate).
+    """
+    if check_every < 1:
+        raise ValueError("check_every must be >= 1")
+    beep_series: List[int] = []
+    stable_series: List[int] = []
+    executed = 0
+    while True:
+        should_check = executed % check_every == 0 or executed >= max_rounds
+        if should_check and engine.is_legal():
+            return VectorizedResult(
+                stabilized=True,
+                rounds=executed,
+                mis=engine.mis_vertices(),
+                final_levels=engine.levels.copy(),
+                beep_series=beep_series,
+                stable_series=stable_series,
+            )
+        if executed >= max_rounds:
+            return VectorizedResult(
+                stabilized=False,
+                rounds=executed,
+                mis=frozenset(),
+                final_levels=engine.levels.copy(),
+                beep_series=beep_series,
+                stable_series=stable_series,
+            )
+        if record_series:
+            stable_series.append(int(engine.stable_mask().sum()))
+        out = engine.step()
+        if record_series:
+            first = out[0] if isinstance(out, tuple) else out
+            beep_series.append(int(first.sum()))
+        executed += 1

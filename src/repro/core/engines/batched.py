@@ -1,0 +1,331 @@
+"""Multi-replica batched engine: R independent runs, one matmul a round.
+
+Repetition blocks dominate every sweep behind Theorems 2.1/2.2 and
+Corollary 2.3: the same graph and policy are simulated for 20+ seeds.
+:class:`BatchedEngine` runs R such replicas simultaneously as an
+``(R, n)`` level matrix, so the per-round reception of *all* replicas is
+one ``beeps @ A`` sparse matmul instead of R separate matvecs.
+
+Bit-identical replica contract
+------------------------------
+Each replica owns its own ``numpy.random.Generator``, spawned from one
+``SeedSequence`` (``SeedSequence(seed).spawn(replicas)`` unless explicit
+child sequences are given), and consumes randomness in exactly the solo
+order: one optional ``integers`` draw for the arbitrary start, then one
+``random(n)`` call per round.  Replica ``k`` therefore produces the
+*bit-identical* trajectory, round count, and MIS of a solo
+:func:`~repro.core.engines.single.simulate_single` /
+:func:`~repro.core.engines.two_channel.simulate_two_channel` run seeded
+with ``np.random.default_rng(children[k])`` — asserted by
+``tests/test_batched_engine.py``.  This is what makes the batched sweep
+executor byte-identical to the serial one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ...graphs.graph import Graph
+from ...graphs.io import to_sparse_adjacency
+from ..knowledge import EllMaxPolicy
+from .base import MAX_EXPONENT, VectorizedResult
+
+__all__ = ["BatchedEngine", "BatchedResult", "simulate_batched"]
+
+#: Accepted algorithm tags.
+ALGORITHMS = ("single", "two_channel")
+
+SeedSpec = Union[int, np.random.SeedSequence, None]
+
+
+@dataclass
+class BatchedResult:
+    """Per-replica outcomes of a batched run (solo-run compatible)."""
+
+    results: List[VectorizedResult]
+
+    @property
+    def rounds(self) -> np.ndarray:
+        return np.asarray([r.rounds for r in self.results], dtype=np.int64)
+
+    @property
+    def stabilized(self) -> np.ndarray:
+        return np.asarray([r.stabilized for r in self.results], dtype=bool)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> VectorizedResult:
+        return self.results[index]
+
+
+class BatchedEngine:
+    """R replicas of Algorithm 1 or 2 on one graph, stepped together.
+
+    Parameters
+    ----------
+    graph, policy:
+        The shared topology and ℓmax policy.
+    replicas:
+        Number of independent replicas R.
+    seed:
+        Root of the replica seed tree; children are spawned as
+        ``np.random.SeedSequence(seed).spawn(replicas)``.
+    seed_sequences:
+        Explicit per-replica ``SeedSequence`` objects overriding
+        ``seed``/``replicas`` (``replicas`` then defaults to their
+        count).  This is the hook the sweep executor uses to hand the
+        *same* children to batched and solo paths.
+    algorithm:
+        ``"single"`` (Algorithm 1) or ``"two_channel"`` (Algorithm 2).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        policy: EllMaxPolicy,
+        replicas: Optional[int] = None,
+        seed: SeedSpec = None,
+        seed_sequences: Optional[Sequence[np.random.SeedSequence]] = None,
+        algorithm: str = "single",
+    ):
+        if policy.num_vertices != graph.num_vertices:
+            raise ValueError("policy size does not match graph size")
+        if algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; choose one of {ALGORITHMS}"
+            )
+        if seed_sequences is None:
+            if replicas is None or replicas < 1:
+                raise ValueError("replicas must be >= 1 when seed_sequences is not given")
+            root = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+            seed_sequences = root.spawn(replicas)
+        elif replicas is not None and replicas != len(seed_sequences):
+            raise ValueError("replicas does not match len(seed_sequences)")
+
+        self.graph = graph
+        self.n = graph.num_vertices
+        self.replicas = len(seed_sequences)
+        self.algorithm = algorithm
+        self.adjacency = to_sparse_adjacency(graph)
+        # ``rows @ A`` via scipy's __rmatmul__ would materialize A.T on
+        # every call; precompute it once (CSR for fast dense products).
+        self._adj_t = self.adjacency.transpose().tocsr()
+        self.ell_max = np.asarray(policy.ell_max, dtype=np.int64)
+        self.rngs = [np.random.default_rng(s) for s in seed_sequences]
+        self.levels = np.ones((self.replicas, self.n), dtype=np.int64)
+        self.round_index = 0
+        self._single = algorithm == "single"
+
+    # ------------------------------------------------------------------
+    # Level management (mirrors EngineBase, one row per replica)
+    # ------------------------------------------------------------------
+    def _floor_vector(self) -> np.ndarray:
+        return -self.ell_max if self._single else np.zeros_like(self.ell_max)
+
+    def set_levels(self, levels: np.ndarray) -> None:
+        """Install an (R, n) level matrix (validated, not clamped)."""
+        levels = np.asarray(levels, dtype=np.int64)
+        if levels.shape != (self.replicas, self.n):
+            raise ValueError(f"levels must have shape ({self.replicas}, {self.n})")
+        floor = self._floor_vector()
+        if np.any(levels < floor) or np.any(levels > self.ell_max):
+            raise ValueError("levels outside the admissible range")
+        self.levels = levels.copy()
+
+    def randomize_levels(self) -> None:
+        """Per-replica uniform arbitrary configuration.
+
+        Consumes one ``integers`` draw from each replica's generator —
+        the same call, in the same position of the stream, as the solo
+        engines' ``randomize_levels``.
+        """
+        floor = self._floor_vector()
+        span = self.ell_max - floor + 1
+        for r, rng in enumerate(self.rngs):
+            self.levels[r] = rng.integers(0, span, size=self.n).astype(np.int64) + floor
+
+    # ------------------------------------------------------------------
+    # Batched stability structure: all masks are (R', n) row blocks.
+    # ------------------------------------------------------------------
+    def _received(self, rows: np.ndarray) -> np.ndarray:
+        """``rows @ A`` for an (R', n) int block, one sparse product."""
+        return self._adj_t.dot(rows.T).T
+
+    def _mis_mask_rows(self, levels: np.ndarray) -> np.ndarray:
+        not_at_max = (levels != self.ell_max).astype(np.int32)
+        blocked = self._received(not_at_max)
+        return (levels == self._floor_vector()) & (blocked == 0)
+
+    def mis_mask(self) -> np.ndarray:
+        """Boolean (R, n) mask of ``I_t`` per replica."""
+        return self._mis_mask_rows(self.levels)
+
+    def stable_mask(self) -> np.ndarray:
+        """Boolean (R, n) mask of ``S_t = I_t ∪ N(I_t)`` per replica."""
+        in_mis = self.mis_mask()
+        dominated = self._received(in_mis.astype(np.int32)) > 0
+        return in_mis | dominated
+
+    def _legal_rows(self, levels: np.ndarray) -> np.ndarray:
+        in_mis = self._mis_mask_rows(levels)
+        dominated = self._received(in_mis.astype(np.int32)) > 0
+        others_ok = (levels == self.ell_max) & dominated
+        return np.all(in_mis | others_ok, axis=1)
+
+    def legal_mask(self) -> np.ndarray:
+        """Boolean (R,) vector: which replicas sit in a legal configuration."""
+        return self._legal_rows(self.levels)
+
+    def mis_vertices(self, replica: int) -> frozenset:
+        row = self._mis_mask_rows(self.levels[replica : replica + 1])[0]
+        return frozenset(int(v) for v in np.nonzero(row)[0])
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def step(self, active: Optional[np.ndarray] = None) -> np.ndarray:
+        """One synchronous round for the ``active`` replicas (default all).
+
+        Returns the (R', n) channel-1 beep matrix of the stepped rows.
+        Inactive replicas' levels and generators are left untouched, so a
+        retired replica's state stays frozen at its stabilization round.
+        """
+        if active is None:
+            active_idx = np.arange(self.replicas)
+        else:
+            active_idx = np.nonzero(np.asarray(active, dtype=bool))[0]
+        if active_idx.size == 0:
+            return np.zeros((0, self.n), dtype=bool)
+
+        levels = self.levels[active_idx]
+        draws = np.empty((active_idx.size, self.n), dtype=np.float64)
+        for i, r in enumerate(active_idx):
+            draws[i] = self.rngs[r].random(self.n)
+
+        if self._single:
+            exponent = np.clip(levels, 0, MAX_EXPONENT).astype(np.float64)
+            p = np.power(2.0, -exponent)
+            p[levels <= 0] = 1.0
+            p[levels >= self.ell_max] = 0.0
+            beeps = draws < p
+            heard = self._received(beeps.astype(np.int32)) > 0
+            up = np.minimum(levels + 1, self.ell_max)
+            down = np.maximum(levels - 1, 1)
+            new_levels = np.where(heard, up, np.where(beeps, -self.ell_max, down))
+            beep1 = beeps
+        else:
+            exponent = np.clip(levels, 0, MAX_EXPONENT).astype(np.float64)
+            p1 = np.power(2.0, -exponent)
+            active_band = (levels > 0) & (levels < self.ell_max)
+            beep1 = active_band & (draws < p1)
+            beep2 = levels == 0
+            # One sparse matmul for both channels: stack the beep rows.
+            stacked = np.concatenate(
+                [beep1.astype(np.int32), beep2.astype(np.int32)], axis=0
+            )
+            heard = self._received(stacked) > 0
+            heard1 = heard[: active_idx.size]
+            heard2 = heard[active_idx.size :]
+            up = np.minimum(levels + 1, self.ell_max)
+            down = np.maximum(levels - 1, 1)
+            new_levels = np.where(
+                heard2,
+                self.ell_max,
+                np.where(
+                    heard1,
+                    up,
+                    np.where(beep1, 0, np.where(~beep2, down, levels)),
+                ),
+            )
+
+        self.levels[active_idx] = new_levels
+        self.round_index += 1
+        return beep1
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_rounds: int = 100_000,
+        check_every: int = 1,
+        arbitrary_start: bool = False,
+        initial_levels: Optional[np.ndarray] = None,
+    ) -> BatchedResult:
+        """Drive every replica to its first legal configuration.
+
+        The loop mirrors :func:`repro.core.engines.base.drive` exactly —
+        legality observed before stepping at rounds ``0, check_every,
+        2·check_every, …`` plus at budget exhaustion — so each replica's
+        ``rounds`` equals the solo run's.
+        """
+        if check_every < 1:
+            raise ValueError("check_every must be >= 1")
+        if initial_levels is not None:
+            self.set_levels(initial_levels)
+        elif arbitrary_start:
+            self.randomize_levels()
+
+        results: List[Optional[VectorizedResult]] = [None] * self.replicas
+        active = np.ones(self.replicas, dtype=bool)
+        executed = 0
+        while active.any():
+            should_check = executed % check_every == 0 or executed >= max_rounds
+            if should_check:
+                active_idx = np.nonzero(active)[0]
+                legal = self._legal_rows(self.levels[active_idx])
+                for i in np.nonzero(legal)[0]:
+                    r = int(active_idx[i])
+                    results[r] = VectorizedResult(
+                        stabilized=True,
+                        rounds=executed,
+                        mis=self.mis_vertices(r),
+                        final_levels=self.levels[r].copy(),
+                    )
+                    active[r] = False
+            if executed >= max_rounds:
+                for r in np.nonzero(active)[0]:
+                    results[int(r)] = VectorizedResult(
+                        stabilized=False,
+                        rounds=executed,
+                        mis=frozenset(),
+                        final_levels=self.levels[int(r)].copy(),
+                    )
+                    active[int(r)] = False
+                break
+            if active.any():
+                self.step(active)
+            executed += 1
+        return BatchedResult(results=results)
+
+
+def simulate_batched(
+    graph: Graph,
+    policy: EllMaxPolicy,
+    replicas: Optional[int] = None,
+    seed: SeedSpec = None,
+    seed_sequences: Optional[Sequence[np.random.SeedSequence]] = None,
+    algorithm: str = "single",
+    max_rounds: int = 100_000,
+    arbitrary_start: bool = False,
+    check_every: int = 1,
+) -> BatchedResult:
+    """Run R replicas of Algorithm 1/2 to stabilization, batched."""
+    engine = BatchedEngine(
+        graph,
+        policy,
+        replicas=replicas,
+        seed=seed,
+        seed_sequences=seed_sequences,
+        algorithm=algorithm,
+    )
+    return engine.run(
+        max_rounds=max_rounds,
+        check_every=check_every,
+        arbitrary_start=arbitrary_start,
+    )

@@ -1,0 +1,68 @@
+"""Array implementation of Algorithm 1 (single channel)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...graphs.graph import Graph
+from ..knowledge import EllMaxPolicy
+from .base import MAX_EXPONENT, EngineBase, SeedLike, VectorizedResult, drive
+
+__all__ = ["SingleChannelEngine", "simulate_single"]
+
+
+class SingleChannelEngine(EngineBase):
+    """Array implementation of Algorithm 1 on a fixed graph + policy.
+
+    Levels live in ``[-ℓmax, ℓmax]``; the level floor ``-ℓmax`` marks the
+    MIS candidates.
+    """
+
+    uses_negative_levels = True
+
+    def beep_probabilities(self) -> np.ndarray:
+        """The Figure-1 activation applied elementwise to the levels."""
+        exponent = np.clip(self.levels, 0, MAX_EXPONENT).astype(np.float64)
+        p = np.power(2.0, -exponent)
+        p[self.levels <= 0] = 1.0
+        p[self.levels >= self.ell_max] = 0.0
+        return p
+
+    def step(self) -> np.ndarray:
+        """One synchronous round; returns the beep vector (bool array)."""
+        draws = self.rng.random(self.n)
+        beeps = draws < self.beep_probabilities()
+        heard = self.adjacency.dot(beeps.astype(np.int32)) > 0
+        up = np.minimum(self.levels + 1, self.ell_max)
+        reset = -self.ell_max
+        down = np.maximum(self.levels - 1, 1)
+        self.levels = np.where(heard, up, np.where(beeps, reset, down))
+        self.round_index += 1
+        return beeps
+
+
+def simulate_single(
+    graph: Graph,
+    policy: EllMaxPolicy,
+    seed: SeedLike = None,
+    max_rounds: int = 100_000,
+    initial_levels: Optional[np.ndarray] = None,
+    arbitrary_start: bool = False,
+    check_every: int = 1,
+    record_series: bool = False,
+) -> VectorizedResult:
+    """Run Algorithm 1 to stabilization on the vectorized engine.
+
+    ``arbitrary_start=True`` draws a uniformly random initial
+    configuration (the self-stabilization setting); otherwise the run
+    starts from the fresh level-1 configuration, unless
+    ``initial_levels`` overrides it.
+    """
+    engine = SingleChannelEngine(graph, policy, seed)
+    if initial_levels is not None:
+        engine.set_levels(initial_levels)
+    elif arbitrary_start:
+        engine.randomize_levels()
+    return drive(engine, max_rounds, check_every, record_series)

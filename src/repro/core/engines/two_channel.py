@@ -1,0 +1,62 @@
+"""Array implementation of Algorithm 2 (two channels)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ...graphs.graph import Graph
+from ..knowledge import EllMaxPolicy
+from .base import MAX_EXPONENT, EngineBase, SeedLike, VectorizedResult, drive
+
+__all__ = ["TwoChannelEngine", "simulate_two_channel"]
+
+
+class TwoChannelEngine(EngineBase):
+    """Array implementation of Algorithm 2 (levels in ``[0, ℓmax]``)."""
+
+    uses_negative_levels = False
+
+    def step(self) -> Tuple[np.ndarray, np.ndarray]:
+        """One round; returns ``(beep1, beep2)`` bool vectors."""
+        draws = self.rng.random(self.n)
+        exponent = np.clip(self.levels, 0, MAX_EXPONENT).astype(np.float64)
+        p1 = np.power(2.0, -exponent)
+        active = (self.levels > 0) & (self.levels < self.ell_max)
+        beep1 = active & (draws < p1)
+        beep2 = self.levels == 0
+        heard1 = self.adjacency.dot(beep1.astype(np.int32)) > 0
+        heard2 = self.adjacency.dot(beep2.astype(np.int32)) > 0
+        up = np.minimum(self.levels + 1, self.ell_max)
+        down = np.maximum(self.levels - 1, 1)
+        self.levels = np.where(
+            heard2,
+            self.ell_max,
+            np.where(
+                heard1,
+                up,
+                np.where(beep1, 0, np.where(~beep2, down, self.levels)),
+            ),
+        )
+        self.round_index += 1
+        return beep1, beep2
+
+
+def simulate_two_channel(
+    graph: Graph,
+    policy: EllMaxPolicy,
+    seed: SeedLike = None,
+    max_rounds: int = 100_000,
+    initial_levels: Optional[np.ndarray] = None,
+    arbitrary_start: bool = False,
+    check_every: int = 1,
+    record_series: bool = False,
+) -> VectorizedResult:
+    """Run Algorithm 2 to stabilization on the vectorized engine."""
+    engine = TwoChannelEngine(graph, policy, seed)
+    if initial_levels is not None:
+        engine.set_levels(initial_levels)
+    elif arbitrary_start:
+        engine.randomize_levels()
+    return drive(engine, max_rounds, check_every, record_series)

@@ -16,20 +16,15 @@ from typing import Optional, Union
 
 import numpy as np
 
-from ..beeping.faults import random_states
-from ..beeping.network import BeepingNetwork
-from ..beeping.simulator import run_until_stable
 from ..graphs.graph import Graph
 from ..graphs.mis import check_mis
-from .algorithm_single import SelfStabilizingMIS
-from .algorithm_two_channel import TwoChannelMIS
+from .engines.registry import get_engine
 from .knowledge import (
     EllMaxPolicy,
     max_degree_policy,
     neighborhood_degree_policy,
     own_degree_policy,
 )
-from .vectorized import simulate_single, simulate_two_channel
 
 __all__ = [
     "MISResult",
@@ -143,8 +138,10 @@ def compute_mis(
     max_rounds:
         Round budget (default :func:`default_round_budget`).
     engine:
-        ``"vectorized"`` (fast, default) or ``"reference"`` (the
-        semantics-defining object engine).
+        A registered backend name — ``"vectorized"`` (fast, default),
+        ``"reference"`` (the semantics-defining object engine),
+        ``"batched"``, or any backend added via
+        :func:`repro.core.engines.register_engine`.
     policy:
         Explicit :class:`EllMaxPolicy` overriding the variant's default.
 
@@ -167,32 +164,8 @@ def compute_mis(
     if max_rounds is None:
         max_rounds = default_round_budget(graph, policy)
 
-    if engine == "vectorized":
-        simulate = (
-            simulate_two_channel if variant == "two_channel" else simulate_single
-        )
-        outcome = simulate(
-            graph,
-            policy,
-            seed=seed,
-            max_rounds=max_rounds,
-            arbitrary_start=arbitrary_start,
-        )
-    elif engine == "reference":
-        algorithm = (
-            TwoChannelMIS() if variant == "two_channel" else SelfStabilizingMIS()
-        )
-        knowledge = policy.knowledge(graph)
-        rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
-        initial = (
-            random_states(algorithm, knowledge, rng) if arbitrary_start else None
-        )
-        network = BeepingNetwork(
-            graph, algorithm, knowledge, seed=rng, initial_states=initial
-        )
-        outcome = run_until_stable(network, max_rounds=max_rounds)
-    else:
-        raise ValueError(f"unknown engine {engine!r}")
+    backend = get_engine(engine)
+    outcome = backend.run(graph, policy, variant, seed, max_rounds, arbitrary_start)
 
     if not outcome.stabilized:
         raise RuntimeError(

@@ -23,7 +23,7 @@ which legality remains a fixed point.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Sequence, Tuple
+from typing import FrozenSet, Sequence
 
 from ..graphs.graph import Graph
 

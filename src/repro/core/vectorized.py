@@ -1,383 +1,50 @@
-"""Vectorized numpy/scipy engine for Algorithms 1 and 2.
+"""Compatibility shim — the engines moved to :mod:`repro.core.engines`.
 
-The reference engine (:class:`repro.beeping.network.BeepingNetwork`)
-defines the semantics; this module re-implements just the two core
-algorithms as array programs for benchmark-scale runs (n up to ~10⁵).
+This module used to hold the monolithic numpy/scipy implementation of
+Algorithms 1 and 2.  The implementation now lives in the
+``repro.core.engines`` package (shared :class:`EngineBase`, solo
+engines, the multi-replica :class:`BatchedEngine`, and the backend
+registry); everything historically importable from here keeps working.
 
-Bit-identical equivalence contract
-----------------------------------
-Both engines draw exactly ``n`` uniforms per round via a single
-``rng.random(n)`` call and a vertex beeps iff ``u < p(ℓ)`` with the same
-double-precision ``p``.  Hence, for the same seed and initial levels the
-two engines produce *identical trajectories* — asserted by
-``tests/test_engine_equivalence.py``, which is the strongest correctness
-evidence for this module.
-
-The per-round reception is one sparse matrix–vector product:
-``heard = (A @ beeps) > 0``.
+Prefer ``from repro.core.engines import ...`` in new code.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
-
-import numpy as np
-import scipy.sparse as sp
-
-from ..graphs.graph import Graph
-from ..graphs.io import to_sparse_adjacency
-from .knowledge import EllMaxPolicy
+from .engines.base import (  # noqa: F401
+    MAX_EXPONENT as _MAX_EXPONENT,
+    EngineBase,
+    SeedLike,
+    VectorizedResult,
+    as_generator as _rng,
+    drive as _drive_engine,
+)
+from .engines.batched import (  # noqa: F401
+    BatchedEngine,
+    BatchedResult,
+    simulate_batched,
+)
+from .engines.constant_state import (  # noqa: F401
+    ConstantStateEngine,
+    simulate_constant_state,
+)
+from .engines.single import SingleChannelEngine, simulate_single  # noqa: F401
+from .engines.two_channel import TwoChannelEngine, simulate_two_channel  # noqa: F401
 
 __all__ = [
     "VectorizedResult",
     "SingleChannelEngine",
     "TwoChannelEngine",
     "ConstantStateEngine",
+    "BatchedEngine",
+    "BatchedResult",
     "simulate_single",
     "simulate_two_channel",
     "simulate_constant_state",
+    "simulate_batched",
 ]
 
-SeedLike = Union[int, np.random.Generator, None]
 
-#: Exponent clip for 2^(−ℓ): ℓmax = O(log n) ≤ 60 at any simulable scale,
-#: and clipping avoids float overflow on corrupted/extreme inputs.
-_MAX_EXPONENT = 1023
-
-
-def _rng(seed: SeedLike) -> np.random.Generator:
-    if isinstance(seed, np.random.Generator):
-        return seed
-    return np.random.default_rng(seed)
-
-
-@dataclass
-class VectorizedResult:
-    """Outcome of a vectorized stabilization run.
-
-    ``rounds`` counts rounds executed before the first legal
-    configuration (start-of-round convention, as in the paper's ``S_t``).
-    """
-
-    stabilized: bool
-    rounds: int
-    mis: frozenset
-    final_levels: np.ndarray
-    #: Optional per-round series (filled when ``record_series=True``):
-    #: number of beeps on channel 1 and size of the stable set S_t.
-    beep_series: List[int] = field(default_factory=list)
-    stable_series: List[int] = field(default_factory=list)
-
-    def __bool__(self) -> bool:
-        return self.stabilized
-
-
-class SingleChannelEngine:
-    """Array implementation of Algorithm 1 on a fixed graph + policy."""
-
-    def __init__(self, graph: Graph, policy: EllMaxPolicy, seed: SeedLike = None):
-        if policy.num_vertices != graph.num_vertices:
-            raise ValueError("policy size does not match graph size")
-        self.graph = graph
-        self.n = graph.num_vertices
-        self.adjacency = to_sparse_adjacency(graph)
-        self.ell_max = np.asarray(policy.ell_max, dtype=np.int64)
-        self.rng = _rng(seed)
-        self.levels = np.ones(self.n, dtype=np.int64)
-        self.round_index = 0
-
-    # ------------------------------------------------------------------
-    def set_levels(self, levels: np.ndarray) -> None:
-        """Install a level vector (values are validated, not clamped)."""
-        levels = np.asarray(levels, dtype=np.int64)
-        if levels.shape != (self.n,):
-            raise ValueError(f"levels must have shape ({self.n},)")
-        if np.any(levels < -self.ell_max) or np.any(levels > self.ell_max):
-            raise ValueError("levels outside [-ℓmax, ℓmax]")
-        self.levels = levels.copy()
-
-    def randomize_levels(self) -> None:
-        """Uniform arbitrary configuration (full RAM corruption)."""
-        span = 2 * self.ell_max + 1
-        self.levels = (
-            self.rng.integers(0, span, size=self.n).astype(np.int64) - self.ell_max
-        )
-
-    def beep_probabilities(self) -> np.ndarray:
-        """The Figure-1 activation applied elementwise to the levels."""
-        exponent = np.clip(self.levels, 0, _MAX_EXPONENT).astype(np.float64)
-        p = np.power(2.0, -exponent)
-        p[self.levels <= 0] = 1.0
-        p[self.levels >= self.ell_max] = 0.0
-        return p
-
-    def step(self) -> np.ndarray:
-        """One synchronous round; returns the beep vector (bool array)."""
-        draws = self.rng.random(self.n)
-        beeps = draws < self.beep_probabilities()
-        heard = self.adjacency.dot(beeps.astype(np.int8)) > 0
-        up = np.minimum(self.levels + 1, self.ell_max)
-        reset = -self.ell_max
-        down = np.maximum(self.levels - 1, 1)
-        self.levels = np.where(heard, up, np.where(beeps, reset, down))
-        self.round_index += 1
-        return beeps
-
-    # ------------------------------------------------------------------
-    def mis_mask(self) -> np.ndarray:
-        """Boolean mask of ``I_t`` (paper Section 3), vectorized."""
-        not_at_max = (self.levels != self.ell_max).astype(np.int8)
-        blocked = self.adjacency.dot(not_at_max)
-        return (self.levels == -self.ell_max) & (blocked == 0)
-
-    def stable_mask(self) -> np.ndarray:
-        """Boolean mask of ``S_t = I_t ∪ N(I_t)``."""
-        in_mis = self.mis_mask()
-        dominated = self.adjacency.dot(in_mis.astype(np.int8)) > 0
-        return in_mis | dominated
-
-    def is_legal(self) -> bool:
-        """Legal iff S_t covers all vertices and the rest sit at ℓmax."""
-        in_mis = self.mis_mask()
-        dominated = self.adjacency.dot(in_mis.astype(np.int8)) > 0
-        others_ok = (self.levels == self.ell_max) & dominated
-        return bool(np.all(in_mis | others_ok))
-
-    def mis_vertices(self) -> frozenset:
-        return frozenset(int(v) for v in np.nonzero(self.mis_mask())[0])
-
-
-class TwoChannelEngine:
-    """Array implementation of Algorithm 2 (levels in ``[0, ℓmax]``)."""
-
-    def __init__(self, graph: Graph, policy: EllMaxPolicy, seed: SeedLike = None):
-        if policy.num_vertices != graph.num_vertices:
-            raise ValueError("policy size does not match graph size")
-        self.graph = graph
-        self.n = graph.num_vertices
-        self.adjacency = to_sparse_adjacency(graph)
-        self.ell_max = np.asarray(policy.ell_max, dtype=np.int64)
-        self.rng = _rng(seed)
-        self.levels = np.ones(self.n, dtype=np.int64)
-        self.round_index = 0
-
-    def set_levels(self, levels: np.ndarray) -> None:
-        levels = np.asarray(levels, dtype=np.int64)
-        if levels.shape != (self.n,):
-            raise ValueError(f"levels must have shape ({self.n},)")
-        if np.any(levels < 0) or np.any(levels > self.ell_max):
-            raise ValueError("levels outside [0, ℓmax]")
-        self.levels = levels.copy()
-
-    def randomize_levels(self) -> None:
-        self.levels = self.rng.integers(
-            0, self.ell_max + 1, size=self.n
-        ).astype(np.int64)
-
-    def step(self) -> Tuple[np.ndarray, np.ndarray]:
-        """One round; returns ``(beep1, beep2)`` bool vectors."""
-        draws = self.rng.random(self.n)
-        exponent = np.clip(self.levels, 0, _MAX_EXPONENT).astype(np.float64)
-        p1 = np.power(2.0, -exponent)
-        active = (self.levels > 0) & (self.levels < self.ell_max)
-        beep1 = active & (draws < p1)
-        beep2 = self.levels == 0
-        heard1 = self.adjacency.dot(beep1.astype(np.int8)) > 0
-        heard2 = self.adjacency.dot(beep2.astype(np.int8)) > 0
-        up = np.minimum(self.levels + 1, self.ell_max)
-        down = np.maximum(self.levels - 1, 1)
-        self.levels = np.where(
-            heard2,
-            self.ell_max,
-            np.where(
-                heard1,
-                up,
-                np.where(beep1, 0, np.where(~beep2, down, self.levels)),
-            ),
-        )
-        self.round_index += 1
-        return beep1, beep2
-
-    def mis_mask(self) -> np.ndarray:
-        not_at_max = (self.levels != self.ell_max).astype(np.int8)
-        blocked = self.adjacency.dot(not_at_max)
-        return (self.levels == 0) & (blocked == 0)
-
-    def stable_mask(self) -> np.ndarray:
-        in_mis = self.mis_mask()
-        dominated = self.adjacency.dot(in_mis.astype(np.int8)) > 0
-        return in_mis | dominated
-
-    def is_legal(self) -> bool:
-        in_mis = self.mis_mask()
-        dominated = self.adjacency.dot(in_mis.astype(np.int8)) > 0
-        others_ok = (self.levels == self.ell_max) & dominated
-        return bool(np.all(in_mis | others_ok))
-
-    def mis_vertices(self) -> frozenset:
-        return frozenset(int(v) for v in np.nonzero(self.mis_mask())[0])
-
-
-class ConstantStateEngine:
-    """Array implementation of the two-state baseline
-    (:class:`repro.baselines.constant_state.FewStatesMIS`).
-
-    Matches the reference engine bit-for-bit under the shared randomness
-    discipline: the per-round draw decides the update coin (``u < 1/2``)
-    exactly as ``FewStatesMIS.step`` does.
-    """
-
-    def __init__(self, graph: Graph, seed: SeedLike = None):
-        self.graph = graph
-        self.n = graph.num_vertices
-        self.adjacency = to_sparse_adjacency(graph)
-        self.rng = _rng(seed)
-        #: True = IN (the fresh state), False = OUT.
-        self.in_mis = np.ones(self.n, dtype=bool)
-        self.round_index = 0
-
-    def set_membership(self, in_mis: np.ndarray) -> None:
-        in_mis = np.asarray(in_mis, dtype=bool)
-        if in_mis.shape != (self.n,):
-            raise ValueError(f"in_mis must have shape ({self.n},)")
-        self.in_mis = in_mis.copy()
-
-    def randomize(self) -> None:
-        self.in_mis = self.rng.integers(0, 2, size=self.n).astype(bool)
-
-    def step(self) -> np.ndarray:
-        draws = self.rng.random(self.n)
-        beeps = self.in_mis.copy()
-        heard = self.adjacency.dot(beeps.astype(np.int8)) > 0
-        coin = draws < 0.5
-        retreat = self.in_mis & heard & coin
-        rejoin = ~self.in_mis & ~heard & coin
-        self.in_mis = (self.in_mis & ~retreat) | rejoin
-        self.round_index += 1
-        return beeps
-
-    def is_legal(self) -> bool:
-        """Legal iff the IN set is an MIS (independent + dominating)."""
-        members = self.in_mis.astype(np.int8)
-        member_neighbors = self.adjacency.dot(members)
-        independent = not bool((self.in_mis & (member_neighbors > 0)).any())
-        dominated = bool(np.all(self.in_mis | (member_neighbors > 0)))
-        return independent and dominated
-
-    def mis_vertices(self) -> frozenset:
-        return frozenset(int(v) for v in np.nonzero(self.in_mis)[0])
-
-
-def simulate_constant_state(
-    graph: Graph,
-    seed: SeedLike = None,
-    max_rounds: int = 1_000_000,
-    arbitrary_start: bool = False,
-) -> VectorizedResult:
-    """Run the two-state baseline to its first MIS configuration."""
-    engine = ConstantStateEngine(graph, seed)
-    if arbitrary_start:
-        engine.randomize()
-    executed = 0
-    while not engine.is_legal():
-        if executed >= max_rounds:
-            return VectorizedResult(
-                stabilized=False,
-                rounds=executed,
-                mis=frozenset(),
-                final_levels=engine.in_mis.astype(np.int64),
-            )
-        engine.step()
-        executed += 1
-    return VectorizedResult(
-        stabilized=True,
-        rounds=executed,
-        mis=engine.mis_vertices(),
-        final_levels=engine.in_mis.astype(np.int64),
-    )
-
-
-def _drive(
-    engine,
-    max_rounds: int,
-    check_every: int,
-    record_series: bool,
-) -> VectorizedResult:
-    """Shared run-until-legal loop for both vectorized engines."""
-    if check_every < 1:
-        raise ValueError("check_every must be >= 1")
-    beep_series: List[int] = []
-    stable_series: List[int] = []
-    executed = 0
-    while True:
-        should_check = record_series or executed % check_every == 0
-        if should_check and engine.is_legal():
-            return VectorizedResult(
-                stabilized=True,
-                rounds=executed,
-                mis=engine.mis_vertices(),
-                final_levels=engine.levels.copy(),
-                beep_series=beep_series,
-                stable_series=stable_series,
-            )
-        if executed >= max_rounds:
-            return VectorizedResult(
-                stabilized=False,
-                rounds=executed,
-                mis=frozenset(),
-                final_levels=engine.levels.copy(),
-                beep_series=beep_series,
-                stable_series=stable_series,
-            )
-        if record_series:
-            stable_series.append(int(engine.stable_mask().sum()))
-        out = engine.step()
-        if record_series:
-            first = out[0] if isinstance(out, tuple) else out
-            beep_series.append(int(first.sum()))
-        executed += 1
-
-
-def simulate_single(
-    graph: Graph,
-    policy: EllMaxPolicy,
-    seed: SeedLike = None,
-    max_rounds: int = 100_000,
-    initial_levels: Optional[np.ndarray] = None,
-    arbitrary_start: bool = False,
-    check_every: int = 1,
-    record_series: bool = False,
-) -> VectorizedResult:
-    """Run Algorithm 1 to stabilization on the vectorized engine.
-
-    ``arbitrary_start=True`` draws a uniformly random initial
-    configuration (the self-stabilization setting); otherwise the run
-    starts from the fresh level-1 configuration, unless
-    ``initial_levels`` overrides it.
-    """
-    engine = SingleChannelEngine(graph, policy, seed)
-    if initial_levels is not None:
-        engine.set_levels(initial_levels)
-    elif arbitrary_start:
-        engine.randomize_levels()
-    return _drive(engine, max_rounds, check_every, record_series)
-
-
-def simulate_two_channel(
-    graph: Graph,
-    policy: EllMaxPolicy,
-    seed: SeedLike = None,
-    max_rounds: int = 100_000,
-    initial_levels: Optional[np.ndarray] = None,
-    arbitrary_start: bool = False,
-    check_every: int = 1,
-    record_series: bool = False,
-) -> VectorizedResult:
-    """Run Algorithm 2 to stabilization on the vectorized engine."""
-    engine = TwoChannelEngine(graph, policy, seed)
-    if initial_levels is not None:
-        engine.set_levels(initial_levels)
-    elif arbitrary_start:
-        engine.randomize_levels()
-    return _drive(engine, max_rounds, check_every, record_series)
+def _drive(engine, max_rounds, check_every, record_series):
+    """Historical private helper; forwards to :func:`engines.base.drive`."""
+    return _drive_engine(engine, max_rounds, check_every, record_series)

@@ -11,7 +11,7 @@ checked against.  A set ``I ⊆ V`` is an MIS of ``G`` iff
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import FrozenSet, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 

@@ -8,7 +8,6 @@ from repro.beeping.network import BeepingNetwork
 from repro.beeping.simulator import run_until_stable
 from repro.core.algorithm_single import SelfStabilizingMIS
 from repro.core.knowledge import max_degree_policy, uniform_policy
-from repro.graphs import generators as gen
 from repro.graphs.graph import Graph
 from repro.graphs.mis import check_mis
 

@@ -5,7 +5,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.analysis.fitting import MODELS, best_model, fit_all_models, fit_model
+from repro.analysis.fitting import best_model, fit_all_models, fit_model
 from repro.analysis.stats import bootstrap_ci, summarize, tail_fraction
 from repro.analysis.sweep import run_sweep
 from repro.analysis.tables import format_rows, format_table, series_sparkline

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.baselines.afek import ACTIVE, AfekState, AfekStylePhaseMIS, IN_MIS, OUT, WINNER
+from repro.baselines.afek import ACTIVE, AfekState, AfekStylePhaseMIS, IN_MIS, OUT
 from repro.beeping.algorithm import LocalKnowledge, NodeOutput
 from repro.beeping.network import BeepingNetwork
 from repro.beeping.simulator import run_until_stable

@@ -1,7 +1,6 @@
 """Tests for the Jeavons–Scott–Xu baseline (clean-start correctness and
 the documented non-self-stabilization failure modes)."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.jeavons import (

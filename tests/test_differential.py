@@ -15,7 +15,6 @@ seeds, so any accidental change to the round semantics fails loudly.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

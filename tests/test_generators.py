@@ -1,14 +1,12 @@
 """Unit tests for the graph generators."""
 
-import math
 
 import numpy as np
 import pytest
 
 from repro.graphs import generators as gen
 from repro.graphs.properties import (
-    connected_components,
-    is_connected,
+        is_connected,
     triangle_count,
 )
 

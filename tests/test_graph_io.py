@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.graphs import generators as gen
 from repro.graphs.graph import Graph
 from repro.graphs.io import (
     from_edge_list_text,

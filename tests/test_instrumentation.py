@@ -1,13 +1,11 @@
 """Tests for the Section-3 analysis instrumentation."""
 
-import numpy as np
 import pytest
 
 from repro.core.instrumentation import Configuration, PlatinumTracker
-from repro.core.knowledge import explicit_policy, max_degree_policy, uniform_policy
+from repro.core.knowledge import max_degree_policy
 from repro.core.vectorized import SingleChannelEngine
 from repro.graphs import generators as gen
-from repro.graphs.graph import Graph
 
 
 def config(graph, levels, ell):

@@ -6,8 +6,7 @@ import pytest
 
 from repro.core.knowledge import (
     COROLLARY_23_C1,
-    EllMaxPolicy,
-    KnowledgeModel,
+        KnowledgeModel,
     THEOREM_21_C1,
     THEOREM_22_C1,
     explicit_policy,

@@ -6,9 +6,6 @@ Algorithm 1's membership certificate is a *solo* beep, which is only
 detectable with full duplex.  These tests pin down that dependence.
 """
 
-import pytest
-
-from repro.beeping.algorithm import LocalKnowledge, NodeOutput
 from repro.beeping.network import BeepingNetwork
 from repro.beeping.simulator import run_until_stable
 from repro.core.algorithm_single import SelfStabilizingMIS

@@ -1,6 +1,5 @@
 """Unit tests for the reference round engine's semantics."""
 
-import numpy as np
 import pytest
 
 from repro.beeping.algorithm import BeepingAlgorithm, LocalKnowledge, NodeOutput

@@ -16,8 +16,7 @@ from repro.core.knowledge import (
 )
 from repro.core.vectorized import (
     SingleChannelEngine,
-    TwoChannelEngine,
-    simulate_single,
+        simulate_single,
     simulate_two_channel,
 )
 from repro.graphs import generators as gen

@@ -9,7 +9,6 @@ production burn-in.
 """
 
 import numpy as np
-import pytest
 
 from repro.beeping.faults import (
     AdversarialPattern,

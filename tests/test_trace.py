@@ -4,7 +4,6 @@ from repro.beeping.network import BeepingNetwork
 from repro.beeping.trace import ExecutionTrace, RoundMetrics, TraceRecorder
 from repro.core.algorithm_single import SelfStabilizingMIS
 from repro.core.knowledge import max_degree_policy
-from repro.graphs import generators as gen
 
 
 def make_network(graph, seed=0):

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.knowledge import explicit_policy, max_degree_policy, uniform_policy
+from repro.core.knowledge import max_degree_policy, uniform_policy
 from repro.core.vectorized import (
     SingleChannelEngine,
     TwoChannelEngine,
@@ -189,6 +189,27 @@ class TestDriveLoop:
         assert len(result.stable_series) == result.rounds
         # S_t is monotone nondecreasing (paper, Section 3).
         assert result.stable_series == sorted(result.stable_series)
+
+    def test_record_series_independent_of_check_cadence(self, er_graph):
+        """Recording must not tighten the legality-check cadence.
+
+        Historically ``record_series=True`` forced a legality check every
+        round, silently overriding ``check_every``; now the two knobs are
+        orthogonal: same ``rounds`` either way, and the series cover every
+        executed round.
+        """
+        policy = max_degree_policy(er_graph, c1=4)
+        plain = simulate_single(
+            er_graph, policy, seed=3, max_rounds=10_000, check_every=8
+        )
+        recorded = simulate_single(
+            er_graph, policy, seed=3, max_rounds=10_000, check_every=8,
+            record_series=True,
+        )
+        assert recorded.rounds == plain.rounds
+        assert recorded.rounds % 8 == 0
+        assert len(recorded.beep_series) == recorded.rounds
+        assert len(recorded.stable_series) == recorded.rounds
 
     def test_seed_determinism(self, er_graph):
         policy = max_degree_policy(er_graph, c1=4)
