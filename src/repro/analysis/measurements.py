@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Any, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Any, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -41,15 +41,20 @@ from ..core.engines.two_channel import simulate_two_channel
 from ..core.runner import policy_for_variant
 from ..graphs.generators import by_name
 
+if TYPE_CHECKING:
+    from ..core.engines.base import EngineBase, VectorizedResult
+    from ..core.knowledge import EllMaxPolicy
+    from ..graphs.graph import Graph
+
 __all__ = ["StabilizationRounds", "FaultRecoveryRounds", "graph_for_config"]
 
 
 @lru_cache(maxsize=128)
-def _cached_graph(family: str, n: int, graph_seed: int):
+def _cached_graph(family: str, n: int, graph_seed: int) -> "Graph":
     return by_name(family, n, seed=graph_seed)
 
 
-def graph_for_config(config: Mapping[str, Any]):
+def graph_for_config(config: Mapping[str, Any]) -> "Graph":
     """The fixed topology a sweep configuration denotes (cached)."""
     return _cached_graph(
         config["family"], int(config["n"]), int(config.get("graph_seed", config["n"]))
@@ -73,11 +78,15 @@ class StabilizationRounds:
     arbitrary_start: bool = True
 
     # ------------------------------------------------------------------
-    def _policy(self, config: Mapping[str, Any], graph):
+    def _policy(
+        self, config: Mapping[str, Any], graph: "Graph"
+    ) -> "EllMaxPolicy":
         c1 = config.get("c1", self.c1)
         return policy_for_variant(graph, self.variant, c1=c1, slack=self.slack)
 
-    def _check(self, outcome, config: Mapping[str, Any]) -> float:
+    def _check(
+        self, outcome: "VectorizedResult", config: Mapping[str, Any]
+    ) -> float:
         if not outcome.stabilized:
             raise RuntimeError(
                 f"run failed to stabilize within {self.max_rounds} rounds: "
@@ -105,7 +114,7 @@ class StabilizationRounds:
         self,
         config: Mapping[str, Any],
         seed_sequences: Sequence[np.random.SeedSequence],
-    ) -> Sequence[float]:
+    ) -> List[float]:
         graph = graph_for_config(config)
         policy = self._policy(config, graph)
         algorithm = "two_channel" if self.variant == "two_channel" else "single"
@@ -154,7 +163,13 @@ class FaultRecoveryRounds:
         )
 
     # ------------------------------------------------------------------
-    def _reference_sample(self, graph, policy, rng, config) -> float:
+    def _reference_sample(
+        self,
+        graph: "Graph",
+        policy: "EllMaxPolicy",
+        rng: np.random.Generator,
+        config: Mapping[str, Any],
+    ) -> float:
         # Imported lazily to keep analysis importable without the
         # simulator substrate in scope at module load.
         from ..beeping.faults import fault_from_spec
@@ -176,7 +191,13 @@ class FaultRecoveryRounds:
             raise RuntimeError(f"recovery failed within budget: {dict(config)}")
         return float(recovery.rounds)
 
-    def _vectorized_sample(self, graph, policy, rng, config) -> float:
+    def _vectorized_sample(
+        self,
+        graph: "Graph",
+        policy: "EllMaxPolicy",
+        rng: np.random.Generator,
+        config: Mapping[str, Any],
+    ) -> float:
         from ..core.engines.base import drive
         from ..core.engines.single import SingleChannelEngine
         from ..core.engines.two_channel import TwoChannelEngine
@@ -194,7 +215,7 @@ class FaultRecoveryRounds:
             raise RuntimeError(f"recovery failed within budget: {dict(config)}")
         return float(recovery.rounds)
 
-    def _corrupt_levels(self, engine) -> None:
+    def _corrupt_levels(self, engine: "EngineBase") -> None:
         """Level-array equivalents of the reference fault injectors."""
         spec = self.fault
         if spec == "random":

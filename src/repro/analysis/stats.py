@@ -9,13 +9,13 @@ and an empirical tail probability (the w.h.p. check itself).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple, Union
+from typing import Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["Summary", "summarize", "bootstrap_ci", "tail_fraction"]
+from ..devtools.seeding import SeedLike, resolve_rng
 
-SeedLike = Union[int, np.random.Generator, None]
+__all__ = ["Summary", "summarize", "bootstrap_ci", "tail_fraction"]
 
 
 @dataclass(frozen=True)
@@ -58,7 +58,7 @@ def bootstrap_ci(
         raise ValueError("cannot bootstrap an empty sample")
     if data.size == 1:
         return (float(data[0]), float(data[0]))
-    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    rng = resolve_rng(seed)
     idx = rng.integers(0, data.size, size=(num_resamples, data.size))
     means = data[idx].mean(axis=1)
     alpha = (1.0 - confidence) / 2.0

@@ -10,16 +10,13 @@ assignment, and quality metrics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Tuple, Union
-
-import numpy as np
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..core.runner import compute_mis
+from ..devtools.seeding import SeedLike
 from ..graphs.graph import Graph
 
 __all__ = ["Clustering", "elect_clusters"]
-
-SeedLike = Union[int, np.random.Generator, None]
 
 
 @dataclass(frozen=True)

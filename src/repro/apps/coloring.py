@@ -15,16 +15,15 @@ would allocate a color per epoch).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..core.runner import compute_mis
+from ..devtools.seeding import SeedLike, derive_seed_sequence
 from ..graphs.graph import Graph
 
 __all__ = ["ColoringResult", "iterated_mis_coloring", "validate_coloring"]
-
-SeedLike = Union[int, np.random.Generator, None]
 
 
 @dataclass(frozen=True)
@@ -84,12 +83,7 @@ def iterated_mis_coloring(
     n = graph.num_vertices
     colors: List[Optional[int]] = [None] * n
     remaining = list(graph.vertices())
-    root = np.random.SeedSequence(
-        seed if isinstance(seed, int) else None
-    )
-    if isinstance(seed, np.random.Generator):
-        # Derive a reproducible integer from the generator.
-        root = np.random.SeedSequence(int(seed.integers(2**63)))
+    root = derive_seed_sequence(seed)
     phase_seeds = root.spawn(graph.max_degree() + 2)
 
     phases = 0

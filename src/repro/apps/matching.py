@@ -10,17 +10,14 @@ link).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Optional, Tuple, Union
-
-import numpy as np
+from typing import FrozenSet, Optional, Tuple
 
 from ..core.runner import compute_mis
+from ..devtools.seeding import SeedLike
 from ..graphs.graph import Graph
 from ..graphs.linegraph import line_graph
 
 __all__ = ["MatchingResult", "maximal_matching", "validate_matching"]
-
-SeedLike = Union[int, np.random.Generator, None]
 
 
 @dataclass(frozen=True)

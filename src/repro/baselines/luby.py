@@ -15,16 +15,15 @@ undecided neighbors joins the MIS, and its neighbors become non-members.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Union
+from typing import FrozenSet
 
 import numpy as np
 
+from ..devtools.seeding import SeedLike, resolve_rng
 from ..graphs.graph import Graph
 from ..graphs.mis import check_mis
 
 __all__ = ["LubyResult", "luby_mis"]
-
-SeedLike = Union[int, np.random.Generator, None]
 
 
 @dataclass(frozen=True)
@@ -41,7 +40,7 @@ def luby_mis(graph: Graph, seed: SeedLike = None, max_rounds: int = 10_000) -> L
     Raises ``RuntimeError`` if ``max_rounds`` is exhausted (which, at
     O(log n) w.h.p., indicates a bug rather than bad luck).
     """
-    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    rng = resolve_rng(seed)
     n = graph.num_vertices
     undecided = np.ones(n, dtype=bool)
     in_mis = np.zeros(n, dtype=bool)

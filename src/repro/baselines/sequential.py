@@ -8,10 +8,9 @@ to produce larger independent sets — a useful sanity axis for E6.)
 
 from __future__ import annotations
 
-from typing import FrozenSet, Union
+from typing import FrozenSet
 
-import numpy as np
-
+from ..devtools.seeding import SeedLike
 from ..graphs.graph import Graph
 from ..graphs.mis import greedy_mis, random_priority_mis
 
@@ -21,8 +20,6 @@ __all__ = [
     "min_degree_greedy_mis",
     "max_degree_last_mis",
 ]
-
-SeedLike = Union[int, np.random.Generator, None]
 
 
 def id_order_mis(graph: Graph) -> FrozenSet[int]:

@@ -19,10 +19,11 @@ Three classes of corruption are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, List, Sequence, Tuple, Union
+from typing import Any, Callable, List, Sequence, Tuple
 
 import numpy as np
 
+from ..devtools.seeding import SeedLike, resolve_rng
 from .algorithm import BeepingAlgorithm, LocalKnowledge
 from .network import BeepingNetwork
 
@@ -38,22 +39,13 @@ __all__ = [
     "random_states",
 ]
 
-SeedLike = Union[int, np.random.Generator, None]
-
-
-def _rng(seed: SeedLike) -> np.random.Generator:
-    if isinstance(seed, np.random.Generator):
-        return seed
-    return np.random.default_rng(seed)
-
-
 def random_states(
     algorithm: BeepingAlgorithm,
     knowledge: Sequence[LocalKnowledge],
     seed: SeedLike = None,
 ) -> List[Any]:
     """A fully random state vector — the canonical arbitrary start."""
-    rng = _rng(seed)
+    rng = resolve_rng(seed)
     return [algorithm.random_state(k, rng) for k in knowledge]
 
 
@@ -217,7 +209,7 @@ class FaultSchedule:
         ``recovery_rounds`` counts fault-free rounds after the last
         scheduled fault.  ``max_rounds`` bounds the *total* execution.
         """
-        rng = _rng(seed)
+        rng = resolve_rng(seed)
         executed = 0
         # Phase 1: execute through the faulty prefix.
         while executed <= self.last_fault_round:

@@ -20,17 +20,14 @@ states at the start of the round.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence, Tuple, Union
+from typing import Any, List, Optional, Sequence, Tuple
 
-import numpy as np
-
+from ..devtools.seeding import SeedLike, resolve_rng
 from ..graphs.graph import Graph
 from .algorithm import BeepingAlgorithm, LocalKnowledge, NodeOutput
 from .signals import Beeps
 
 __all__ = ["RoundRecord", "BeepingNetwork"]
-
-SeedLike = Union[int, np.random.Generator, None]
 
 
 @dataclass(frozen=True)
@@ -94,11 +91,7 @@ class BeepingNetwork:
         self.graph = graph
         self.algorithm = algorithm
         self.knowledge: Tuple[LocalKnowledge, ...] = tuple(knowledge)
-        self._rng = (
-            seed
-            if isinstance(seed, np.random.Generator)
-            else np.random.default_rng(seed)
-        )
+        self._rng = resolve_rng(seed)
         if initial_states is None:
             self._states: List[Any] = [
                 algorithm.fresh_state(k) for k in self.knowledge

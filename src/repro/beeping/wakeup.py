@@ -24,17 +24,14 @@ post-wake-up stabilization time is schedule-independent.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Tuple
 
-import numpy as np
-
+from ..devtools.seeding import SeedLike, resolve_rng
 from ..graphs.graph import Graph
 from ..graphs.properties import bfs_distances
 from .network import BeepingNetwork
 
 __all__ = ["WakeupSchedule", "WakeupResult", "run_with_wakeups"]
-
-SeedLike = Union[int, np.random.Generator, None]
 
 
 @dataclass(frozen=True)
@@ -96,7 +93,7 @@ class WakeupSchedule:
 
     @classmethod
     def random(cls, n: int, horizon: int, seed: SeedLike = None) -> "WakeupSchedule":
-        rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        rng = resolve_rng(seed)
         return cls(
             wake_round=tuple(int(r) for r in rng.integers(0, horizon + 1, size=n))
         )

@@ -37,6 +37,7 @@ from .analysis.visualize import render_run
 from .core.engines import SingleChannelEngine, TwoChannelEngine, available_engines
 from .core.levels import probability_table
 from .core.runner import VARIANTS, compute_mis, default_round_budget, policy_for_variant
+from .devtools.seeding import resolve_rng
 from .graphs.generators import FAMILY_NAMES, by_name
 from .graphs.properties import average_degree, connected_components, deg2_all
 
@@ -121,6 +122,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     info_p = sub.add_parser("info", help="structural statistics of a graph")
     add_graph_args(info_p)
+
+    check_p = sub.add_parser(
+        "check",
+        help="determinism & contract gate (ruff + mypy + repro-lint + "
+        "engine-contract)",
+    )
+    check_p.add_argument(
+        "paths", nargs="*", help="paths for the custom linter (default: src)"
+    )
+    check_p.add_argument("--format", choices=("text", "json"), default="text")
+    check_p.add_argument(
+        "--no-external",
+        action="store_true",
+        help="skip ruff/mypy even when installed",
+    )
+    check_p.add_argument(
+        "--no-contract",
+        action="store_true",
+        help="skip the runtime engine-contract sweep",
+    )
 
     return parser
 
@@ -263,7 +284,7 @@ def _cmd_recover(args) -> int:
     algorithm = (
         TwoChannelMIS() if args.variant == "two_channel" else SelfStabilizingMIS()
     )
-    rng = np.random.default_rng(args.seed)
+    rng = resolve_rng(args.seed)
     network = BeepingNetwork(graph, algorithm, policy.knowledge(graph), seed=rng)
 
     first = run_until_stable(network, max_rounds=budget)
@@ -335,6 +356,20 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    # Imported lazily: the check machinery pulls in subprocess/importlib
+    # plumbing no other subcommand needs.
+    from .devtools import check as devtools_check
+
+    argv: List[str] = list(args.paths)
+    argv += ["--format", args.format]
+    if args.no_external:
+        argv.append("--no-external")
+    if args.no_contract:
+        argv.append("--no-contract")
+    return devtools_check.main(argv)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -345,6 +380,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "match": _cmd_match,
         "figure1": _cmd_figure1,
         "info": _cmd_info,
+        "check": _cmd_check,
     }
     try:
         return handlers[args.command](args)

@@ -23,17 +23,16 @@ after rewiring x% of edges against a cold start.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Optional, Tuple, Union
+from typing import FrozenSet, Optional, Tuple
 
 import numpy as np
 
+from ..devtools.seeding import SeedLike, resolve_rng
 from ..graphs.graph import Graph
 from .knowledge import EllMaxPolicy
 from .vectorized import VectorizedResult, simulate_single
 
 __all__ = ["ChurnEvent", "rewire_edges", "carry_levels", "restabilize_after_churn"]
-
-SeedLike = Union[int, np.random.Generator, None]
 
 
 @dataclass(frozen=True)
@@ -66,7 +65,7 @@ def rewire_edges(
     """
     if not 0.0 <= fraction <= 1.0:
         raise ValueError("fraction must be in [0, 1]")
-    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    rng = resolve_rng(seed)
     n = graph.num_vertices
     edges = set(graph.edges)
     if n < 2 or not edges:

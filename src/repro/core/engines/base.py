@@ -22,10 +22,12 @@ engine.  Hence, for the same seed and initial levels, trajectories are
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Union
+from typing import FrozenSet, List, Tuple, Union
 
 import numpy as np
+import numpy.typing as npt
 
+from ...devtools.seeding import SeedLike, resolve_rng
 from ...graphs.graph import Graph
 from ...graphs.io import to_sparse_adjacency
 from ..knowledge import EllMaxPolicy
@@ -38,18 +40,20 @@ __all__ = [
     "drive",
 ]
 
-SeedLike = Union[int, np.random.Generator, None]
+#: One engine step returns either the beep mask (single channel) or a
+#: ``(channel1, channel2)`` pair of masks (two channels).
+StepOutput = Union[
+    npt.NDArray[np.bool_],
+    Tuple[npt.NDArray[np.bool_], npt.NDArray[np.bool_]],
+]
 
 #: Exponent clip for 2^(−ℓ): ℓmax = O(log n) ≤ 60 at any simulable scale,
 #: and clipping avoids float overflow on corrupted/extreme inputs.
 MAX_EXPONENT = 1023
 
-
-def as_generator(seed: SeedLike) -> np.random.Generator:
-    """Coerce a seed-like value to a ``numpy.random.Generator``."""
-    if isinstance(seed, np.random.Generator):
-        return seed
-    return np.random.default_rng(seed)
+#: Back-compat alias: the blessed coercion point now lives in
+#: :func:`repro.devtools.seeding.resolve_rng`.
+as_generator = resolve_rng
 
 
 @dataclass
@@ -66,8 +70,8 @@ class VectorizedResult:
 
     stabilized: bool
     rounds: int
-    mis: frozenset
-    final_levels: np.ndarray
+    mis: FrozenSet[int]
+    final_levels: npt.NDArray[np.int64]
     #: Optional per-round series (filled when ``record_series=True``):
     #: number of beeps on channel 1 and size of the stable set S_t.
     beep_series: List[int] = field(default_factory=list)
@@ -94,19 +98,21 @@ class EngineBase:
         self.graph = graph
         self.n = graph.num_vertices
         self.adjacency = to_sparse_adjacency(graph)
-        self.ell_max = np.asarray(policy.ell_max, dtype=np.int64)
-        self.rng = as_generator(seed)
-        self.levels = np.ones(self.n, dtype=np.int64)
+        self.ell_max: npt.NDArray[np.int64] = np.asarray(
+            policy.ell_max, dtype=np.int64
+        )
+        self.rng = resolve_rng(seed)
+        self.levels: npt.NDArray[np.int64] = np.ones(self.n, dtype=np.int64)
         self.round_index = 0
 
     # ------------------------------------------------------------------
     # Level management
     # ------------------------------------------------------------------
-    def _floor_vector(self) -> np.ndarray:
+    def _floor_vector(self) -> npt.NDArray[np.int64]:
         """Per-vertex lowest admissible level."""
         return -self.ell_max if self.uses_negative_levels else np.zeros_like(self.ell_max)
 
-    def set_levels(self, levels: np.ndarray) -> None:
+    def set_levels(self, levels: npt.ArrayLike) -> None:
         """Install a level vector (values are validated, not clamped)."""
         levels = np.asarray(levels, dtype=np.int64)
         if levels.shape != (self.n,):
@@ -128,7 +134,7 @@ class EngineBase:
     # ------------------------------------------------------------------
     # One synchronous round — subclass responsibility
     # ------------------------------------------------------------------
-    def step(self):  # pragma: no cover - interface
+    def step(self) -> StepOutput:  # pragma: no cover - interface
         raise NotImplementedError
 
     # ------------------------------------------------------------------
@@ -136,13 +142,13 @@ class EngineBase:
     # the MIS candidates sit at the level floor and are blocked by no
     # neighbor below ℓmax.
     # ------------------------------------------------------------------
-    def mis_mask(self) -> np.ndarray:
+    def mis_mask(self) -> npt.NDArray[np.bool_]:
         """Boolean mask of ``I_t`` (paper Section 3), vectorized."""
         not_at_max = (self.levels != self.ell_max).astype(np.int32)
         blocked = self.adjacency.dot(not_at_max)
         return (self.levels == self._floor_vector()) & (blocked == 0)
 
-    def stable_mask(self) -> np.ndarray:
+    def stable_mask(self) -> npt.NDArray[np.bool_]:
         """Boolean mask of ``S_t = I_t ∪ N(I_t)``."""
         in_mis = self.mis_mask()
         dominated = self.adjacency.dot(in_mis.astype(np.int32)) > 0
@@ -155,12 +161,12 @@ class EngineBase:
         others_ok = (self.levels == self.ell_max) & dominated
         return bool(np.all(in_mis | others_ok))
 
-    def mis_vertices(self) -> frozenset:
+    def mis_vertices(self) -> FrozenSet[int]:
         return frozenset(int(v) for v in np.nonzero(self.mis_mask())[0])
 
 
 def drive(
-    engine,
+    engine: EngineBase,
     max_rounds: int,
     check_every: int,
     record_series: bool,

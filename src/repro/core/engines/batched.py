@@ -24,10 +24,12 @@ executor byte-identical to the serial one.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from typing import Iterator, List, Optional, Sequence, cast
 
 import numpy as np
+import numpy.typing as npt
 
+from ...devtools.seeding import SeedSpec, as_seed_sequence
 from ...graphs.graph import Graph
 from ...graphs.io import to_sparse_adjacency
 from ..knowledge import EllMaxPolicy
@@ -38,8 +40,6 @@ __all__ = ["BatchedEngine", "BatchedResult", "simulate_batched"]
 #: Accepted algorithm tags.
 ALGORITHMS = ("single", "two_channel")
 
-SeedSpec = Union[int, np.random.SeedSequence, None]
-
 
 @dataclass
 class BatchedResult:
@@ -48,17 +48,17 @@ class BatchedResult:
     results: List[VectorizedResult]
 
     @property
-    def rounds(self) -> np.ndarray:
+    def rounds(self) -> npt.NDArray[np.int64]:
         return np.asarray([r.rounds for r in self.results], dtype=np.int64)
 
     @property
-    def stabilized(self) -> np.ndarray:
+    def stabilized(self) -> npt.NDArray[np.bool_]:
         return np.asarray([r.stabilized for r in self.results], dtype=bool)
 
     def __len__(self) -> int:
         return len(self.results)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[VectorizedResult]:
         return iter(self.results)
 
     def __getitem__(self, index: int) -> VectorizedResult:
@@ -104,7 +104,7 @@ class BatchedEngine:
         if seed_sequences is None:
             if replicas is None or replicas < 1:
                 raise ValueError("replicas must be >= 1 when seed_sequences is not given")
-            root = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+            root = as_seed_sequence(seed)
             seed_sequences = root.spawn(replicas)
         elif replicas is not None and replicas != len(seed_sequences):
             raise ValueError("replicas does not match len(seed_sequences)")
@@ -126,10 +126,10 @@ class BatchedEngine:
     # ------------------------------------------------------------------
     # Level management (mirrors EngineBase, one row per replica)
     # ------------------------------------------------------------------
-    def _floor_vector(self) -> np.ndarray:
+    def _floor_vector(self) -> npt.NDArray[np.int64]:
         return -self.ell_max if self._single else np.zeros_like(self.ell_max)
 
-    def set_levels(self, levels: np.ndarray) -> None:
+    def set_levels(self, levels: npt.ArrayLike) -> None:
         """Install an (R, n) level matrix (validated, not clamped)."""
         levels = np.asarray(levels, dtype=np.int64)
         if levels.shape != (self.replicas, self.n):
@@ -154,43 +154,49 @@ class BatchedEngine:
     # ------------------------------------------------------------------
     # Batched stability structure: all masks are (R', n) row blocks.
     # ------------------------------------------------------------------
-    def _received(self, rows: np.ndarray) -> np.ndarray:
+    def _received(self, rows: npt.NDArray[np.int32]) -> npt.NDArray[np.int32]:
         """``rows @ A`` for an (R', n) int block, one sparse product."""
         return self._adj_t.dot(rows.T).T
 
-    def _mis_mask_rows(self, levels: np.ndarray) -> np.ndarray:
+    def _mis_mask_rows(
+        self, levels: npt.NDArray[np.int64]
+    ) -> npt.NDArray[np.bool_]:
         not_at_max = (levels != self.ell_max).astype(np.int32)
         blocked = self._received(not_at_max)
         return (levels == self._floor_vector()) & (blocked == 0)
 
-    def mis_mask(self) -> np.ndarray:
+    def mis_mask(self) -> npt.NDArray[np.bool_]:
         """Boolean (R, n) mask of ``I_t`` per replica."""
         return self._mis_mask_rows(self.levels)
 
-    def stable_mask(self) -> np.ndarray:
+    def stable_mask(self) -> npt.NDArray[np.bool_]:
         """Boolean (R, n) mask of ``S_t = I_t ∪ N(I_t)`` per replica."""
         in_mis = self.mis_mask()
         dominated = self._received(in_mis.astype(np.int32)) > 0
         return in_mis | dominated
 
-    def _legal_rows(self, levels: np.ndarray) -> np.ndarray:
+    def _legal_rows(
+        self, levels: npt.NDArray[np.int64]
+    ) -> npt.NDArray[np.bool_]:
         in_mis = self._mis_mask_rows(levels)
         dominated = self._received(in_mis.astype(np.int32)) > 0
         others_ok = (levels == self.ell_max) & dominated
         return np.all(in_mis | others_ok, axis=1)
 
-    def legal_mask(self) -> np.ndarray:
+    def legal_mask(self) -> npt.NDArray[np.bool_]:
         """Boolean (R,) vector: which replicas sit in a legal configuration."""
         return self._legal_rows(self.levels)
 
-    def mis_vertices(self, replica: int) -> frozenset:
+    def mis_vertices(self, replica: int) -> "frozenset[int]":
         row = self._mis_mask_rows(self.levels[replica : replica + 1])[0]
         return frozenset(int(v) for v in np.nonzero(row)[0])
 
     # ------------------------------------------------------------------
     # Stepping
     # ------------------------------------------------------------------
-    def step(self, active: Optional[np.ndarray] = None) -> np.ndarray:
+    def step(
+        self, active: Optional[npt.NDArray[np.bool_]] = None
+    ) -> npt.NDArray[np.bool_]:
         """One synchronous round for the ``active`` replicas (default all).
 
         Returns the (R', n) channel-1 beep matrix of the stepped rows.
@@ -255,7 +261,7 @@ class BatchedEngine:
         max_rounds: int = 100_000,
         check_every: int = 1,
         arbitrary_start: bool = False,
-        initial_levels: Optional[np.ndarray] = None,
+        initial_levels: Optional[npt.ArrayLike] = None,
     ) -> BatchedResult:
         """Drive every replica to its first legal configuration.
 
@@ -301,7 +307,7 @@ class BatchedEngine:
             if active.any():
                 self.step(active)
             executed += 1
-        return BatchedResult(results=results)
+        return BatchedResult(results=cast(List[VectorizedResult], results))
 
 
 def simulate_batched(

@@ -8,11 +8,15 @@ exactly as ``FewStatesMIS.step`` does.
 
 from __future__ import annotations
 
+from typing import FrozenSet
+
 import numpy as np
+import numpy.typing as npt
 
 from ...graphs.graph import Graph
 from ...graphs.io import to_sparse_adjacency
-from .base import SeedLike, VectorizedResult, as_generator
+from ...devtools.seeding import SeedLike, resolve_rng
+from .base import VectorizedResult
 
 __all__ = ["ConstantStateEngine", "simulate_constant_state"]
 
@@ -24,12 +28,12 @@ class ConstantStateEngine:
         self.graph = graph
         self.n = graph.num_vertices
         self.adjacency = to_sparse_adjacency(graph)
-        self.rng = as_generator(seed)
+        self.rng = resolve_rng(seed)
         #: True = IN (the fresh state), False = OUT.
-        self.in_mis = np.ones(self.n, dtype=bool)
+        self.in_mis: npt.NDArray[np.bool_] = np.ones(self.n, dtype=bool)
         self.round_index = 0
 
-    def set_membership(self, in_mis: np.ndarray) -> None:
+    def set_membership(self, in_mis: npt.ArrayLike) -> None:
         in_mis = np.asarray(in_mis, dtype=bool)
         if in_mis.shape != (self.n,):
             raise ValueError(f"in_mis must have shape ({self.n},)")
@@ -38,7 +42,7 @@ class ConstantStateEngine:
     def randomize(self) -> None:
         self.in_mis = self.rng.integers(0, 2, size=self.n).astype(bool)
 
-    def step(self) -> np.ndarray:
+    def step(self) -> npt.NDArray[np.bool_]:
         draws = self.rng.random(self.n)
         beeps = self.in_mis.copy()
         heard = self.adjacency.dot(beeps.astype(np.int32)) > 0
@@ -57,7 +61,7 @@ class ConstantStateEngine:
         dominated = bool(np.all(self.in_mis | (member_neighbors > 0)))
         return independent and dominated
 
-    def mis_vertices(self) -> frozenset:
+    def mis_vertices(self) -> FrozenSet[int]:
         return frozenset(int(v) for v in np.nonzero(self.in_mis)[0])
 
 

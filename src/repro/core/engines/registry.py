@@ -24,7 +24,12 @@ and every CLI ``--engine`` flag.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Mapping, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Mapping, Optional, Tuple
+
+if TYPE_CHECKING:
+    from ...devtools.seeding import SeedLike
+    from ...graphs.graph import Graph
+    from ..knowledge import EllMaxPolicy
 
 __all__ = [
     "EngineBackend",
@@ -57,7 +62,7 @@ def register_engine(
     name: str,
     run: BackendRunner,
     description: str = "",
-    capabilities: Mapping[str, Any] = (),
+    capabilities: Optional[Mapping[str, Any]] = None,
     overwrite: bool = False,
 ) -> EngineBackend:
     """Register a backend under ``name``; returns the registry entry."""
@@ -66,7 +71,10 @@ def register_engine(
     if name in _REGISTRY and not overwrite:
         raise ValueError(f"engine {name!r} is already registered")
     backend = EngineBackend(
-        name=name, run=run, description=description, capabilities=dict(capabilities)
+        name=name,
+        run=run,
+        description=description,
+        capabilities=dict(capabilities or {}),
     )
     _REGISTRY[name] = backend
     return backend
@@ -95,7 +103,14 @@ def available_engines() -> Tuple[str, ...]:
 # ----------------------------------------------------------------------
 # Built-in backends
 # ----------------------------------------------------------------------
-def _run_vectorized(graph, policy, variant, seed, max_rounds, arbitrary_start):
+def _run_vectorized(
+    graph: "Graph",
+    policy: "EllMaxPolicy",
+    variant: str,
+    seed: "SeedLike",
+    max_rounds: int,
+    arbitrary_start: bool,
+) -> Any:
     from .single import simulate_single
     from .two_channel import simulate_two_channel
 
@@ -105,20 +120,26 @@ def _run_vectorized(graph, policy, variant, seed, max_rounds, arbitrary_start):
     )
 
 
-def _run_reference(graph, policy, variant, seed, max_rounds, arbitrary_start):
+def _run_reference(
+    graph: "Graph",
+    policy: "EllMaxPolicy",
+    variant: str,
+    seed: "SeedLike",
+    max_rounds: int,
+    arbitrary_start: bool,
+) -> Any:
     # Imported lazily: the reference engine lives outside repro.core and
     # pulling it in here at import time would cycle through repro.beeping.
-    import numpy as np
-
     from ...beeping.faults import random_states
     from ...beeping.network import BeepingNetwork
     from ...beeping.simulator import run_until_stable
+    from ...devtools.seeding import resolve_rng
     from ..algorithm_single import SelfStabilizingMIS
     from ..algorithm_two_channel import TwoChannelMIS
 
     algorithm = TwoChannelMIS() if variant == "two_channel" else SelfStabilizingMIS()
     knowledge = policy.knowledge(graph)
-    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    rng = resolve_rng(seed)
     initial = random_states(algorithm, knowledge, rng) if arbitrary_start else None
     network = BeepingNetwork(
         graph, algorithm, knowledge, seed=rng, initial_states=initial
@@ -126,7 +147,14 @@ def _run_reference(graph, policy, variant, seed, max_rounds, arbitrary_start):
     return run_until_stable(network, max_rounds=max_rounds)
 
 
-def _run_batched(graph, policy, variant, seed, max_rounds, arbitrary_start):
+def _run_batched(
+    graph: "Graph",
+    policy: "EllMaxPolicy",
+    variant: str,
+    seed: "SeedLike",
+    max_rounds: int,
+    arbitrary_start: bool,
+) -> Any:
     from .batched import simulate_batched
 
     algorithm = "two_channel" if variant == "two_channel" else "single"

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Optional
 
 import numpy as np
+import numpy.typing as npt
 
 from ...graphs.graph import Graph
 from ..knowledge import EllMaxPolicy
@@ -22,7 +23,7 @@ class SingleChannelEngine(EngineBase):
 
     uses_negative_levels = True
 
-    def beep_probabilities(self) -> np.ndarray:
+    def beep_probabilities(self) -> npt.NDArray[np.float64]:
         """The Figure-1 activation applied elementwise to the levels."""
         exponent = np.clip(self.levels, 0, MAX_EXPONENT).astype(np.float64)
         p = np.power(2.0, -exponent)
@@ -30,7 +31,7 @@ class SingleChannelEngine(EngineBase):
         p[self.levels >= self.ell_max] = 0.0
         return p
 
-    def step(self) -> np.ndarray:
+    def step(self) -> npt.NDArray[np.bool_]:
         """One synchronous round; returns the beep vector (bool array)."""
         draws = self.rng.random(self.n)
         beeps = draws < self.beep_probabilities()
@@ -48,7 +49,7 @@ def simulate_single(
     policy: EllMaxPolicy,
     seed: SeedLike = None,
     max_rounds: int = 100_000,
-    initial_levels: Optional[np.ndarray] = None,
+    initial_levels: Optional[npt.ArrayLike] = None,
     arbitrary_start: bool = False,
     check_every: int = 1,
     record_series: bool = False,

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from ...graphs.graph import Graph
 from ..knowledge import EllMaxPolicy
@@ -18,7 +19,7 @@ class TwoChannelEngine(EngineBase):
 
     uses_negative_levels = False
 
-    def step(self) -> Tuple[np.ndarray, np.ndarray]:
+    def step(self) -> Tuple[npt.NDArray[np.bool_], npt.NDArray[np.bool_]]:
         """One round; returns ``(beep1, beep2)`` bool vectors."""
         draws = self.rng.random(self.n)
         exponent = np.clip(self.levels, 0, MAX_EXPONENT).astype(np.float64)
@@ -48,7 +49,7 @@ def simulate_two_channel(
     policy: EllMaxPolicy,
     seed: SeedLike = None,
     max_rounds: int = 100_000,
-    initial_levels: Optional[np.ndarray] = None,
+    initial_levels: Optional[npt.ArrayLike] = None,
     arbitrary_start: bool = False,
     check_every: int = 1,
     record_series: bool = False,

@@ -28,10 +28,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..devtools.seeding import SeedLike, resolve_rng
 from ..graphs.graph import Graph
 from .knowledge import EllMaxPolicy
 from .vectorized import SingleChannelEngine
@@ -47,12 +48,10 @@ __all__ = [
     "verify_lemma36_uniform",
 ]
 
-SeedLike = Union[int, np.random.Generator, None]
-
 
 def _mu_positive(engine: SingleChannelEngine) -> np.ndarray:
     """Boolean mask: ``μ_t(v) > 0`` (vectorized; empty min counts as > 0)."""
-    nonpositive = (engine.levels <= 0).astype(np.int8)
+    nonpositive = (engine.levels <= 0).astype(np.int32)
     # μ(v) > 0 iff no neighbor has level <= 0.
     return engine.adjacency.dot(nonpositive) == 0
 
@@ -133,7 +132,7 @@ def verify_lemma34(
     counterexample = None
     for t in range(horizon + rounds):
         beeps = engine.step()
-        heard = engine.adjacency.dot(beeps.astype(np.int8)) > 0
+        heard = engine.adjacency.dot(beeps.astype(np.int32)) > 0
         solo = beeps & ~heard
         last_solo[solo] = t
         if t <= horizon:
@@ -182,7 +181,7 @@ def estimate_platinum_tail(
     configuration, executes the warm-up horizon, and then counts rounds
     until ``N⁺(0)`` contains a prominent vertex.
     """
-    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    rng = resolve_rng(seed)
     horizon = policy.max_ell_max
     neighborhood = np.zeros(graph.num_vertices, dtype=bool)
     for u in graph.closed_neighborhood(0):

@@ -1,0 +1,60 @@
+"""Developer tooling: determinism & contract linting, seed discipline.
+
+Everything this repo claims (Theorems 2.1/2.2, Corollary 2.3) rests on
+bit-reproducible randomized executions.  The bug classes that can
+silently invalidate a reproduction — global RNG use, unseeded
+``default_rng()``, wall-clock reads inside simulation paths, float
+``==`` on probabilities, engines drifting from the ``EngineBase``
+contract — are mechanically detectable, and this package detects them:
+
+* :mod:`~repro.devtools.seeding` — the single blessed seed-coercion
+  helper (:func:`resolve_rng`) shared by every subsystem.
+* :mod:`~repro.devtools.lint` + :mod:`~repro.devtools.rules` — a custom
+  AST linter with repo-specific rules (RNG discipline, determinism,
+  numeric safety, engine-contract conformance).  Rule catalogue:
+  ``docs/linting.md``.
+* :mod:`~repro.devtools.contract` — the *runtime* engine-contract
+  checker behind lint rule RPR401 and the registry regression tests.
+* :mod:`~repro.devtools.check` — the ``repro check`` CI gate: ruff +
+  mypy + the custom linter, with human and JSON output.
+"""
+
+from typing import Any
+
+from .seeding import SeedLike, SeedSpec, as_seed_sequence, derive_seed_sequence, resolve_rng
+
+__all__ = [
+    "SeedLike",
+    "SeedSpec",
+    "resolve_rng",
+    "as_seed_sequence",
+    "derive_seed_sequence",
+    "lint_paths",
+    "LintReport",
+    "verify_engine_class",
+    "verify_backend",
+    "verify_registry",
+]
+
+#: Lazily re-exported names: ``contract`` imports ``repro.core.engines``,
+#: which itself imports :mod:`repro.devtools.seeding` — an eager import
+#: here would cycle.  ``lint`` rides along for symmetry.
+_LAZY = {
+    "lint_paths": ("repro.devtools.lint", "lint_paths"),
+    "LintReport": ("repro.devtools.lint", "LintReport"),
+    "verify_engine_class": ("repro.devtools.contract", "verify_engine_class"),
+    "verify_backend": ("repro.devtools.contract", "verify_backend"),
+    "verify_registry": ("repro.devtools.contract", "verify_registry"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attribute = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attribute)

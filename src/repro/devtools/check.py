@@ -1,0 +1,232 @@
+"""``repro check`` — the one-command determinism & contract gate.
+
+Runs, in order:
+
+1. **ruff** (``ruff check src tests benchmarks``) — generic style lint.
+2. **mypy** (``mypy --strict`` on the strictly-typed core surface:
+   ``core/engines``, ``graphs``, ``analysis/measurements.py``).
+3. **repro-lint** — the custom AST rules in
+   :mod:`repro.devtools.rules` over ``src``.
+4. **engine-contract** — the runtime registry sweep from
+   :mod:`repro.devtools.contract`.
+
+ruff and mypy are *optional* dependencies (the ``lint`` extra pins
+them); when a tool is not importable in the current environment it is
+reported as ``skipped`` and does not fail the gate, so the command stays
+useful on minimal installs while CI — which installs ``.[lint]`` — gets
+the full gate.  The custom linter and contract sweep are stdlib+numpy
+and always run.
+
+Exit status is 0 iff no tool *failed*.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from .lint import lint_paths
+
+__all__ = ["STRICT_MYPY_TARGETS", "ToolResult", "run_check", "main"]
+
+#: The mypy --strict surface (acceptance criterion of the lint gate).
+STRICT_MYPY_TARGETS = (
+    "src/repro/core/engines",
+    "src/repro/graphs",
+    "src/repro/analysis/measurements.py",
+)
+
+#: Paths swept by ruff when available.
+RUFF_TARGETS = ("src", "tests", "benchmarks")
+
+
+@dataclass
+class ToolResult:
+    """Outcome of one tool in the gate."""
+
+    name: str
+    status: str  # "passed" | "failed" | "skipped"
+    detail: str = ""
+    violations: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "failed"
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "detail": self.detail,
+            "violations": self.violations,
+        }
+
+
+def _have_module(name: str) -> bool:
+    try:
+        return importlib.util.find_spec(name) is not None
+    except (ImportError, ValueError):
+        return False
+
+
+def _run_tool(name: str, command: Sequence[str]) -> ToolResult:
+    """Run an external linter as ``python -m <tool> ...``."""
+    proc = subprocess.run(
+        [sys.executable, "-m", *command],
+        capture_output=True,
+        text=True,
+    )
+    output = (proc.stdout + proc.stderr).strip()
+    if proc.returncode == 0:
+        return ToolResult(name=name, status="passed", detail=output)
+    return ToolResult(name=name, status="failed", detail=output)
+
+
+def _check_ruff() -> ToolResult:
+    if not _have_module("ruff"):
+        return ToolResult(
+            name="ruff",
+            status="skipped",
+            detail="ruff not installed (pip install .[lint])",
+        )
+    return _run_tool("ruff", ["ruff", "check", *RUFF_TARGETS])
+
+
+def _check_mypy() -> ToolResult:
+    if not _have_module("mypy"):
+        return ToolResult(
+            name="mypy",
+            status="skipped",
+            detail="mypy not installed (pip install .[lint])",
+        )
+    return _run_tool("mypy", ["mypy", "--strict", *STRICT_MYPY_TARGETS])
+
+
+def _check_repro_lint(paths: Sequence[str]) -> ToolResult:
+    report = lint_paths(paths)
+    status = "passed" if report.ok else "failed"
+    return ToolResult(
+        name="repro-lint",
+        status=status,
+        detail=f"{len(report.violations)} violation(s) in "
+        f"{report.checked_files} file(s)",
+        violations=[v.to_json() for v in report.violations],
+    )
+
+
+def _check_contract() -> ToolResult:
+    from .contract import verify_registry
+
+    problems = {
+        name: issues for name, issues in verify_registry().items() if issues
+    }
+    if not problems:
+        return ToolResult(
+            name="engine-contract",
+            status="passed",
+            detail="all registered backends conform",
+        )
+    flat = [
+        {"rule": "CONTRACT", "message": issue, "path": name, "line": 0, "col": 0}
+        for name, issues in sorted(problems.items())
+        for issue in issues
+    ]
+    return ToolResult(
+        name="engine-contract",
+        status="failed",
+        detail=f"{len(flat)} contract problem(s)",
+        violations=flat,
+    )
+
+
+def run_check(
+    paths: Optional[Sequence[str]] = None,
+    skip_external: bool = False,
+    skip_contract: bool = False,
+) -> List[ToolResult]:
+    """Run the full gate; returns one :class:`ToolResult` per tool."""
+    lint_targets = list(paths) if paths else ["src"]
+    results: List[ToolResult] = []
+    if not skip_external:
+        results.append(_check_ruff())
+        results.append(_check_mypy())
+    results.append(_check_repro_lint(lint_targets))
+    if not skip_contract:
+        results.append(_check_contract())
+    return results
+
+
+def format_text(results: Sequence[ToolResult]) -> str:
+    lines: List[str] = []
+    for result in results:
+        marker = {"passed": "ok", "failed": "FAIL", "skipped": "skip"}[
+            result.status
+        ]
+        lines.append(f"[{marker:>4}] {result.name}: {result.detail or result.status}")
+        for violation in result.violations:
+            lines.append(
+                f"       {violation['path']}:{violation['line']}:"
+                f"{violation['col']} {violation['rule']} {violation['message']}"
+            )
+        if result.failed and result.detail and not result.violations:
+            for line in result.detail.splitlines()[:40]:
+                lines.append(f"       {line}")
+    failed = sum(1 for r in results if r.failed)
+    lines.append(
+        f"check: {len(results)} tool(s), {failed} failed"
+        if failed
+        else f"check: {len(results)} tool(s), all green"
+    )
+    return "\n".join(lines)
+
+
+def to_json(results: Sequence[ToolResult]) -> Dict[str, Any]:
+    return {
+        "ok": not any(r.failed for r in results),
+        "tools": [r.to_json() for r in results],
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description="determinism & contract gate (ruff + mypy + repro-lint "
+        "+ engine-contract)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="paths for the custom linter (default: src)",
+    )
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument(
+        "--no-external",
+        action="store_true",
+        help="skip ruff/mypy even when installed",
+    )
+    parser.add_argument(
+        "--no-contract",
+        action="store_true",
+        help="skip the runtime engine-contract sweep",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_check(
+        paths=args.paths or None,
+        skip_external=args.no_external,
+        skip_contract=args.no_contract,
+    )
+    if args.format == "json":
+        print(json.dumps(to_json(results), indent=2))
+    else:
+        print(format_text(results))
+    return 0 if not any(r.failed for r in results) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,173 @@
+"""The determinism & contract linter: driver, pragma handling, output.
+
+Usage (also wired into ``python -m repro check``)::
+
+    python -m repro.devtools.lint src            # human output
+    python -m repro.devtools.lint --format json src
+
+Exit status is 0 when no rule fires, 1 otherwise; violations are
+reported as ``path:line:col RULE message``.  A violation whose line
+carries the pragma ``# repro: allow[RPR123]`` (comma-separated IDs, or
+``*`` for all rules) is suppressed.
+
+The rule catalogue lives in :mod:`repro.devtools.rules` and is
+documented with rationale and examples in ``docs/linting.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .rules import FileContext, Rule, Violation, _registry
+
+__all__ = ["LintReport", "lint_source", "lint_paths", "main"]
+
+_PRAGMA = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9*,\s]+)\]")
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    violations: List[Violation] = field(default_factory=list)
+    checked_files: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.parse_errors
+
+    def to_json(self) -> dict:
+        return {
+            "ok": self.ok,
+            "checked_files": self.checked_files,
+            "parse_errors": list(self.parse_errors),
+            "violations": [v.to_json() for v in self.violations],
+        }
+
+    def format(self) -> str:
+        lines = [v.format() for v in self.violations]
+        lines += [f"parse error: {e}" for e in self.parse_errors]
+        lines.append(
+            f"{len(self.violations)} violation(s) in "
+            f"{self.checked_files} file(s)"
+        )
+        return "\n".join(lines)
+
+
+def _allowed_rules(line: str) -> frozenset:
+    """Rule IDs suppressed by pragmas on ``line`` (may include ``*``)."""
+    found = set()
+    for match in _PRAGMA.finditer(line):
+        for rule_id in match.group(1).split(","):
+            found.add(rule_id.strip())
+    return frozenset(found)
+
+
+def _module_name_for(path: Path) -> str:
+    """Dotted module path when the file sits under a ``repro`` package."""
+    parts = list(path.parts)
+    if "repro" in parts:
+        start = parts.index("repro")
+        dotted = parts[start:]
+        dotted[-1] = Path(dotted[-1]).stem
+        if dotted[-1] == "__init__":
+            dotted = dotted[:-1]
+        return ".".join(dotted)
+    return path.stem
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    module: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Violation]:
+    """Lint one source blob; raises ``SyntaxError`` on unparsable input."""
+    tree = ast.parse(source, filename=path)
+    ctx = FileContext(
+        path=path,
+        module=module if module is not None else _module_name_for(Path(path)),
+        source=source,
+    )
+    chosen = tuple(rules) if rules is not None else _registry()
+    found: List[Violation] = []
+    for rule in chosen:
+        for violation in rule.check(tree, ctx):
+            line_text = (
+                ctx.lines[violation.line - 1]
+                if 0 < violation.line <= len(ctx.lines)
+                else ""
+            )
+            allowed = _allowed_rules(line_text)
+            if violation.rule in allowed or "*" in allowed:
+                continue
+            found.append(violation)
+    found.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return found
+
+
+def _iter_python_files(paths: Iterable[Path]) -> Iterable[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    root: Optional[Path] = None,
+) -> LintReport:
+    """Lint every ``*.py`` file under ``paths`` (files or directories)."""
+    base = root if root is not None else Path.cwd()
+    report = LintReport()
+    for file_path in _iter_python_files(Path(p) for p in paths):
+        try:
+            display = str(file_path.relative_to(base))
+        except ValueError:
+            display = str(file_path)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            report.violations.extend(
+                lint_source(source, path=display, rules=rules)
+            )
+        except SyntaxError as exc:
+            report.parse_errors.append(f"{display}: {exc.msg} (line {exc.lineno})")
+        report.checked_files += 1
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.devtools.lint",
+        description="determinism & contract linter (rules: docs/linting.md)",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    args = parser.parse_args(argv)
+
+    report = lint_paths(args.paths)
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.format())
+    return 0 if report.ok else 1
+
+
+def rule_catalogue() -> List[Tuple[str, str, str]]:
+    """``(rule_id, title, rationale)`` rows — used by docs and tests."""
+    return [(r.rule_id, r.title, r.rationale) for r in _registry()]
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""Numeric-safety rules (RPR3xx).
+
+PR 1 caught a latent int8 overflow in the matvec reception path by hand
+(degrees ≥ 256 silently wrapped the neighbor-beep counts); these rules
+make that class of bug, and float-equality probability tests, into lint
+errors.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from . import FileContext, Rule, Violation
+
+__all__ = ["FloatEqualityRule", "SmallIntDtypeRule"]
+
+#: Float literals that are exactly representable *and* conventionally
+#: used as sentinels (empty-probability guards like ``p == 0.0``); exact
+#: comparison against them is deliberate and safe.
+_EXACT_SENTINELS = (0.0, 1.0, -1.0)
+
+
+class FloatEqualityRule(Rule):
+    """RPR301: no ``==``/``!=`` against non-sentinel float literals."""
+
+    rule_id = "RPR301"
+    title = "float equality on probabilities"
+    rationale = (
+        "Probabilities here are computed as 2^(-l) chains and compared "
+        "across engines; == on computed floats encodes an accidental "
+        "bit-pattern assumption.  Exact sentinels (0.0, 1.0, -1.0) are "
+        "exempt — they are exactly representable and used as explicit "
+        "guard values."
+    )
+
+    @staticmethod
+    def _nonsentinel_float(node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, float)
+            and node.value not in _EXACT_SENTINELS
+        )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for operand in operands:
+                if self._nonsentinel_float(operand):
+                    yield ctx.violation(
+                        self,
+                        node,
+                        f"float equality against {operand.value!r}; compare "
+                        "with a tolerance (math.isclose/np.isclose) or "
+                        "restructure around integer levels",
+                    )
+                    break
+
+
+class SmallIntDtypeRule(Rule):
+    """RPR302: no ``int8``/``int16`` dtypes in array code."""
+
+    rule_id = "RPR302"
+    title = "overflow-prone small integer dtype"
+    rationale = (
+        "adjacency.dot(x.astype(np.int8)) returns int8: neighbor-beep "
+        "counts wrap at degree 128 and the legality predicate silently "
+        "lies on dense graphs (the PR-1 bug class).  Casts feeding "
+        "matvec/reduction paths must be >= int32."
+    )
+
+    _SMALL = frozenset({"int8", "int16", "uint8", "uint16"})
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            dotted = ""
+            if isinstance(node, ast.Attribute):
+                dotted = self.dotted_name(node)
+            if dotted in {f"np.{s}" for s in self._SMALL} | {
+                f"numpy.{s}" for s in self._SMALL
+            }:
+                yield ctx.violation(
+                    self,
+                    node,
+                    f"{dotted} can overflow at degree >= 128 in matvec "
+                    "paths; use int32 or wider",
+                )
+            # String dtypes: astype("int8") anywhere, dtype="int16" kwargs.
+            if isinstance(node, ast.Call):
+                func = self.dotted_name(node.func)
+                candidates = [
+                    kw.value for kw in node.keywords if kw.arg == "dtype"
+                ]
+                if func.endswith(".astype") and node.args:
+                    candidates.append(node.args[0])
+                for arg in candidates:
+                    if (
+                        isinstance(arg, ast.Constant)
+                        and isinstance(arg.value, str)
+                        and arg.value in self._SMALL
+                    ):
+                        yield ctx.violation(
+                            self,
+                            arg,
+                            f"dtype {arg.value!r} can overflow at degree "
+                            ">= 128 in matvec paths; use int32 or wider",
+                        )

@@ -21,10 +21,11 @@ The families cover the workloads used by the paper's motivating scenarios:
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from ..devtools.seeding import SeedLike, resolve_rng
 from .graph import Graph, _normalize_edge
 
 __all__ = [
@@ -57,14 +58,9 @@ __all__ = [
     "FAMILY_NAMES",
 ]
 
-SeedLike = Union[int, np.random.Generator, None]
-
-
-def _rng(seed: SeedLike) -> np.random.Generator:
-    """Coerce a seed-like value to a numpy Generator."""
-    if isinstance(seed, np.random.Generator):
-        return seed
-    return np.random.default_rng(seed)
+#: Local alias kept for call-site brevity; the blessed coercion point is
+#: :func:`repro.devtools.seeding.resolve_rng`.
+_rng = resolve_rng
 
 
 # ----------------------------------------------------------------------
@@ -109,7 +105,7 @@ def grid_2d(rows: int, cols: int) -> Graph:
     def vid(r: int, c: int) -> int:
         return r * cols + c
 
-    edges = []
+    edges: List[Tuple[int, int]] = []
     for r in range(rows):
         for c in range(cols):
             if c + 1 < cols:
@@ -127,7 +123,7 @@ def torus_2d(rows: int, cols: int) -> Graph:
     def vid(r: int, c: int) -> int:
         return r * cols + c
 
-    edges = []
+    edges: List[Tuple[int, int]] = []
     for r in range(rows):
         for c in range(cols):
             edges.append((vid(r, c), vid(r, (c + 1) % cols)))
@@ -141,7 +137,7 @@ def triangular_lattice(rows: int, cols: int) -> Graph:
     def vid(r: int, c: int) -> int:
         return r * cols + c
 
-    edges = []
+    edges: List[Tuple[int, int]] = []
     for r in range(rows):
         for c in range(cols):
             if c + 1 < cols:
@@ -267,7 +263,7 @@ def random_regular(n: int, d: int, seed: SeedLike = None, max_tries: int = 200) 
         return Graph(n)
     rng = _rng(seed)
     for _ in range(max_tries):
-        edge_set: set = set()
+        edge_set: Set[Tuple[int, int]] = set()
         stubs = [v for v in range(n) for _ in range(d)]
         stuck = False
         while stubs and not stuck:
@@ -312,7 +308,7 @@ def barabasi_albert(n: int, m: int, seed: SeedLike = None) -> Graph:
         edges.append((i, m))
         repeated_nodes += [i, m]
     for new in range(m + 1, n):
-        targets = set()
+        targets: Set[int] = set()
         while len(targets) < m:
             targets.add(repeated_nodes[int(rng.integers(len(repeated_nodes)))])
         for t in targets:
@@ -332,7 +328,7 @@ def power_law_cluster(n: int, m: int, triangle_p: float, seed: SeedLike = None) 
     if not 0.0 <= triangle_p <= 1.0:
         raise ValueError("triangle_p must be in [0,1]")
     rng = _rng(seed)
-    edges = set()
+    edges: Set[Tuple[int, int]] = set()
     repeated_nodes: List[int] = []
     neighbor_lists: List[List[int]] = [[] for _ in range(n)]
 
@@ -389,10 +385,10 @@ def unit_disk(
     r2 = radius * radius
     # Grid bucketing keeps this O(n) for constant expected degree.
     cell = max(radius, 1e-9)
-    buckets: dict = {}
+    buckets: Dict[Tuple[int, int], List[int]] = {}
     for i, (x, y) in enumerate(points):
         buckets.setdefault((int(x / cell), int(y / cell)), []).append(i)
-    edges = []
+    edges: List[Tuple[int, int]] = []
     for (cx, cy), members in buckets.items():
         neighbors_cells = [
             buckets.get((cx + dx, cy + dy), [])
@@ -426,12 +422,12 @@ def watts_strogatz(n: int, k: int, rewire_p: float, seed: SeedLike = None) -> Gr
     if not 0.0 <= rewire_p <= 1.0:
         raise ValueError("rewire_p must be in [0,1]")
     rng = _rng(seed)
-    edges = set()
+    edges: Set[Tuple[int, int]] = set()
     for v in range(n):
         for j in range(1, k // 2 + 1):
             edges.add(_normalize_edge(v, (v + j) % n))
     if rewire_p > 0.0:
-        rewired = set()
+        rewired: Set[Tuple[int, int]] = set()
         for u, v in sorted(edges):
             if rng.random() >= rewire_p:
                 rewired.add((u, v))
@@ -457,7 +453,7 @@ def complete_multipartite(part_sizes: Sequence[int]) -> Graph:
     for s in part_sizes:
         offsets.append(offsets[-1] + s)
     n = offsets[-1]
-    part_of = []
+    part_of: List[int] = []
     for index, s in enumerate(part_sizes):
         part_of += [index] * s
     edges = [
@@ -489,7 +485,7 @@ def random_tree(n: int, seed: SeedLike = None) -> Graph:
     degree = [1] * n
     for v in prufer:
         degree[v] += 1
-    edges = []
+    edges: List[Tuple[int, int]] = []
     import heapq
 
     leaves = [v for v in range(n) if degree[v] == 1]

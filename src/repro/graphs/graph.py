@@ -20,7 +20,7 @@ Design notes
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
 
 __all__ = ["Graph"]
 
@@ -59,8 +59,8 @@ class Graph:
             raise ValueError(f"num_vertices must be >= 0, got {num_vertices}")
         self._n = int(num_vertices)
 
-        neighbor_sets: List[set] = [set() for _ in range(self._n)]
-        edge_set = set()
+        neighbor_sets: List[Set[int]] = [set() for _ in range(self._n)]
+        edge_set: Set[Tuple[int, int]] = set()
         for u, v in edges:
             u, v = int(u), int(v)
             if not (0 <= u < self._n and 0 <= v < self._n):

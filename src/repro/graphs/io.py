@@ -77,11 +77,15 @@ def to_adjacency_dict(graph: Graph) -> Dict[int, Tuple[int, ...]]:
     return {v: graph.neighbors(v) for v in graph.vertices()}
 
 
-def to_sparse_adjacency(graph: Graph, dtype=np.int8) -> sp.csr_matrix:
+def to_sparse_adjacency(graph: Graph, dtype: "np.typing.DTypeLike" = np.int32) -> sp.csr_matrix:
     """The symmetric n×n adjacency matrix as a scipy CSR matrix.
 
     This is the representation consumed by the vectorized engine: the
     per-round "heard a beep" bit vector is ``(A @ beeps) > 0``.
+
+    The default dtype is ``int32`` (not a byte) so that matvec products
+    against count vectors cannot wrap at degree ≥ 128 — the overflow
+    class RPR302 lints against.
     """
     n = graph.num_vertices
     if graph.num_edges == 0:

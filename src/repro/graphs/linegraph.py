@@ -11,7 +11,7 @@ can be mapped back to G.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 from .graph import Graph
 
@@ -34,7 +34,9 @@ class LineGraph:
     def __init__(self, base: Graph):
         self.base = base
         self.edge_of: Tuple[Tuple[int, int], ...] = base.edges
-        index_of = {edge: i for i, edge in enumerate(self.edge_of)}
+        index_of: Dict[Tuple[int, int], int] = {
+            edge: i for i, edge in enumerate(self.edge_of)
+        }
 
         # Two edges are adjacent in L(G) iff they share an endpoint:
         # group edge indices by endpoint and connect within groups.
@@ -42,7 +44,7 @@ class LineGraph:
         for i, (u, v) in enumerate(self.edge_of):
             incident[u].append(i)
             incident[v].append(i)
-        lg_edges = set()
+        lg_edges: Set[Tuple[int, int]] = set()
         for bucket in incident:
             for a in range(len(bucket)):
                 for b in range(a + 1, len(bucket)):
@@ -58,7 +60,9 @@ class LineGraph:
         except KeyError:
             raise KeyError(f"({u}, {v}) is not an edge of the base graph") from None
 
-    def edges_for_vertices(self, vertices) -> Tuple[Tuple[int, int], ...]:
+    def edges_for_vertices(
+        self, vertices: Iterable[int]
+    ) -> Tuple[Tuple[int, int], ...]:
         """Map a set of L(G)-vertices back to G-edges."""
         return tuple(sorted(self.edge_of[i] for i in vertices))
 

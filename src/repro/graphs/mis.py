@@ -11,10 +11,11 @@ checked against.  A set ``I ⊆ V`` is an MIS of ``G`` iff
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, Optional, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from ..devtools.seeding import SeedLike, resolve_rng
 from .graph import Graph
 
 __all__ = [
@@ -28,9 +29,6 @@ __all__ = [
     "maximum_independent_set_size",
     "mis_size_bounds",
 ]
-
-SeedLike = Union[int, np.random.Generator, None]
-
 
 def is_independent_set(graph: Graph, candidate: Iterable[int]) -> bool:
     """True iff no two vertices of ``candidate`` are adjacent."""
@@ -104,7 +102,7 @@ def greedy_mis(graph: Graph, order: Optional[Sequence[int]] = None) -> FrozenSet
     """
     if order is None:
         order = range(graph.num_vertices)
-    chosen: set = set()
+    chosen: Set[int] = set()
     blocked = [False] * graph.num_vertices
     for v in order:
         if blocked[v]:
@@ -122,7 +120,7 @@ def random_priority_mis(graph: Graph, seed: SeedLike = None) -> FrozenSet[int]:
     This is the sequential equivalent of Luby-style random priorities and
     gives an unbiased sample of "typical" MIS sizes.
     """
-    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    rng = resolve_rng(seed)
     order = rng.permutation(graph.num_vertices)
     return greedy_mis(graph, [int(v) for v in order])
 

@@ -62,7 +62,7 @@ def connected_components(graph: Graph) -> List[List[int]]:
     """The connected components, each a sorted vertex list; sorted by
     smallest member."""
     seen = [False] * graph.num_vertices
-    components = []
+    components: List[List[int]] = []
     for start in graph.vertices():
         if seen[start]:
             continue

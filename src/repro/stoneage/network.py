@@ -8,17 +8,14 @@ clipped neighbor counts instead of per-channel OR bits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
-
-import numpy as np
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..beeping.algorithm import LocalKnowledge, NodeOutput
+from ..devtools.seeding import SeedLike, resolve_rng
 from ..graphs.graph import Graph
 from .model import StoneAgeMachine
 
 __all__ = ["StoneAgeRound", "StoneAgeNetwork", "run_stone_age_until_stable"]
-
-SeedLike = Union[int, np.random.Generator, None]
 
 
 @dataclass(frozen=True)
@@ -65,9 +62,7 @@ class StoneAgeNetwork:
         self.machine = machine
         self.knowledge = tuple(knowledge)
         self.bound = int(bound)
-        self._rng = (
-            seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
-        )
+        self._rng = resolve_rng(seed)
         if initial_states is None:
             self._states: List[Any] = [
                 machine.fresh_state(k) for k in self.knowledge

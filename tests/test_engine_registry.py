@@ -64,6 +64,64 @@ def test_duplicate_registration_needs_overwrite():
     assert get_engine("vectorized").run is backend.run
 
 
+# ----------------------------------------------------------------------
+# Registry lock + programmatic contract (regression against silent drift)
+# ----------------------------------------------------------------------
+def test_registry_lock_builtin_names_are_stable():
+    """The public backend names are API: renaming or dropping one breaks
+    every CLI invocation and saved sweep config that mentions it."""
+    assert available_engines() == ("batched", "reference", "vectorized")
+
+
+def test_every_registered_backend_satisfies_the_contract():
+    from repro.devtools.contract import verify_registry
+
+    problems = {
+        name: issues for name, issues in verify_registry().items() if issues
+    }
+    assert problems == {}
+
+
+def test_engine_classes_satisfy_the_class_contract():
+    from repro.core.engines import (
+        BatchedEngine,
+        ConstantStateEngine,
+        SingleChannelEngine,
+        TwoChannelEngine,
+    )
+    from repro.core.engines.base import EngineBase
+    from repro.devtools.contract import verify_engine_class
+
+    for cls in (SingleChannelEngine, TwoChannelEngine):
+        assert verify_engine_class(cls) == []
+    # Non-EngineBase engines are reported as such, not silently passed.
+    for cls in (BatchedEngine, ConstantStateEngine):
+        problems = verify_engine_class(cls)
+        assert problems and "not an EngineBase subclass" in problems[0]
+    # A defective subclass is caught programmatically.
+    class Broken(EngineBase):
+        pass
+
+    assert any("step" in p for p in verify_engine_class(Broken))
+
+
+def test_verify_backend_rejects_graph_mutators():
+    from repro.core.engines.registry import EngineBackend
+    from repro.devtools.contract import verify_backend
+
+    def mutating_run(graph, policy, variant, seed, max_rounds, arbitrary_start):
+        outcome = get_engine("vectorized").run(
+            graph, policy, variant, seed, max_rounds, arbitrary_start
+        )
+        # Simulate an engine that edits the shared topology in place.
+        object.__setattr__(graph, "_edges", graph.edges[:-1])
+        return outcome
+
+    backend = EngineBackend(name="mutator", run=mutating_run)
+    problems = verify_backend(backend)
+    assert any("mutated the input Graph" in p for p in problems)
+
+
 def test_all_backends_agree_on_small_graph():
     graph = generators.erdos_renyi_mean_degree(30, 4.0, seed=6)
     results = {
