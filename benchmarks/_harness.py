@@ -48,18 +48,24 @@ RESULTS_DIR = os.path.join(
 )
 
 
-def save_bench_rows(name: str, rows, parameters=None) -> str:
+def save_bench_rows(name: str, rows, parameters=None, profile=None) -> str:
     """Persist ``rows`` as ``results/BENCH_<name>.json``.
 
     Uses the versioned :mod:`repro.analysis.persistence` envelope so the
     artifact records the library version and creation parameters and can
-    be read back with ``load_rows``.  Returns the written path.
+    be read back with ``load_rows``.  ``profile`` (a
+    :meth:`repro.obs.PhaseProfiler.snapshot` dict) is embedded under
+    ``parameters["profile"]`` so benchmark artifacts carry their own
+    timing breakdown.  Returns the written path.
     """
     from repro.analysis.persistence import save_rows
 
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
-    save_rows(rows, path, experiment=name, parameters=parameters or {})
+    params = dict(parameters or {})
+    if profile is not None:
+        params["profile"] = profile
+    save_rows(rows, path, experiment=name, parameters=params)
     return path
 
 

@@ -17,6 +17,7 @@ from _harness import print_header, save_bench_rows, seed_for
 
 from repro.analysis.measurements import StabilizationRounds
 from repro.analysis.sweep import run_sweep
+from repro.obs import MetricsOptions
 from repro.analysis.tables import format_table
 from repro.beeping.network import BeepingNetwork
 from repro.core import (
@@ -147,6 +148,62 @@ def sweep_speedup(sizes=SPEEDUP_SIZES, reps=SPEEDUP_REPS, master_seed=2024):
     return rows, speedup, identical
 
 
+def metrics_overhead(sizes=SPEEDUP_SIZES, reps=SPEEDUP_REPS, master_seed=2024):
+    """The observability tax on the batched smoke sweep.
+
+    Runs the same sweep metrics-off and metrics-on (in-memory sink,
+    per-round records).  Returns ``(row, profile, identical)`` where
+    ``row`` records both wall times and the relative overhead for
+    ``results/BENCH_engines.json``, ``profile`` is the merged
+    :class:`repro.obs.PhaseProfiler` snapshot of the observed run, and
+    ``identical`` asserts the zero-perturbation contract end-to-end:
+    samples must be byte-identical with metrics enabled.
+    """
+    measure = StabilizationRounds(variant="max_degree")
+    configs = [{"family": "er", "n": n} for n in sizes]
+
+    def one(metrics):
+        start = time.perf_counter()
+        result = run_sweep(
+            configs, measure, repetitions=reps, master_seed=master_seed,
+            executor="batched", metrics=metrics,
+        )
+        return time.perf_counter() - start, result
+
+    # The sweep is short (~0.2s), so single-shot timing is dominated by
+    # scheduler noise (on shared/single-vCPU hosts, hypervisor steal can
+    # swing one measurement by tens of percent).  Run adjacent
+    # (off, on) pairs — drift cancels within a pair — and take the
+    # *median* of the per-pair ratios, which is robust to the occasional
+    # stolen pair in a way best-of-N minima are not.
+    pairs = []
+    plain = observed = None
+    one(None), one(MetricsOptions())  # warmup
+    for _ in range(7):
+        off_seconds, plain = one(None)
+        on_seconds, observed = one(MetricsOptions())
+        if off_seconds > 0:
+            pairs.append((on_seconds / off_seconds, off_seconds, on_seconds))
+
+    identical = all(
+        a.samples == b.samples for a, b in zip(plain.cells, observed.cells)
+    )
+    # Report the median pair's wall times so the row is self-consistent
+    # (its ratio IS the recorded overhead).
+    ratio, plain_seconds, observed_seconds = sorted(pairs)[len(pairs) // 2]
+    overhead = ratio - 1.0
+    row = {
+        "executor": "batched+metrics",
+        "wall_seconds": round(observed_seconds, 4),
+        "wall_seconds_metrics_off": round(plain_seconds, 4),
+        "metrics_overhead_pct": round(100.0 * overhead, 1),
+        "records": len(observed.metrics.records),
+        "samples": reps * len(sizes),
+        "samples_identical_to_metrics_off": identical,
+    }
+    return row, observed.metrics.profile, identical
+
+
 def run_experiment(full: bool = False) -> None:
     print_header("E9 (engines)", "bit-identical trajectories + throughput")
     ok1 = check_equivalence()
@@ -163,6 +220,16 @@ def run_experiment(full: bool = False) -> None:
         f"batched {rows[1]['wall_seconds']:.2f}s → {speedup:.1f}x speedup"
     )
     print(f"executor outputs byte-identical: {'PASS' if identical else 'FAIL'}")
+    metrics_row, profile, metrics_identical = metrics_overhead()
+    rows.append(metrics_row)
+    print(f"metrics-on samples identical: {'PASS' if metrics_identical else 'FAIL'}")
+    overhead_pct = metrics_row["metrics_overhead_pct"]
+    budget_note = "within" if overhead_pct <= 10.0 else "OVER"
+    print(
+        f"metrics-on overhead on the batched smoke sweep: "
+        f"{overhead_pct:+.1f}% ({budget_note} the 10% budget), "
+        f"{metrics_row['records']} per-round records collected"
+    )
     path = save_bench_rows(
         "engines", rows,
         parameters={
@@ -172,6 +239,7 @@ def run_experiment(full: bool = False) -> None:
             "variant": "max_degree",
             "master_seed": 2024,
         },
+        profile=profile,
     )
     print(f"wrote {path}")
 

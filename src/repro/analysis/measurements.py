@@ -45,6 +45,7 @@ if TYPE_CHECKING:
     from ..core.engines.base import EngineBase, VectorizedResult
     from ..core.knowledge import EllMaxPolicy
     from ..graphs.graph import Graph
+    from ..obs.harness import SweepRecorder
 
 __all__ = ["StabilizationRounds", "FaultRecoveryRounds", "graph_for_config"]
 
@@ -125,6 +126,67 @@ class StabilizationRounds:
             algorithm=algorithm,
             max_rounds=self.max_rounds,
             arbitrary_start=self.arbitrary_start,
+        )
+        return [self._check(outcome, config) for outcome in block]
+
+    # ------------------------------------------------------------------
+    # Observed variants: identical executions (collectors are pure reads
+    # that draw no randomness), with per-round metrics recorded into the
+    # given :class:`repro.obs.SweepRecorder`.
+    # ------------------------------------------------------------------
+    def measure_observed(
+        self,
+        config: Mapping[str, Any],
+        rng: np.random.Generator,
+        recorder: "SweepRecorder",
+        rep: int = 0,
+    ) -> float:
+        """One observed sample — same value as ``self(config, rng)``."""
+        graph = graph_for_config(config)
+        policy = self._policy(config, graph)
+        two_channel = self.variant == "two_channel"
+        collector = recorder.solo_collector(
+            graph,
+            policy,
+            two_channel=two_channel,
+            extra_labels={**dict(config), "rep": rep},
+        )
+        simulate = simulate_two_channel if two_channel else simulate_single
+        outcome = simulate(
+            graph,
+            policy,
+            seed=rng,
+            max_rounds=self.max_rounds,
+            arbitrary_start=self.arbitrary_start,
+            collector=collector,
+        )
+        return self._check(outcome, config)
+
+    def measure_batch_observed(
+        self,
+        config: Mapping[str, Any],
+        seed_sequences: Sequence[np.random.SeedSequence],
+        recorder: "SweepRecorder",
+    ) -> List[float]:
+        """Observed repetition block — same values as ``measure_batch``."""
+        graph = graph_for_config(config)
+        policy = self._policy(config, graph)
+        two_channel = self.variant == "two_channel"
+        collector = recorder.batched_collector(
+            graph,
+            policy,
+            replicas=len(seed_sequences),
+            two_channel=two_channel,
+            extra_labels=dict(config),
+        )
+        block = simulate_batched(
+            graph,
+            policy,
+            seed_sequences=list(seed_sequences),
+            algorithm="two_channel" if two_channel else "single",
+            max_rounds=self.max_rounds,
+            arbitrary_start=self.arbitrary_start,
+            collector=collector,
         )
         return [self._check(outcome, config) for outcome in block]
 

@@ -51,6 +51,12 @@ from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.harness import (
+    MetricsOptions,
+    SweepMetrics,
+    SweepRecorder,
+    collect_sweep_metrics,
+)
 from .stats import Summary, summarize
 from .tables import format_table
 
@@ -60,6 +66,7 @@ __all__ = [
     "run_sweep",
     "spawn_sweep_seeds",
     "supports_batch",
+    "supports_observation",
     "EXECUTORS",
 ]
 
@@ -86,6 +93,10 @@ class SweepResult:
     """All cells of a sweep, with table/series helpers."""
 
     cells: List[SweepCell] = field(default_factory=list)
+    #: Merged observability output (only when ``run_sweep`` was given a
+    #: :class:`repro.obs.MetricsOptions`); samples are unaffected either
+    #: way — collectors are zero-perturbation.
+    metrics: Optional[SweepMetrics] = None
 
     def series(self, x_key: str) -> Tuple[List[float], List[float]]:
         """(x values, mean responses) ordered by x — fitting input."""
@@ -142,6 +153,11 @@ def supports_batch(measure: Measurement) -> bool:
     return callable(getattr(measure, "measure_batch", None))
 
 
+def supports_observation(measure: Measurement) -> bool:
+    """True iff ``measure`` exposes the observed (metrics) interface."""
+    return callable(getattr(measure, "measure_observed", None))
+
+
 # ----------------------------------------------------------------------
 # Worker functions (module-level so ProcessPoolExecutor can pickle them)
 # ----------------------------------------------------------------------
@@ -159,6 +175,47 @@ def _measure_batch_block(measure, config, children) -> List[float]:
             f"{len(children)} seeds"
         )
     return samples
+
+
+def _observed_chunk(measure, config, children, spec, rep_offset):
+    """Observed serial repetitions: (samples, picklable metrics payload).
+
+    ``rep_offset`` is the chunk's position in the configuration's global
+    repetition order, so the ``rep`` label on every record is the same no
+    matter how the process executor chunked the work.
+    """
+    recorder = SweepRecorder(every=spec.every, level_hist=spec.level_hist)
+    with recorder.profiler.phase("measure"):
+        samples = [
+            float(
+                measure.measure_observed(
+                    config,
+                    np.random.default_rng(child),
+                    recorder,
+                    rep=rep_offset + i,
+                )
+            )
+            for i, child in enumerate(children)
+        ]
+    recorder.profiler.add_rounds(int(sum(samples)))
+    return samples, recorder.payload()
+
+
+def _observed_batch_block(measure, config, children, spec):
+    """Observed repetition block: (samples, picklable metrics payload)."""
+    recorder = SweepRecorder(every=spec.every, level_hist=spec.level_hist)
+    with recorder.profiler.phase("measure"):
+        samples = [
+            float(x)
+            for x in measure.measure_batch_observed(config, children, recorder)
+        ]
+    if len(samples) != len(children):
+        raise RuntimeError(
+            f"measure_batch_observed returned {len(samples)} samples for "
+            f"{len(children)} seeds"
+        )
+    recorder.profiler.add_rounds(int(sum(samples)))
+    return samples, recorder.payload()
 
 
 def _resolve_executor(executor: str, measure: Measurement, jobs: int) -> str:
@@ -183,6 +240,7 @@ def run_sweep(
     progress: Optional[Callable[[str], None]] = None,
     jobs: int = 1,
     executor: str = "auto",
+    metrics: Optional[MetricsOptions] = None,
 ) -> SweepResult:
     """Run ``measure`` ``repetitions`` times per configuration.
 
@@ -209,6 +267,14 @@ def run_sweep(
     executor:
         ``"auto"`` (default), ``"serial"``, ``"process"`` or
         ``"batched"`` — see the module docstring.
+    metrics:
+        Optional :class:`repro.obs.MetricsOptions` enabling per-round
+        metric collection (requires a measurement exposing
+        ``measure_observed``; the batched executor additionally needs
+        ``measure_batch_observed``).  Samples are byte-identical with or
+        without metrics — collectors are zero-perturbation reads.
+        Workers aggregate locally; payloads are merged here in config ×
+        repetition order, so record order is executor-independent.
     """
     if repetitions < 1:
         raise ValueError("repetitions must be >= 1")
@@ -217,15 +283,45 @@ def run_sweep(
     configs = list(configs)
     seeds = spawn_sweep_seeds(master_seed, len(configs), repetitions)
     chosen = _resolve_executor(executor, measure, jobs)
+    if metrics is not None:
+        if not supports_observation(measure):
+            raise ValueError(
+                "metrics collection requires a measurement exposing "
+                "measure_observed() (see repro.analysis.measurements)"
+            )
+        if chosen == "batched" and not callable(
+            getattr(measure, "measure_batch_observed", None)
+        ):
+            raise ValueError(
+                "the batched executor with metrics requires "
+                "measure_batch_observed()"
+            )
 
-    if chosen == "serial" or jobs == 1:
-        per_config = _run_cells_serial(configs, measure, seeds, chosen)
-    elif chosen == "process":
-        per_config = _run_cells_process(configs, measure, seeds, jobs)
-    else:  # batched + jobs > 1: distribute per-config blocks over workers
-        per_config = _run_cells_batched_parallel(configs, measure, seeds, jobs)
+    payloads: List[Mapping[str, Any]] = []
+    if metrics is None:
+        if chosen == "serial" or jobs == 1:
+            per_config = _run_cells_serial(configs, measure, seeds, chosen)
+        elif chosen == "process":
+            per_config = _run_cells_process(configs, measure, seeds, jobs)
+        else:  # batched + jobs > 1: per-config blocks over workers
+            per_config = _run_cells_batched_parallel(configs, measure, seeds, jobs)
+    else:
+        if chosen == "serial" or jobs == 1:
+            per_config, payloads = _run_cells_serial_observed(
+                configs, measure, seeds, chosen, metrics
+            )
+        elif chosen == "process":
+            per_config, payloads = _run_cells_process_observed(
+                configs, measure, seeds, jobs, metrics
+            )
+        else:
+            per_config, payloads = _run_cells_batched_parallel_observed(
+                configs, measure, seeds, jobs, metrics
+            )
 
     result = SweepResult()
+    if metrics is not None:
+        result.metrics = collect_sweep_metrics(payloads, metrics)
     for config_index, (config, samples) in enumerate(zip(configs, per_config)):
         cell = SweepCell(
             config=dict(config), samples=tuple(samples), summary=summarize(samples)
@@ -278,3 +374,60 @@ def _run_cells_batched_parallel(configs, measure, seeds, jobs) -> List[List[floa
             for config, children in zip(configs, seeds)
         ]
         return [f.result() for f in futures]
+
+
+# ----------------------------------------------------------------------
+# Observed executor paths: same work distribution as above, but every
+# worker task returns (samples, metrics payload) pairs.  Payload lists
+# are assembled in config × repetition order regardless of executor.
+# ----------------------------------------------------------------------
+def _run_cells_serial_observed(configs, measure, seeds, chosen, spec):
+    per_config, payloads = [], []
+    for config, children in zip(configs, seeds):
+        if chosen == "batched":
+            samples, payload = _observed_batch_block(measure, config, children, spec)
+        else:
+            samples, payload = _observed_chunk(measure, config, children, spec, 0)
+        per_config.append(samples)
+        payloads.append(payload)
+    return per_config, payloads
+
+
+def _run_cells_process_observed(configs, measure, seeds, jobs, spec):
+    repetitions = len(seeds[0]) if seeds else 0
+    chunk = max(1, math.ceil(repetitions / jobs))
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = []
+        for config, children in zip(configs, seeds):
+            futures.append(
+                [
+                    pool.submit(
+                        _observed_chunk,
+                        measure,
+                        config,
+                        children[lo : lo + chunk],
+                        spec,
+                        lo,
+                    )
+                    for lo in range(0, repetitions, chunk)
+                ]
+            )
+        per_config, payloads = [], []
+        for config_futures in futures:
+            samples: List[float] = []
+            for future in config_futures:
+                chunk_samples, payload = future.result()
+                samples.extend(chunk_samples)
+                payloads.append(payload)
+            per_config.append(samples)
+        return per_config, payloads
+
+
+def _run_cells_batched_parallel_observed(configs, measure, seeds, jobs, spec):
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [
+            pool.submit(_observed_batch_block, measure, config, children, spec)
+            for config, children in zip(configs, seeds)
+        ]
+        results = [f.result() for f in futures]
+    return [r[0] for r in results], [r[1] for r in results]

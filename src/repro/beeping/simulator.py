@@ -10,10 +10,15 @@ module provides the corresponding measurement primitive,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Optional, Tuple
+
+import numpy as np
 
 from .network import BeepingNetwork
 from .trace import ExecutionTrace, TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.collectors import RunCollector
 
 __all__ = ["StabilizationResult", "run_until_stable", "run_fixed_rounds"]
 
@@ -53,6 +58,7 @@ def run_until_stable(
     max_rounds: int,
     record_trace: bool = False,
     check_every: int = 1,
+    collector: Optional["RunCollector"] = None,
 ) -> StabilizationResult:
     """Run until the configuration is legal, or until ``max_rounds``.
 
@@ -71,6 +77,13 @@ def run_until_stable(
         Evaluate the legality predicate only every k-th round.  Legality
         is closed under the dynamics for the core algorithms, so checking
         sparsely only over-reports the stabilization round by < k.
+    collector:
+        Optional zero-perturbation :class:`repro.obs.RunCollector`
+        observing the level states and beep counts of every round.  It
+        only *reads* — the stopping rule stays the network's own
+        ``is_legal()`` (this engine defines the semantics), and the
+        trajectory, round count, and MIS are unchanged by attaching one.
+        Requires integer vertex states (true for the core algorithms).
 
     Notes
     -----
@@ -87,27 +100,41 @@ def run_until_stable(
     executed = 0
     while True:
         should_check = record_trace or executed % check_every == 0
+        if collector is not None:
+            collector.observe_structure(np.asarray(network.states, dtype=np.int64))
         if should_check and network.is_legal():
-            return StabilizationResult(
+            result = StabilizationResult(
                 stabilized=True,
                 rounds=executed,
                 mis=network.mis_vertices(),
                 final_states=network.states,
                 trace=recorder.trace if recorder else None,
             )
+            break
         if executed >= max_rounds:
-            return StabilizationResult(
+            result = StabilizationResult(
                 stabilized=False,
                 rounds=executed,
                 mis=frozenset(),
                 final_states=network.states,
                 trace=recorder.trace if recorder else None,
             )
+            break
         if recorder is not None:
-            recorder.observe(network)
+            metrics = recorder.observe(network)
+            beeps = tuple(metrics.beeps_per_channel)
         else:
-            network.step()
+            record = network.step()
+            beeps = tuple(
+                record.beep_count(c)
+                for c in range(network.algorithm.num_channels)
+            )
+        if collector is not None:
+            collector.observe_beeps(beeps)
         executed += 1
+    if collector is not None:
+        collector.finalize(result.stabilized, result.rounds)
+    return result
 
 
 def run_fixed_rounds(

@@ -24,8 +24,10 @@ class RoundMetrics:
     #: Number of vertices whose output is IN_MIS.
     mis_size: int
     #: Number of vertices that are *stable* under the algorithm's own
-    #: notion (``|S_t|`` for the core algorithms); -1 when not available.
-    stable_count: int
+    #: notion (``|S_t|`` for the core algorithms); ``None`` when no
+    #: stable counter was provided.  (Previously a ``-1`` sentinel,
+    #: which consumers averaging the series silently folded into means.)
+    stable_count: Optional[int]
     #: Whether the configuration was legal at the start of the round.
     legal: bool
 
@@ -59,6 +61,18 @@ class ExecutionTrace:
         model's natural energy/communication cost measure."""
         return sum(m.beeps_per_channel[channel] for m in self.rounds)
 
+    def mean(self, attribute: str) -> Optional[float]:
+        """Mean of one metric column, skipping unavailable (None) values.
+
+        Returns None when the column has no available values at all, so
+        a trace recorded without a stable counter yields
+        ``mean("stable_count") is None`` rather than a bogus number.
+        """
+        values = [v for v in self.series(attribute) if v is not None]
+        if not values:
+            return None
+        return sum(values) / len(values)
+
     def as_rows(self) -> List[Dict[str, Any]]:
         """The trace as a list of plain dicts (for table rendering)."""
         return [
@@ -81,7 +95,8 @@ class TraceRecorder:
     stable_counter:
         Optional callable ``(network) -> int`` computing the size of the
         stable set ``S_t`` (algorithm-specific; the core algorithms
-        provide one).  When omitted, ``stable_count`` is recorded as -1.
+        provide one).  When omitted, ``stable_count`` is recorded as
+        ``None``.
     snapshot_every:
         If set, a full copy of the state vector is kept every k rounds
         (round 0, k, 2k, ...).  States are assumed immutable values.
@@ -102,10 +117,11 @@ class TraceRecorder:
         round_index = network.round_index
         legal = _safe_legal(network)
         mis_size = len(network.mis_vertices())
+        stable: Optional[int]
         if self._stable_counter is not None:
             stable = int(self._stable_counter(network))
         else:
-            stable = -1
+            stable = None
         if (
             self._snapshot_every is not None
             and round_index % self._snapshot_every == 0

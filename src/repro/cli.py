@@ -15,10 +15,19 @@ Examples::
 
     python -m repro run --family er --n 256 --variant max_degree --seed 1
     python -m repro run --family cycle --n 40 --watch
+    python -m repro run --family er --n 256 --metrics summary
     python -m repro sweep --family er --sizes 64,128,256,512 --reps 10
+    python -m repro sweep --family er --reps 10 --metrics jsonl --jobs 2
     python -m repro recover --family regular --n 200 --fault bernoulli:0.3
     python -m repro figure1 --ell-max 8
     python -m repro info --family ba --n 500
+
+``--metrics`` attaches the zero-perturbation observability layer
+(:mod:`repro.obs`): outcomes are bit-identical with or without it.
+``summary`` prints aggregate counters and phase timings; ``jsonl`` /
+``csv`` additionally stream one record per executed round to
+``--metrics-out`` (default ``metrics.jsonl`` / ``metrics.csv`` — never
+stdout, so tables stay parseable).
 """
 
 from __future__ import annotations
@@ -40,6 +49,13 @@ from .core.runner import VARIANTS, compute_mis, default_round_budget, policy_for
 from .devtools.seeding import resolve_rng
 from .graphs.generators import FAMILY_NAMES, by_name
 from .graphs.properties import average_degree, connected_components, deg2_all
+from .obs import (
+    MetricsOptions,
+    MetricsRegistry,
+    PhaseProfiler,
+    collector_for_backend,
+    make_sink,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -59,6 +75,24 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--n", type=int, default=256, help="problem size")
         p.add_argument("--graph-seed", type=int, default=0)
 
+    def add_metrics_args(p):
+        p.add_argument(
+            "--metrics", choices=("off", "summary", "jsonl", "csv"),
+            default="off",
+            help="zero-perturbation observability: 'summary' prints "
+                 "aggregate metrics + phase timings; 'jsonl'/'csv' also "
+                 "stream per-round records to --metrics-out",
+        )
+        p.add_argument(
+            "--metrics-out", default=None, metavar="PATH",
+            help="record file for --metrics jsonl/csv "
+                 "(default: metrics.jsonl / metrics.csv)",
+        )
+        p.add_argument(
+            "--metrics-every", type=int, default=1, metavar="K",
+            help="emit only every K-th round's record (default: 1)",
+        )
+
     run_p = sub.add_parser("run", help="one stabilization run")
     add_graph_args(run_p)
     run_p.add_argument("--variant", choices=VARIANTS, default="max_degree")
@@ -74,6 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for --reps > 1")
     run_p.add_argument("--watch", action="store_true",
                        help="render the level waterfall (implies vectorized engine)")
+    add_metrics_args(run_p)
 
     sweep_p = sub.add_parser("sweep", help="rounds-vs-n scaling study")
     sweep_p.add_argument("--family", choices=FAMILY_NAMES, default="er")
@@ -89,6 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "vectorized: solo runs (parallel with --jobs)")
     sweep_p.add_argument("--jobs", type=int, default=1,
                          help="worker processes for the sweep executor")
+    add_metrics_args(sweep_p)
 
     recover_p = sub.add_parser("recover", help="fault-injection recovery measurement")
     add_graph_args(recover_p)
@@ -149,25 +185,67 @@ def build_parser() -> argparse.ArgumentParser:
 # ----------------------------------------------------------------------
 # Subcommand implementations
 # ----------------------------------------------------------------------
+def _metrics_options(args) -> Optional[MetricsOptions]:
+    """The ``--metrics`` flags of a parsed command, as options (or None)."""
+    return MetricsOptions.from_cli(
+        args.metrics, path=args.metrics_out, every=args.metrics_every
+    )
+
+
 def _cmd_run(args) -> int:
     graph = by_name(args.family, args.n, seed=args.graph_seed)
     if args.watch:
         return _cmd_run_watch(args, graph)
     if args.reps > 1:
         return _cmd_run_repeated(args, graph)
-    result = compute_mis(
-        graph,
-        variant=args.variant,
-        seed=args.seed,
-        arbitrary_start=not args.fresh_start,
-        c1=args.c1,
-        engine=args.engine,
-    )
+
+    opts = _metrics_options(args)
+    collector = registry = profiler = sink = None
+    policy = None
+    if opts is not None:
+        policy = policy_for_variant(graph, args.variant, c1=args.c1)
+        registry = MetricsRegistry()
+        sink = make_sink(opts.sink, opts.path)
+        collector = collector_for_backend(
+            args.engine, graph, policy, args.variant,
+            labels={"family": args.family, "n": args.n, "seed": args.seed},
+            registry=registry, sink=sink, every=opts.every,
+        )
+        profiler = PhaseProfiler()
+
+    if profiler is not None:
+        with profiler.phase("run"):
+            result = compute_mis(
+                graph,
+                variant=args.variant,
+                seed=args.seed,
+                arbitrary_start=not args.fresh_start,
+                engine=args.engine,
+                policy=policy,
+                collector=collector,
+            )
+        profiler.add_rounds(result.rounds)
+    else:
+        result = compute_mis(
+            graph,
+            variant=args.variant,
+            seed=args.seed,
+            arbitrary_start=not args.fresh_start,
+            c1=args.c1,
+            engine=args.engine,
+        )
     print(
         f"{args.family}(n={graph.num_vertices}, m={graph.num_edges}) "
         f"variant={args.variant}: stabilized after {result.rounds} rounds, "
         f"|MIS| = {len(result.mis)}"
     )
+    if opts is not None:
+        sink.close()
+        print()
+        print(registry.format())
+        print(profiler.format())
+        if opts.sink in ("jsonl", "csv"):
+            print(f"wrote {sink.emitted} metric records to {opts.path}")
     return 0
 
 
@@ -185,7 +263,7 @@ def _cmd_run_repeated(args, graph) -> int:
     )
     sweep = run_sweep(
         [config], measure, repetitions=args.reps, master_seed=args.seed,
-        jobs=args.jobs, executor=executor,
+        jobs=args.jobs, executor=executor, metrics=_metrics_options(args),
     )
     summary = sweep.cells[0].summary
     print(
@@ -193,6 +271,9 @@ def _cmd_run_repeated(args, graph) -> int:
         f"variant={args.variant}, {args.reps} runs: "
         f"rounds {summary.format()}"
     )
+    if sweep.metrics is not None:
+        print()
+        print(sweep.metrics.format())
     return 0
 
 
@@ -231,7 +312,7 @@ def _cmd_sweep(args) -> int:
     sweep = run_sweep(
         [{"family": args.family, "n": n} for n in sizes],
         measure, repetitions=args.reps, master_seed=args.seed,
-        jobs=args.jobs, executor=executor,
+        jobs=args.jobs, executor=executor, metrics=_metrics_options(args),
     )
     print(sweep.to_table(
         ["n"], title=f"{args.family} / {args.variant}: stabilization rounds"
@@ -242,6 +323,9 @@ def _cmd_sweep(args) -> int:
         print()
         for name in ("log", "log_loglog", "sqrt", "linear"):
             print(" ", fits[name].format())
+    if sweep.metrics is not None:
+        print()
+        print(sweep.metrics.format())
     return 0
 
 

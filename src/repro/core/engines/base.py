@@ -22,7 +22,7 @@ engine.  Hence, for the same seed and initial levels, trajectories are
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Tuple, Union
+from typing import TYPE_CHECKING, FrozenSet, List, Optional, Tuple, Union
 
 import numpy as np
 import numpy.typing as npt
@@ -31,6 +31,9 @@ from ...devtools.seeding import SeedLike, resolve_rng
 from ...graphs.graph import Graph
 from ...graphs.io import to_sparse_adjacency
 from ..knowledge import EllMaxPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...obs.collectors import RunCollector
 
 __all__ = [
     "SeedLike",
@@ -170,6 +173,7 @@ def drive(
     max_rounds: int,
     check_every: int,
     record_series: bool,
+    collector: Optional["RunCollector"] = None,
 ) -> VectorizedResult:
     """Shared run-until-legal loop for the level-based engines.
 
@@ -184,16 +188,29 @@ def drive(
     ``S_t``/beep series are appended every round regardless of
     ``check_every`` (recording needs ``stable_mask``, one matvec, but not
     the full legality predicate).
+
+    ``collector`` (a :class:`repro.obs.RunCollector`) observes the levels
+    before every step and the beeps after; its legality verdict — the
+    exact :meth:`EngineBase.is_legal` formula — is *reused* for the check
+    so observability never evaluates legality twice.  Collectors read but
+    never mutate state and draw no randomness, so the trajectory with a
+    collector attached is bit-identical to the bare run.
     """
     if check_every < 1:
         raise ValueError("check_every must be >= 1")
+    if collector is not None:
+        collector.view.adopt_engine(engine)
     beep_series: List[int] = []
     stable_series: List[int] = []
     executed = 0
     while True:
         should_check = executed % check_every == 0 or executed >= max_rounds
-        if should_check and engine.is_legal():
-            return VectorizedResult(
+        if collector is not None:
+            legal = collector.observe_structure(engine.levels)
+        else:
+            legal = engine.is_legal() if should_check else False
+        if should_check and legal:
+            result = VectorizedResult(
                 stabilized=True,
                 rounds=executed,
                 mis=engine.mis_vertices(),
@@ -201,8 +218,9 @@ def drive(
                 beep_series=beep_series,
                 stable_series=stable_series,
             )
+            break
         if executed >= max_rounds:
-            return VectorizedResult(
+            result = VectorizedResult(
                 stabilized=False,
                 rounds=executed,
                 mis=frozenset(),
@@ -210,10 +228,16 @@ def drive(
                 beep_series=beep_series,
                 stable_series=stable_series,
             )
+            break
         if record_series:
             stable_series.append(int(engine.stable_mask().sum()))
         out = engine.step()
         if record_series:
             first = out[0] if isinstance(out, tuple) else out
             beep_series.append(int(first.sum()))
+        if collector is not None:
+            collector.observe_beeps(out)
         executed += 1
+    if collector is not None:
+        collector.finalize(result.stabilized, result.rounds)
+    return result

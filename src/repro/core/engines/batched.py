@@ -24,7 +24,7 @@ executor byte-identical to the serial one.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, cast
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, cast
 
 import numpy as np
 import numpy.typing as npt
@@ -34,6 +34,9 @@ from ...graphs.graph import Graph
 from ...graphs.io import to_sparse_adjacency
 from ..knowledge import EllMaxPolicy
 from .base import MAX_EXPONENT, VectorizedResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...obs.collectors import BatchedCollector
 
 __all__ = ["BatchedEngine", "BatchedResult", "simulate_batched"]
 
@@ -262,6 +265,7 @@ class BatchedEngine:
         check_every: int = 1,
         arbitrary_start: bool = False,
         initial_levels: Optional[npt.ArrayLike] = None,
+        collector: Optional["BatchedCollector"] = None,
     ) -> BatchedResult:
         """Drive every replica to its first legal configuration.
 
@@ -269,9 +273,19 @@ class BatchedEngine:
         legality observed before stepping at rounds ``0, check_every,
         2·check_every, …`` plus at budget exhaustion — so each replica's
         ``rounds`` equals the solo run's.
+
+        ``collector`` (a :class:`repro.obs.BatchedCollector`) observes the
+        active rows before every step and the channel-1 beeps after; its
+        per-row legality — the exact :meth:`_legal_rows` formula — is
+        *reused* for retirement, so observability shares the legality
+        matvecs instead of duplicating them.  Collectors read but never
+        mutate state and draw no randomness, so trajectories are
+        bit-identical with or without one.
         """
         if check_every < 1:
             raise ValueError("check_every must be >= 1")
+        if collector is not None:
+            collector.view.adopt_engine(self)
         if initial_levels is not None:
             self.set_levels(initial_levels)
         elif arbitrary_start:
@@ -282,9 +296,18 @@ class BatchedEngine:
         executed = 0
         while active.any():
             should_check = executed % check_every == 0 or executed >= max_rounds
-            if should_check:
+            if collector is not None:
                 active_idx = np.nonzero(active)[0]
-                legal = self._legal_rows(self.levels[active_idx])
+                legal = collector.observe_structure(self.levels, active_idx)
+            elif should_check:
+                active_idx = np.nonzero(active)[0]
+                rows = (
+                    self.levels
+                    if active_idx.size == self.replicas
+                    else self.levels[active_idx]
+                )
+                legal = self._legal_rows(rows)
+            if should_check:
                 for i in np.nonzero(legal)[0]:
                     r = int(active_idx[i])
                     results[r] = VectorizedResult(
@@ -294,6 +317,8 @@ class BatchedEngine:
                         final_levels=self.levels[r].copy(),
                     )
                     active[r] = False
+                    if collector is not None:
+                        collector.finalize_replica(r, True, executed)
             if executed >= max_rounds:
                 for r in np.nonzero(active)[0]:
                     results[int(r)] = VectorizedResult(
@@ -303,9 +328,14 @@ class BatchedEngine:
                         final_levels=self.levels[int(r)].copy(),
                     )
                     active[int(r)] = False
+                    if collector is not None:
+                        collector.finalize_replica(int(r), False, executed)
                 break
             if active.any():
-                self.step(active)
+                step_idx = np.nonzero(active)[0]
+                beep1 = self.step(active)
+                if collector is not None:
+                    collector.observe_beeps(beep1, step_idx)
             executed += 1
         return BatchedResult(results=cast(List[VectorizedResult], results))
 
@@ -320,6 +350,7 @@ def simulate_batched(
     max_rounds: int = 100_000,
     arbitrary_start: bool = False,
     check_every: int = 1,
+    collector: Optional["BatchedCollector"] = None,
 ) -> BatchedResult:
     """Run R replicas of Algorithm 1/2 to stabilization, batched."""
     engine = BatchedEngine(
@@ -334,4 +365,5 @@ def simulate_batched(
         max_rounds=max_rounds,
         check_every=check_every,
         arbitrary_start=arbitrary_start,
+        collector=collector,
     )

@@ -4,8 +4,12 @@ The high-level entry points (:func:`repro.core.runner.compute_mis`, the
 CLI) dispatch on an engine *name* rather than on hard-coded ``if``
 chains.  A backend is a callable with the uniform signature
 
-    run(graph, policy, variant, seed, max_rounds, arbitrary_start)
-        -> outcome with .stabilized / .rounds / .mis
+    run(graph, policy, variant, seed, max_rounds, arbitrary_start,
+        collector=None) -> outcome with .stabilized / .rounds / .mis
+
+(``collector`` is an optional trailing zero-perturbation observer — see
+:func:`repro.obs.collector_for_backend` for the shape each backend
+expects; the contract checker only pins the six leading parameters.)
 
 Built-in backends:
 
@@ -110,13 +114,19 @@ def _run_vectorized(
     seed: "SeedLike",
     max_rounds: int,
     arbitrary_start: bool,
+    collector: Any = None,
 ) -> Any:
     from .single import simulate_single
     from .two_channel import simulate_two_channel
 
     simulate = simulate_two_channel if variant == "two_channel" else simulate_single
     return simulate(
-        graph, policy, seed=seed, max_rounds=max_rounds, arbitrary_start=arbitrary_start
+        graph,
+        policy,
+        seed=seed,
+        max_rounds=max_rounds,
+        arbitrary_start=arbitrary_start,
+        collector=collector,
     )
 
 
@@ -127,6 +137,7 @@ def _run_reference(
     seed: "SeedLike",
     max_rounds: int,
     arbitrary_start: bool,
+    collector: Any = None,
 ) -> Any:
     # Imported lazily: the reference engine lives outside repro.core and
     # pulling it in here at import time would cycle through repro.beeping.
@@ -144,7 +155,7 @@ def _run_reference(
     network = BeepingNetwork(
         graph, algorithm, knowledge, seed=rng, initial_states=initial
     )
-    return run_until_stable(network, max_rounds=max_rounds)
+    return run_until_stable(network, max_rounds=max_rounds, collector=collector)
 
 
 def _run_batched(
@@ -154,6 +165,7 @@ def _run_batched(
     seed: "SeedLike",
     max_rounds: int,
     arbitrary_start: bool,
+    collector: Any = None,
 ) -> Any:
     from .batched import simulate_batched
 
@@ -166,6 +178,7 @@ def _run_batched(
         algorithm=algorithm,
         max_rounds=max_rounds,
         arbitrary_start=arbitrary_start,
+        collector=collector,
     )
     return outcome[0]
 
@@ -174,15 +187,17 @@ register_engine(
     "vectorized",
     _run_vectorized,
     description="numpy/scipy solo engines (fast, default)",
+    capabilities={"observability": "solo"},
 )
 register_engine(
     "reference",
     _run_reference,
     description="object-per-node semantics-defining engine (slow, exact)",
+    capabilities={"observability": "solo"},
 )
 register_engine(
     "batched",
     _run_batched,
     description="multi-replica (R, n) engine; one sparse matmul per round",
-    capabilities={"batched": True},
+    capabilities={"batched": True, "observability": "batched"},
 )

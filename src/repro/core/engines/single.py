@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 import numpy.typing as npt
@@ -10,6 +10,9 @@ import numpy.typing as npt
 from ...graphs.graph import Graph
 from ..knowledge import EllMaxPolicy
 from .base import MAX_EXPONENT, EngineBase, SeedLike, VectorizedResult, drive
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...obs.collectors import RunCollector
 
 __all__ = ["SingleChannelEngine", "simulate_single"]
 
@@ -53,17 +56,19 @@ def simulate_single(
     arbitrary_start: bool = False,
     check_every: int = 1,
     record_series: bool = False,
+    collector: Optional["RunCollector"] = None,
 ) -> VectorizedResult:
     """Run Algorithm 1 to stabilization on the vectorized engine.
 
     ``arbitrary_start=True`` draws a uniformly random initial
     configuration (the self-stabilization setting); otherwise the run
     starts from the fresh level-1 configuration, unless
-    ``initial_levels`` overrides it.
+    ``initial_levels`` overrides it.  ``collector`` attaches a
+    zero-perturbation :class:`repro.obs.RunCollector`.
     """
     engine = SingleChannelEngine(graph, policy, seed)
     if initial_levels is not None:
         engine.set_levels(initial_levels)
     elif arbitrary_start:
         engine.randomize_levels()
-    return drive(engine, max_rounds, check_every, record_series)
+    return drive(engine, max_rounds, check_every, record_series, collector=collector)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 import numpy.typing as npt
@@ -10,6 +10,9 @@ import numpy.typing as npt
 from ...graphs.graph import Graph
 from ..knowledge import EllMaxPolicy
 from .base import MAX_EXPONENT, EngineBase, SeedLike, VectorizedResult, drive
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...obs.collectors import RunCollector
 
 __all__ = ["TwoChannelEngine", "simulate_two_channel"]
 
@@ -53,6 +56,7 @@ def simulate_two_channel(
     arbitrary_start: bool = False,
     check_every: int = 1,
     record_series: bool = False,
+    collector: Optional["RunCollector"] = None,
 ) -> VectorizedResult:
     """Run Algorithm 2 to stabilization on the vectorized engine."""
     engine = TwoChannelEngine(graph, policy, seed)
@@ -60,4 +64,4 @@ def simulate_two_channel(
         engine.set_levels(initial_levels)
     elif arbitrary_start:
         engine.randomize_levels()
-    return drive(engine, max_rounds, check_every, record_series)
+    return drive(engine, max_rounds, check_every, record_series, collector=collector)

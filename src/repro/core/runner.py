@@ -116,6 +116,7 @@ def compute_mis(
     max_rounds: Optional[int] = None,
     engine: str = "vectorized",
     policy: Optional[EllMaxPolicy] = None,
+    collector: Optional[object] = None,
 ) -> MISResult:
     """Compute a certified MIS of ``graph`` with the paper's algorithm.
 
@@ -144,6 +145,11 @@ def compute_mis(
         :func:`repro.core.engines.register_engine`.
     policy:
         Explicit :class:`EllMaxPolicy` overriding the variant's default.
+    collector:
+        Optional zero-perturbation observer for per-round metrics (build
+        one with :func:`repro.obs.collector_for_backend` — the expected
+        shape differs per backend).  Forwarded to the backend only when
+        set, so backends without observability support keep working.
 
     Returns
     -------
@@ -165,7 +171,13 @@ def compute_mis(
         max_rounds = default_round_budget(graph, policy)
 
     backend = get_engine(engine)
-    outcome = backend.run(graph, policy, variant, seed, max_rounds, arbitrary_start)
+    if collector is not None:
+        outcome = backend.run(
+            graph, policy, variant, seed, max_rounds, arbitrary_start,
+            collector=collector,
+        )
+    else:
+        outcome = backend.run(graph, policy, variant, seed, max_rounds, arbitrary_start)
 
     if not outcome.stabilized:
         raise RuntimeError(

@@ -2,7 +2,7 @@
 
 A rule is a small AST visitor with a stable ID (``RPRxyz``; the hundreds
 digit groups rules by family — 1xx RNG discipline, 2xx determinism,
-3xx numeric safety, 4xx engine contract).  The catalogue with rationale
+3xx numeric safety, 4xx engine contract, 5xx profiling discipline).  The catalogue with rationale
 and example violations lives in ``docs/linting.md``; the executable
 definitions live in the sibling modules and register themselves in
 ``ALL_RULES`` below.
@@ -113,6 +113,7 @@ def _build_registry() -> Tuple[Rule, ...]:
     from .contract import EngineContractRule, GraphMutationRule
     from .determinism import UnorderedSetIterationRule, WallClockRule
     from .numeric import FloatEqualityRule, SmallIntDtypeRule
+    from .profiling import AdHocTimerRule
     from .rng import (
         GlobalNumpyRngRule,
         SeedlessSimulationApiRule,
@@ -131,6 +132,7 @@ def _build_registry() -> Tuple[Rule, ...]:
         SmallIntDtypeRule(),
         EngineContractRule(),
         GraphMutationRule(),
+        AdHocTimerRule(),
     )
 
 

@@ -52,17 +52,25 @@ class WallClockRule(Rule):
     )
 
     def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Violation]:
+        # The profiling module is the blessed wrapper around the clock
+        # APIs (see RPR501); its timer reads are the whole point.
+        from .profiling import TIMER_CALLS, is_timer_module
+
+        timer_exempt = is_timer_module(ctx.module)
         for node in ast.walk(tree):
             if not isinstance(node, ast.Call):
                 continue
             dotted = self.dotted_name(node.func)
-            if dotted in _FORBIDDEN_CALLS:
-                yield ctx.violation(
-                    self,
-                    node,
-                    f"{dotted}() is wall-clock/OS-entropy dependent; "
-                    "simulation results must be functions of the seed",
-                )
+            if dotted not in _FORBIDDEN_CALLS:
+                continue
+            if timer_exempt and dotted in TIMER_CALLS:
+                continue
+            yield ctx.violation(
+                self,
+                node,
+                f"{dotted}() is wall-clock/OS-entropy dependent; "
+                "simulation results must be functions of the seed",
+            )
 
 
 class UnorderedSetIterationRule(Rule):

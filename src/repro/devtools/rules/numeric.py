@@ -74,9 +74,48 @@ class SmallIntDtypeRule(Rule):
     )
 
     _SMALL = frozenset({"int8", "int16", "uint8", "uint16"})
+    _WIDE = frozenset({"int32", "int64", "intp", "uint32", "uint64"})
+
+    def _wide_accumulator(self, node: ast.AST) -> bool:
+        """True for an explicit >= 32-bit dtype expression."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value in self._WIDE
+        dotted = self.dotted_name(node)
+        return dotted in {f"np.{w}" for w in self._WIDE} | {
+            f"numpy.{w}" for w in self._WIDE
+        }
+
+    def _reinterpret_exempt(self, tree: ast.Module) -> set:
+        """Small-dtype nodes that are safe by construction.
+
+        ``mask.view(np.int8)`` fed to a call with an explicit wide
+        ``dtype=`` accumulator (``np.einsum(..., dtype=np.int32)``)
+        cannot wrap: the view reinterprets 0/1 booleans and the result
+        dtype is pinned by the accumulator, not inherited.
+        """
+        exempt = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not any(
+                kw.arg == "dtype" and self._wide_accumulator(kw.value)
+                for kw in node.keywords
+            ):
+                continue
+            for arg in node.args:
+                if (
+                    isinstance(arg, ast.Call)
+                    and self.dotted_name(arg.func).endswith(".view")
+                ):
+                    for inner in ast.walk(arg):
+                        exempt.add(id(inner))
+        return exempt
 
     def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Violation]:
+        exempt = self._reinterpret_exempt(tree)
         for node in ast.walk(tree):
+            if id(node) in exempt:
+                continue
             dotted = ""
             if isinstance(node, ast.Attribute):
                 dotted = self.dotted_name(node)

@@ -1,0 +1,49 @@
+"""Zero-perturbation observability: metrics, per-round collectors, profiling.
+
+Everything in this package is a pure *read* of engine state — collectors
+never consume randomness or mutate levels, so enabling observability
+cannot change an execution (enforced by ``tests/test_observability.py``).
+See ``docs/observability.md`` for the metric catalogue.
+"""
+
+from .collectors import BatchedCollector, RunCollector, StructureView
+from .harness import (
+    MetricsOptions,
+    SweepMetrics,
+    SweepRecorder,
+    collect_sweep_metrics,
+    collector_for_backend,
+)
+from .profiling import PhaseProfiler, peak_rss_bytes
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .sinks import (
+    SINK_KINDS,
+    CsvSink,
+    InMemorySink,
+    JsonlSink,
+    MetricSink,
+    make_sink,
+)
+
+__all__ = [
+    "BatchedCollector",
+    "Counter",
+    "CsvSink",
+    "Gauge",
+    "Histogram",
+    "InMemorySink",
+    "JsonlSink",
+    "MetricSink",
+    "MetricsOptions",
+    "MetricsRegistry",
+    "PhaseProfiler",
+    "RunCollector",
+    "SINK_KINDS",
+    "StructureView",
+    "SweepMetrics",
+    "SweepRecorder",
+    "collect_sweep_metrics",
+    "collector_for_backend",
+    "make_sink",
+    "peak_rss_bytes",
+]

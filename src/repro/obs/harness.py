@@ -1,0 +1,266 @@
+"""Glue between the observability layer and the sweep/CLI harnesses.
+
+The sweep executors may run measurements in worker *processes*, so
+metric collection has to be split into a picklable worker half and a
+merging parent half:
+
+* :class:`SweepRecorder` lives in the worker.  It owns a local
+  :class:`MetricsRegistry`, an in-memory record buffer and a
+  :class:`PhaseProfiler`, and hands per-run collectors to the
+  measurement.  Its :meth:`~SweepRecorder.payload` is a plain picklable
+  dict.
+* :func:`collect_sweep_metrics` runs in the parent.  It merges the
+  worker payloads in submission order (deterministic: config order,
+  then repetition order) and writes the requested sink — so JSONL/CSV
+  files are written exactly once, by one process, with no lock.
+
+:class:`MetricsOptions` is the user-facing spec both the CLI flags and
+:func:`repro.analysis.sweep.run_sweep` accept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from ..graphs.graph import Graph
+from .collectors import BatchedCollector, RunCollector, StructureView
+from .profiling import PhaseProfiler
+from .registry import MetricsRegistry
+from .sinks import SINK_KINDS, CsvSink, JsonlSink, MetricSink
+
+__all__ = [
+    "MetricsOptions",
+    "SweepMetrics",
+    "SweepRecorder",
+    "collect_sweep_metrics",
+    "collector_for_backend",
+]
+
+
+@dataclass(frozen=True)
+class MetricsOptions:
+    """How (and whether) to collect per-round metrics.
+
+    Attributes
+    ----------
+    sink:
+        ``"memory"`` (records kept on the result), ``"jsonl"`` or
+        ``"csv"`` (records written to ``path``).
+    path:
+        Output target for the file sinks; ``"-"`` means stdout.
+    every:
+        Record every k-th round only (structure is still evaluated each
+        round; this bounds record volume, not compute).
+    level_hist:
+        Attach per-round level histograms to the records.
+    """
+
+    sink: str = "memory"
+    path: Optional[str] = None
+    every: int = 1
+    level_hist: bool = False
+
+    def __post_init__(self) -> None:
+        if self.sink not in SINK_KINDS:
+            raise ValueError(
+                f"unknown sink {self.sink!r}; choose one of {SINK_KINDS}"
+            )
+        if self.every < 1:
+            raise ValueError("every must be >= 1")
+
+    @classmethod
+    def from_cli(
+        cls,
+        mode: str,
+        path: Optional[str] = None,
+        every: int = 1,
+        level_hist: bool = False,
+    ) -> Optional["MetricsOptions"]:
+        """Map the ``--metrics`` flag value to options (``off`` → None)."""
+        if mode == "off":
+            return None
+        sink = "memory" if mode == "summary" else mode
+        if sink in ("jsonl", "csv") and path is None:
+            path = f"metrics.{sink}"
+        return cls(sink=sink, path=path, every=every, level_hist=level_hist)
+
+
+@dataclass
+class SweepMetrics:
+    """Merged observability output of one sweep."""
+
+    registry: MetricsRegistry
+    records: List[Dict[str, Any]]
+    profile: Dict[str, Any]
+    path: Optional[str] = None
+    emitted: int = 0
+
+    def format(self) -> str:
+        profiler = PhaseProfiler()
+        profiler.merge(self.profile)
+        parts = [self.registry.format(), profiler.format()]
+        if self.path is not None:
+            parts.append(f"wrote {self.emitted} metric records to {self.path}")
+        return "\n".join(p for p in parts if p)
+
+
+class SweepRecorder:
+    """Worker-side metric accumulator handed to observed measurements.
+
+    Measurements request one collector per run (or one batched collector
+    per repetition block); everything lands in this recorder's local
+    registry/buffer, which travels back to the parent as a plain dict.
+    """
+
+    def __init__(
+        self,
+        base_labels: Optional[Mapping[str, Any]] = None,
+        every: int = 1,
+        level_hist: bool = False,
+    ):
+        self.base_labels = dict(base_labels or {})
+        self.every = every
+        self.level_hist = level_hist
+        self.registry = MetricsRegistry()
+        self.records: List[Dict[str, Any]] = []
+        self.profiler = PhaseProfiler()
+
+    # ------------------------------------------------------------------
+    def _labels(self, extra: Optional[Mapping[str, Any]]) -> Dict[str, Any]:
+        labels = dict(self.base_labels)
+        labels.update(extra or {})
+        return labels
+
+    def solo_collector(
+        self,
+        graph: Graph,
+        policy: Any,
+        two_channel: bool = False,
+        extra_labels: Optional[Mapping[str, Any]] = None,
+    ) -> RunCollector:
+        # Collectors append straight into this recorder's buffer (one
+        # list shared across runs) — no per-record sink indirection.
+        return RunCollector(
+            StructureView.from_policy(graph, policy, two_channel=two_channel),
+            labels=self._labels(extra_labels),
+            registry=self.registry,
+            every=self.every,
+            level_hist=self.level_hist,
+            records=self.records,
+        )
+
+    def batched_collector(
+        self,
+        graph: Graph,
+        policy: Any,
+        replicas: int,
+        two_channel: bool = False,
+        extra_labels: Optional[Mapping[str, Any]] = None,
+    ) -> BatchedCollector:
+        return BatchedCollector(
+            StructureView.from_policy(graph, policy, two_channel=two_channel),
+            replicas=replicas,
+            labels=self._labels(extra_labels),
+            registry=self.registry,
+            every=self.every,
+            level_hist=self.level_hist,
+            records=self.records,
+        )
+
+    # ------------------------------------------------------------------
+    def payload(self) -> Dict[str, Any]:
+        """The picklable dict the worker returns to the parent."""
+        self.profiler.observe_memory(
+            int(self.registry.gauge("peak_level_bytes").value)
+        )
+        return {
+            "registry": self.registry.snapshot(),
+            "records": self.records,
+            "profile": self.profiler.snapshot(),
+        }
+
+
+def collect_sweep_metrics(
+    payloads: Sequence[Mapping[str, Any]],
+    options: MetricsOptions,
+    parent_profile: Optional[PhaseProfiler] = None,
+) -> SweepMetrics:
+    """Merge worker payloads (in submission order) and write the sink.
+
+    Each payload's records are canonicalized to (rep, round) order before
+    concatenation: a batched worker emits rounds interleaved across
+    replicas while a serial worker groups by repetition, and this
+    re-grouping makes the merged stream identical for every executor
+    (payloads themselves already arrive in config × repetition-chunk
+    order).  Collectors emit each replica's rounds in increasing order,
+    so a stable group-by on the repetition key equals a full
+    (rep, round) sort at linear cost.
+    """
+    registry = MetricsRegistry()
+    profiler = PhaseProfiler()
+    records: List[Dict[str, Any]] = []
+    for payload in payloads:
+        registry.merge(payload["registry"])
+        profiler.merge(payload["profile"])
+        by_rep: Dict[Any, List[Dict[str, Any]]] = {}
+        for record in payload["records"]:
+            by_rep.setdefault(record.get("rep", 0), []).append(record)
+        for rep in sorted(by_rep):
+            records.extend(by_rep[rep])
+    if parent_profile is not None:
+        profiler.merge(parent_profile.snapshot())
+
+    emitted = 0
+    path: Optional[str] = None
+    if options.sink in ("jsonl", "csv") and options.path is not None:
+        sink = (
+            JsonlSink(options.path)
+            if options.sink == "jsonl"
+            else CsvSink(options.path)
+        )
+        try:
+            for record in records:
+                sink.emit(record)
+            emitted = len(records)
+        finally:
+            sink.close()
+        path = options.path
+    return SweepMetrics(
+        registry=registry,
+        records=records,
+        profile=profiler.snapshot(),
+        path=path,
+        emitted=emitted,
+    )
+
+
+def collector_for_backend(
+    engine: str,
+    graph: Graph,
+    policy: Any,
+    variant: str,
+    labels: Optional[Mapping[str, Any]] = None,
+    registry: Optional[MetricsRegistry] = None,
+    sink: Optional[MetricSink] = None,
+    every: int = 1,
+    level_hist: bool = False,
+) -> Any:
+    """The collector shape a registered engine backend expects.
+
+    ``vectorized`` and ``reference`` take a :class:`RunCollector`; the
+    ``batched`` backend steps a one-replica block and needs a
+    :class:`BatchedCollector`.
+    """
+    two_channel = variant == "two_channel"
+    view = StructureView.from_policy(graph, policy, two_channel=two_channel)
+    kwargs = dict(
+        labels=labels,
+        registry=registry,
+        sink=sink,
+        every=every,
+        level_hist=level_hist,
+    )
+    if engine == "batched":
+        return BatchedCollector(view, replicas=1, **kwargs)
+    return RunCollector(view, **kwargs)

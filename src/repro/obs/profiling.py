@@ -1,0 +1,138 @@
+"""Lightweight profiling hooks: phase timers, rates, peak memory.
+
+This is the *only* module in ``src/repro`` allowed to read wall-clock
+timers (enforced by lint rules RPR201/RPR501): every other module must
+route timing through a :class:`PhaseProfiler`, which keeps profiling
+centralized and monkeypatchable in tests — inject deterministic ``wall``
+/ ``cpu`` callables and timing-dependent code becomes testable.
+
+Profiler snapshots are plain dicts, mergeable across processes like
+:class:`~repro.obs.registry.MetricsRegistry` snapshots (durations and
+call counts add, peaks take the max), and small enough to embed in the
+``BENCH_*.json`` envelope.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, Mapping, Optional
+
+__all__ = ["PhaseProfiler", "peak_rss_bytes"]
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """Peak resident set size of this process, or None if unavailable."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    # ru_maxrss is kilobytes on Linux, bytes on macOS.
+    import sys
+
+    raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(raw) if sys.platform == "darwin" else int(raw) * 1024
+
+
+class PhaseProfiler:
+    """Named wall/CPU phase timers plus rounds-per-second accounting.
+
+    Usage::
+
+        profiler = PhaseProfiler()
+        with profiler.phase("sweep"):
+            result = run_sweep(...)
+        profiler.add_rounds(total_rounds)
+        print(profiler.format())
+
+    Parameters
+    ----------
+    wall, cpu:
+        Clock callables (seconds).  Default to ``time.perf_counter`` and
+        ``time.process_time``; tests inject counters instead.
+    """
+
+    def __init__(
+        self,
+        wall: Optional[Callable[[], float]] = None,
+        cpu: Optional[Callable[[], float]] = None,
+    ):
+        self._wall = wall if wall is not None else time.perf_counter
+        self._cpu = cpu if cpu is not None else time.process_time
+        self.phases: Dict[str, Dict[str, float]] = {}
+        self.rounds = 0
+        self.peak_bytes = 0
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time one pass through a named phase (re-entrant by name)."""
+        wall0, cpu0 = self._wall(), self._cpu()
+        try:
+            yield
+        finally:
+            entry = self.phases.setdefault(
+                name, {"wall_s": 0.0, "cpu_s": 0.0, "calls": 0}
+            )
+            entry["wall_s"] += self._wall() - wall0
+            entry["cpu_s"] += self._cpu() - cpu0
+            entry["calls"] += 1
+
+    def add_rounds(self, rounds: int) -> None:
+        self.rounds += int(rounds)
+
+    def observe_memory(self, nbytes: Optional[int]) -> None:
+        if nbytes is not None and nbytes > self.peak_bytes:
+            self.peak_bytes = int(nbytes)
+
+    # ------------------------------------------------------------------
+    def wall_seconds(self, name: str) -> float:
+        return self.phases.get(name, {}).get("wall_s", 0.0)
+
+    def rounds_per_sec(self, name: str) -> Optional[float]:
+        """Simulated rounds per wall-clock second of the named phase."""
+        wall = self.wall_seconds(name)
+        if wall <= 0.0 or self.rounds == 0:
+            return None
+        return self.rounds / wall
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-safe, picklable, mergeable copy."""
+        return {
+            "phases": {
+                name: dict(entry) for name, entry in sorted(self.phases.items())
+            },
+            "rounds": self.rounds,
+            "peak_bytes": self.peak_bytes,
+        }
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a worker's snapshot in (durations add, peaks max)."""
+        for name, entry in snapshot.get("phases", {}).items():
+            mine = self.phases.setdefault(
+                name, {"wall_s": 0.0, "cpu_s": 0.0, "calls": 0}
+            )
+            mine["wall_s"] += entry.get("wall_s", 0.0)
+            mine["cpu_s"] += entry.get("cpu_s", 0.0)
+            mine["calls"] += entry.get("calls", 0)
+        self.rounds += snapshot.get("rounds", 0)
+        peak = snapshot.get("peak_bytes", 0)
+        if peak > self.peak_bytes:
+            self.peak_bytes = peak
+
+    def format(self) -> str:
+        """Human-readable phase report (CLI ``--metrics summary``)."""
+        lines = []
+        for name, entry in sorted(self.phases.items()):
+            line = (
+                f"{name}: wall {entry['wall_s']:.3f}s, "
+                f"cpu {entry['cpu_s']:.3f}s, calls {int(entry['calls'])}"
+            )
+            rate = self.rounds_per_sec(name)
+            if rate is not None:
+                line += f", {rate:,.0f} rounds/s"
+            lines.append(line)
+        if self.peak_bytes:
+            lines.append(f"peak level memory: {self.peak_bytes:,} bytes")
+        return "\n".join(lines)

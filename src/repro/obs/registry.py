@@ -1,0 +1,223 @@
+"""Metric primitives and the registry that aggregates them.
+
+The observability layer separates *collection* (per-round collectors in
+:mod:`repro.obs.collectors`) from *aggregation*: collectors push scalar
+updates into a :class:`MetricsRegistry`, which owns three primitive
+kinds —
+
+* :class:`Counter` — monotone sum (runs, rounds, beeps),
+* :class:`Gauge` — last/extreme value (peak replica memory),
+* :class:`Histogram` — power-of-two bucketed distribution
+  (stabilization rounds).
+
+Registries are designed to cross process boundaries: ``snapshot()``
+returns a plain JSON-safe structure, and ``merge()`` folds a snapshot
+back in (counters add, gauges take the max, histogram buckets add).
+That is exactly what the sweep executors need — each worker aggregates
+locally and the parent merges the returned snapshots, so no file or
+lock is shared between processes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: ``(name, sorted-labels)`` — the identity of one metric instance.
+MetricKey = Tuple[str, Tuple[Tuple[str, Any], ...]]
+
+
+class Counter:
+    """A monotone sum."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value; cross-worker merge keeps the maximum."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def set_max(self, value: float) -> None:
+        """Record ``value`` only if it exceeds the current reading."""
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """Power-of-two bucketed distribution with count/sum/min/max.
+
+    Bucket ``k`` counts observations ``x`` with ``2^(k-1) < x <= 2^k``
+    (bucket 0 holds ``x <= 1``).  Good enough resolution for round
+    counts while staying tiny and merge-friendly.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum", "buckets")
+
+    def __init__(self) -> None:
+        self.count: int = 0
+        self.total: float = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+        self.buckets: Dict[int, int] = {}
+
+    @staticmethod
+    def bucket_index(value: float) -> int:
+        index = 0
+        bound = 1.0
+        while value > bound and index < 64:
+            index += 1
+            bound *= 2.0
+        return index
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        index = self.bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+
+class MetricsRegistry:
+    """Get-or-create metric instances keyed by ``(name, labels)``."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[MetricKey, Counter] = {}
+        self._gauges: Dict[MetricKey, Gauge] = {}
+        self._histograms: Dict[MetricKey, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(name: str, labels: Mapping[str, Any]) -> MetricKey:
+        return name, tuple(sorted(labels.items()))
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._counters.setdefault(self._key(name, labels), Counter())
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._gauges.setdefault(self._key(name, labels), Gauge())
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._histograms.setdefault(self._key(name, labels), Histogram())
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    # ------------------------------------------------------------------
+    # Picklable snapshots and cross-worker merging
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, List[Dict[str, Any]]]:
+        """A JSON-safe, picklable copy of every metric."""
+
+        def entry(key: MetricKey) -> Dict[str, Any]:
+            return {"name": key[0], "labels": {k: v for k, v in key[1]}}
+
+        counters = []
+        for key in sorted(self._counters, key=repr):
+            row = entry(key)
+            row["value"] = self._counters[key].value
+            counters.append(row)
+        gauges = []
+        for key in sorted(self._gauges, key=repr):
+            row = entry(key)
+            row["value"] = self._gauges[key].value
+            gauges.append(row)
+        histograms = []
+        for key in sorted(self._histograms, key=repr):
+            h = self._histograms[key]
+            row = entry(key)
+            row.update(
+                {
+                    "count": h.count,
+                    "total": h.total,
+                    "min": h.minimum,
+                    "max": h.maximum,
+                    "buckets": {str(k): v for k, v in sorted(h.buckets.items())},
+                }
+            )
+            histograms.append(row)
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def merge(self, snapshot: Mapping[str, Iterable[Mapping[str, Any]]]) -> None:
+        """Fold a :meth:`snapshot` back in (see module docstring)."""
+        for row in snapshot.get("counters", []):
+            self.counter(row["name"], **row["labels"]).inc(row["value"])
+        for row in snapshot.get("gauges", []):
+            self.gauge(row["name"], **row["labels"]).set_max(row["value"])
+        for row in snapshot.get("histograms", []):
+            h = self.histogram(row["name"], **row["labels"])
+            h.count += row["count"]
+            h.total += row["total"]
+            for bound in ("min", "max"):
+                value = row.get(bound)
+                if value is None:
+                    continue
+                if bound == "min" and (h.minimum is None or value < h.minimum):
+                    h.minimum = value
+                if bound == "max" and (h.maximum is None or value > h.maximum):
+                    h.maximum = value
+            for index, count in row.get("buckets", {}).items():
+                index = int(index)
+                h.buckets[index] = h.buckets.get(index, 0) + count
+
+    # ------------------------------------------------------------------
+    def rows(self) -> List[Dict[str, Any]]:
+        """Flat human/table-friendly rows, deterministically ordered."""
+        out: List[Dict[str, Any]] = []
+        snap = self.snapshot()
+        for row in snap["counters"]:
+            out.append({"kind": "counter", **row})
+        for row in snap["gauges"]:
+            out.append({"kind": "gauge", **row})
+        for row in snap["histograms"]:
+            mean = row["total"] / row["count"] if row["count"] else None
+            out.append(
+                {
+                    "kind": "histogram",
+                    "name": row["name"],
+                    "labels": row["labels"],
+                    "count": row["count"],
+                    "mean": mean,
+                    "min": row["min"],
+                    "max": row["max"],
+                }
+            )
+        return out
+
+    def format(self) -> str:
+        """A small fixed-width report (CLI ``--metrics summary``)."""
+        lines = []
+        for row in self.rows():
+            labels = ",".join(f"{k}={v}" for k, v in sorted(row["labels"].items()))
+            name = f"{row['name']}{{{labels}}}" if labels else row["name"]
+            if row["kind"] == "histogram":
+                mean = "-" if row["mean"] is None else f"{row['mean']:.1f}"
+                lines.append(
+                    f"{name}: count={row['count']} mean={mean} "
+                    f"min={row['min']} max={row['max']}"
+                )
+            else:
+                lines.append(f"{name}: {row['value']}")
+        return "\n".join(lines)

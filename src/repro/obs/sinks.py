@@ -1,0 +1,126 @@
+"""Pluggable destinations for per-round metric records.
+
+A *record* is one flat JSON-safe dict describing one observed round of
+one run (see :mod:`repro.obs.collectors` for the schema).  Sinks only
+ever receive finished records — they never see engine state — so any
+sink is zero-perturbation by construction.
+
+Three built-ins:
+
+* :class:`InMemorySink` — keeps records in a list (tests, summaries),
+* :class:`JsonlSink` — one JSON object per line, sorted keys,
+* :class:`CsvSink` — flat CSV; the header is fixed by the first record.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import sys
+from typing import Any, Dict, List, Mapping, Optional, Sequence, TextIO, Union
+
+__all__ = ["MetricSink", "InMemorySink", "JsonlSink", "CsvSink", "make_sink", "SINK_KINDS"]
+
+SINK_KINDS = ("memory", "jsonl", "csv")
+
+
+class MetricSink:
+    """Interface: receives finished per-round records."""
+
+    def emit(self, record: Mapping[str, Any]) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (no-op by default)."""
+
+
+class InMemorySink(MetricSink):
+    """Buffers records in :attr:`records` (the default sink)."""
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, Any]] = []
+
+    def emit(self, record: Mapping[str, Any]) -> None:
+        self.records.append(dict(record))
+
+
+def _open_target(target: Union[str, TextIO]) -> "tuple[TextIO, bool]":
+    """(stream, owns_it) — ``"-"`` means stdout, strings are paths."""
+    if isinstance(target, str):
+        if target == "-":
+            return sys.stdout, False
+        return open(target, "w", encoding="utf-8"), True
+    return target, False
+
+
+class JsonlSink(MetricSink):
+    """One record per line as canonical (sorted-keys) JSON."""
+
+    def __init__(self, target: Union[str, TextIO]):
+        self._stream, self._owns = _open_target(target)
+        self.emitted = 0
+
+    def emit(self, record: Mapping[str, Any]) -> None:
+        self._stream.write(json.dumps(record, sort_keys=True))
+        self._stream.write("\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._owns:
+            self._stream.close()
+        else:
+            self._stream.flush()
+
+
+class CsvSink(MetricSink):
+    """Flat CSV; nested values (lists) are JSON-encoded in their cell.
+
+    The column set is pinned by ``fields`` or, when omitted, by the keys
+    of the first record (later records may be sparse but must not add
+    columns).
+    """
+
+    def __init__(
+        self,
+        target: Union[str, TextIO],
+        fields: Optional[Sequence[str]] = None,
+    ):
+        self._stream, self._owns = _open_target(target)
+        self._fields: Optional[List[str]] = list(fields) if fields else None
+        self._writer: Optional[Any] = None
+        self.emitted = 0
+
+    @staticmethod
+    def _cell(value: Any) -> Any:
+        if isinstance(value, (list, tuple, dict)):
+            return json.dumps(value, sort_keys=True)
+        return value
+
+    def emit(self, record: Mapping[str, Any]) -> None:
+        if self._writer is None:
+            if self._fields is None:
+                self._fields = list(record.keys())
+            self._writer = csv.DictWriter(
+                self._stream, fieldnames=self._fields, extrasaction="ignore"
+            )
+            self._writer.writeheader()
+        self._writer.writerow({k: self._cell(v) for k, v in record.items()})
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._owns:
+            self._stream.close()
+        else:
+            self._stream.flush()
+
+
+def make_sink(kind: str, target: Union[str, TextIO, None] = None) -> MetricSink:
+    """Factory for the built-in sinks (CLI plumbing)."""
+    if kind == "memory":
+        return InMemorySink()
+    if kind == "jsonl":
+        return JsonlSink(target if target is not None else io.StringIO())
+    if kind == "csv":
+        return CsvSink(target if target is not None else io.StringIO())
+    raise ValueError(f"unknown sink kind {kind!r}; choose one of {SINK_KINDS}")

@@ -168,6 +168,23 @@ def test_rpr302_passes_wide_dtypes():
     assert not flagged(good, "RPR302")
 
 
+def test_rpr302_exempts_view_into_wide_accumulator():
+    # Reinterpreting a bool mask as int8 cannot wrap when the reduction
+    # pins a wide accumulator dtype (the _row_counts idiom).
+    good = (
+        "import numpy as np\n"
+        'x = np.einsum("ij->i", mask.view(np.int8), dtype=np.int32)\n'
+    )
+    assert not flagged(good, "RPR302")
+    # ... but the same view without a wide accumulator still flags.
+    for bad in (
+        "import numpy as np\nx = mask.view(np.int8).sum(axis=1)\n",
+        "import numpy as np\n"
+        'x = np.einsum("ij->i", mask.view(np.int8), dtype=np.int16)\n',
+    ):
+        assert flagged(bad, "RPR302"), bad
+
+
 # ----------------------------------------------------------------------
 # RPR4xx — engine contract
 # ----------------------------------------------------------------------
@@ -222,6 +239,39 @@ def test_rpr402_passes_reads_and_local_state():
 
 
 # ----------------------------------------------------------------------
+# RPR5xx — profiling discipline
+# ----------------------------------------------------------------------
+def test_rpr501_flags_ad_hoc_timers():
+    for bad in (
+        "import time\nt0 = time.perf_counter()\n",
+        "import time\nt0 = time.process_time()\n",
+        "import time\nt0 = time.monotonic_ns()\n",
+    ):
+        assert flagged(bad, "RPR501"), bad
+
+
+def test_rpr501_passes_profiler_usage_and_references():
+    good = (
+        "from repro.obs import PhaseProfiler\n"
+        "profiler = PhaseProfiler()\n"
+        "with profiler.phase('sweep'):\n"
+        "    run()\n"
+        "clock = time.perf_counter  # referenced, not called\n"
+    )
+    assert not flagged(good, "RPR501")
+
+
+def test_rpr501_exempts_the_profiling_module():
+    timer_call = "import time\nt0 = time.perf_counter()\n"
+    assert not flagged(timer_call, "RPR501", module="repro.obs.profiling")
+    # RPR201 shares the exemption for the timer subset...
+    assert not flagged(timer_call, "RPR201", module="repro.obs.profiling")
+    # ...but non-timer entropy stays forbidden even there.
+    entropy = "import os\nb = os.urandom(8)\n"
+    assert flagged(entropy, "RPR201", module="repro.obs.profiling")
+
+
+# ----------------------------------------------------------------------
 # Driver behavior
 # ----------------------------------------------------------------------
 def test_pragma_suppression():
@@ -261,7 +311,7 @@ def test_rule_catalogue_is_complete():
     assert set(ids) == {
         "RPR101", "RPR102", "RPR103", "RPR104",
         "RPR201", "RPR202", "RPR301", "RPR302",
-        "RPR401", "RPR402",
+        "RPR401", "RPR402", "RPR501",
     }
     for rule_id, title, rationale in rows:
         assert title and rationale, rule_id

@@ -132,6 +132,38 @@ def test_constant_state_trajectories_identical():
     assert fast.is_legal() == reference.is_legal()
 
 
+@pytest.mark.parametrize("name,graph", small_graph_zoo())
+def test_collector_series_identical_across_engines(name, graph):
+    """Observability differential: one RunCollector per engine, and the
+    per-round metric series (|I_t|, |S_t|, prominent, legality, beeps)
+    must be identical between the vectorized and reference engines —
+    the observability layer sees bit-identical trajectories too."""
+    from repro.beeping.simulator import run_until_stable
+    from repro.core.engines.single import simulate_single
+    from repro.obs import RunCollector, StructureView
+
+    policy = max_degree_policy(graph, c1=4)
+    seed = 13
+
+    fast_collector = RunCollector(StructureView.from_policy(graph, policy))
+    fast = simulate_single(
+        graph, policy, seed=seed, arbitrary_start=False,
+        max_rounds=2000, collector=fast_collector,
+    )
+    reference = BeepingNetwork(
+        graph, SelfStabilizingMIS(), policy.knowledge(graph), seed=seed
+    )
+    reference_collector = RunCollector(StructureView.from_policy(graph, policy))
+    slow = run_until_stable(reference, max_rounds=2000, collector=reference_collector)
+
+    assert fast.stabilized and slow.stabilized
+    assert fast.rounds == slow.rounds
+    for column in ("i_size", "s_size", "prominent", "legal", "beeps"):
+        assert fast_collector.series(column) == reference_collector.series(column), (
+            f"{name}: column {column!r}"
+        )
+
+
 def test_mis_sets_agree_after_stabilization():
     graph = gen.erdos_renyi_mean_degree(50, 5.0, seed=6)
     policy = max_degree_policy(graph, c1=4)

@@ -38,11 +38,20 @@ class TestTraceRecorder:
         # S_t is monotone non-decreasing.
         assert counts == sorted(counts)
 
-    def test_stable_count_defaults_to_minus_one(self, path4):
+    def test_stable_count_defaults_to_none(self, path4):
         network = make_network(path4)
         recorder = TraceRecorder()
         trace = recorder.run(network, rounds=3)
-        assert trace.series("stable_count") == [-1, -1, -1]
+        assert trace.series("stable_count") == [None, None, None]
+
+    def test_mean_skips_unavailable_stable_counts(self, path4):
+        # Regression: the old -1 sentinel used to be folded into
+        # averages; a counter-less trace must now report "unavailable".
+        network = make_network(path4)
+        recorder = TraceRecorder()
+        trace = recorder.run(network, rounds=3)
+        assert trace.mean("stable_count") is None
+        assert trace.mean("mis_size") is not None
 
     def test_snapshots(self, path4):
         network = make_network(path4)
