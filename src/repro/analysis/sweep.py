@@ -13,7 +13,9 @@ One master seed reproduces the whole sweep, executor-independently::
     children_i  = config_seqs[i].spawn(repetitions) # one grandchild per rep
 
 Sample ``j`` of configuration ``i`` is
-``measure(configs[i], np.random.default_rng(children_i[j]))``.  Every
+``measure(configs[i], rng_from_sequence(children_i[j]))`` (the blessed
+``SeedSequence → Generator`` point in :mod:`repro.devtools.seeding`,
+equivalent to ``default_rng(children_i[j])``).  Every
 executor hands the *same* grandchild sequences to the measurement, so
 results are byte-identical across ``serial`` / ``process`` / ``batched``
 executors and any ``jobs`` count — asserted by
@@ -45,12 +47,13 @@ Executors
 from __future__ import annotations
 
 import math
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..devtools.seeding import rng_from_sequence
 from ..obs.harness import (
     MetricsOptions,
     SweepMetrics,
@@ -123,7 +126,7 @@ class SweepResult:
     ) -> str:
         """ASCII table: one row per cell, config columns + summary."""
         headers = list(columns) + ["mean", "ci95", "min", "max", "reps"]
-        rows = []
+        rows: List[List[Any]] = []
         for cell in self.cells:
             s = cell.summary
             half = (s.ci_high - s.ci_low) / 2.0
@@ -161,12 +164,20 @@ def supports_observation(measure: Measurement) -> bool:
 # ----------------------------------------------------------------------
 # Worker functions (module-level so ProcessPoolExecutor can pickle them)
 # ----------------------------------------------------------------------
-def _measure_chunk(measure, config, children) -> List[float]:
+def _measure_chunk(
+    measure: Measurement,
+    config: Mapping[str, Any],
+    children: Sequence[np.random.SeedSequence],
+) -> List[float]:
     """Serial repetitions for one (config, seed-chunk) cell."""
-    return [float(measure(config, np.random.default_rng(c))) for c in children]
+    return [float(measure(config, rng_from_sequence(c))) for c in children]
 
 
-def _measure_batch_block(measure, config, children) -> List[float]:
+def _measure_batch_block(
+    measure: Any,
+    config: Mapping[str, Any],
+    children: Sequence[np.random.SeedSequence],
+) -> List[float]:
     """One whole repetition block through the measurement's batch path."""
     samples = [float(x) for x in measure.measure_batch(config, children)]
     if len(samples) != len(children):
@@ -177,7 +188,13 @@ def _measure_batch_block(measure, config, children) -> List[float]:
     return samples
 
 
-def _observed_chunk(measure, config, children, spec, rep_offset):
+def _observed_chunk(
+    measure: Any,
+    config: Mapping[str, Any],
+    children: Sequence[np.random.SeedSequence],
+    spec: MetricsOptions,
+    rep_offset: int,
+) -> Tuple[List[float], Mapping[str, Any]]:
     """Observed serial repetitions: (samples, picklable metrics payload).
 
     ``rep_offset`` is the chunk's position in the configuration's global
@@ -190,7 +207,7 @@ def _observed_chunk(measure, config, children, spec, rep_offset):
             float(
                 measure.measure_observed(
                     config,
-                    np.random.default_rng(child),
+                    rng_from_sequence(child),
                     recorder,
                     rep=rep_offset + i,
                 )
@@ -201,7 +218,12 @@ def _observed_chunk(measure, config, children, spec, rep_offset):
     return samples, recorder.payload()
 
 
-def _observed_batch_block(measure, config, children, spec):
+def _observed_batch_block(
+    measure: Any,
+    config: Mapping[str, Any],
+    children: Sequence[np.random.SeedSequence],
+    spec: MetricsOptions,
+) -> Tuple[List[float], Mapping[str, Any]]:
     """Observed repetition block: (samples, picklable metrics payload)."""
     recorder = SweepRecorder(every=spec.every, level_hist=spec.level_hist)
     with recorder.profiler.phase("measure"):
@@ -335,7 +357,12 @@ def run_sweep(
     return result
 
 
-def _run_cells_serial(configs, measure, seeds, chosen) -> List[List[float]]:
+def _run_cells_serial(
+    configs: Sequence[Mapping[str, Any]],
+    measure: Measurement,
+    seeds: List[List[np.random.SeedSequence]],
+    chosen: str,
+) -> List[List[float]]:
     if chosen == "batched":
         return [
             _measure_batch_block(measure, config, children)
@@ -347,12 +374,17 @@ def _run_cells_serial(configs, measure, seeds, chosen) -> List[List[float]]:
     ]
 
 
-def _run_cells_process(configs, measure, seeds, jobs) -> List[List[float]]:
+def _run_cells_process(
+    configs: Sequence[Mapping[str, Any]],
+    measure: Measurement,
+    seeds: List[List[np.random.SeedSequence]],
+    jobs: int,
+) -> List[List[float]]:
     """(config, seed-chunk) cells over a process pool, order-preserving."""
     repetitions = len(seeds[0]) if seeds else 0
     chunk = max(1, math.ceil(repetitions / jobs))
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = []
+        futures: List[List["Future[List[float]]"]] = []
         for config, children in zip(configs, seeds):
             futures.append(
                 [
@@ -366,7 +398,12 @@ def _run_cells_process(configs, measure, seeds, jobs) -> List[List[float]]:
         ]
 
 
-def _run_cells_batched_parallel(configs, measure, seeds, jobs) -> List[List[float]]:
+def _run_cells_batched_parallel(
+    configs: Sequence[Mapping[str, Any]],
+    measure: Measurement,
+    seeds: List[List[np.random.SeedSequence]],
+    jobs: int,
+) -> List[List[float]]:
     """Whole repetition blocks through measure_batch, one task per config."""
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         futures = [
@@ -381,8 +418,15 @@ def _run_cells_batched_parallel(configs, measure, seeds, jobs) -> List[List[floa
 # worker task returns (samples, metrics payload) pairs.  Payload lists
 # are assembled in config × repetition order regardless of executor.
 # ----------------------------------------------------------------------
-def _run_cells_serial_observed(configs, measure, seeds, chosen, spec):
-    per_config, payloads = [], []
+def _run_cells_serial_observed(
+    configs: Sequence[Mapping[str, Any]],
+    measure: Measurement,
+    seeds: List[List[np.random.SeedSequence]],
+    chosen: str,
+    spec: MetricsOptions,
+) -> Tuple[List[List[float]], List[Mapping[str, Any]]]:
+    per_config: List[List[float]] = []
+    payloads: List[Mapping[str, Any]] = []
     for config, children in zip(configs, seeds):
         if chosen == "batched":
             samples, payload = _observed_batch_block(measure, config, children, spec)
@@ -393,11 +437,19 @@ def _run_cells_serial_observed(configs, measure, seeds, chosen, spec):
     return per_config, payloads
 
 
-def _run_cells_process_observed(configs, measure, seeds, jobs, spec):
+def _run_cells_process_observed(
+    configs: Sequence[Mapping[str, Any]],
+    measure: Measurement,
+    seeds: List[List[np.random.SeedSequence]],
+    jobs: int,
+    spec: MetricsOptions,
+) -> Tuple[List[List[float]], List[Mapping[str, Any]]]:
     repetitions = len(seeds[0]) if seeds else 0
     chunk = max(1, math.ceil(repetitions / jobs))
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = []
+        futures: List[
+            List["Future[Tuple[List[float], Mapping[str, Any]]]"]
+        ] = []
         for config, children in zip(configs, seeds):
             futures.append(
                 [
@@ -412,7 +464,8 @@ def _run_cells_process_observed(configs, measure, seeds, jobs, spec):
                     for lo in range(0, repetitions, chunk)
                 ]
             )
-        per_config, payloads = [], []
+        per_config: List[List[float]] = []
+        payloads: List[Mapping[str, Any]] = []
         for config_futures in futures:
             samples: List[float] = []
             for future in config_futures:
@@ -423,7 +476,13 @@ def _run_cells_process_observed(configs, measure, seeds, jobs, spec):
         return per_config, payloads
 
 
-def _run_cells_batched_parallel_observed(configs, measure, seeds, jobs, spec):
+def _run_cells_batched_parallel_observed(
+    configs: Sequence[Mapping[str, Any]],
+    measure: Measurement,
+    seeds: List[List[np.random.SeedSequence]],
+    jobs: int,
+    spec: MetricsOptions,
+) -> Tuple[List[List[float]], List[Mapping[str, Any]]]:
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         futures = [
             pool.submit(_observed_batch_block, measure, config, children, spec)

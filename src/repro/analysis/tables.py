@@ -41,7 +41,7 @@ def format_table(
             return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
         return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
 
-    lines = []
+    lines: List[str] = []
     if title:
         lines.append(title)
         lines.append("=" * max(len(title), 1))

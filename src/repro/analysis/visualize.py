@@ -102,7 +102,7 @@ def render_histogram(
             raise ValueError(f"level {level} outside [-{ell_max}, {ell_max}]")
         counts[level] += 1
     peak = max(counts.values(), default=1) or 1
-    lines = []
+    lines: List[str] = []
     for value in range(-ell_max, ell_max + 1):
         bar = "#" * (counts[value] * width // peak)
         lines.append(f"{value:+4d} |{bar} {counts[value] or ''}")

@@ -17,10 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-import numpy as np
-
 from ..core.runner import compute_mis
-from ..devtools.seeding import SeedLike, derive_seed_sequence
+from ..devtools.seeding import SeedLike, derive_seed_sequence, rng_from_sequence
 from ..graphs.graph import Graph
 
 __all__ = ["ColoringResult", "iterated_mis_coloring", "validate_coloring"]
@@ -97,7 +95,7 @@ def iterated_mis_coloring(
         result = compute_mis(
             residual,
             variant=variant,
-            seed=np.random.default_rng(phase_seeds[phases]),
+            seed=rng_from_sequence(phase_seeds[phases]),
             c1=c1,
             arbitrary_start=arbitrary_start,
         )

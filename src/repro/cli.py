@@ -162,7 +162,7 @@ def build_parser() -> argparse.ArgumentParser:
     check_p = sub.add_parser(
         "check",
         help="determinism & contract gate (ruff + mypy + repro-lint + "
-        "engine-contract)",
+        "repro-dataflow + engine-contract [+ sanitizers])",
     )
     check_p.add_argument(
         "paths", nargs="*", help="paths for the custom linter (default: src)"
@@ -177,6 +177,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-contract",
         action="store_true",
         help="skip the runtime engine-contract sweep",
+    )
+    check_p.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="also run the runtime sanitizers (errstate traps, frozen "
+        "shared arrays, RNG draw/seed-tree audits)",
+    )
+    check_p.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="JSON baseline of accepted dataflow findings to suppress",
+    )
+    check_p.add_argument(
+        "--sarif",
+        metavar="FILE",
+        help="write all RPR findings as SARIF 2.1.0 to FILE",
     )
 
     return parser
@@ -451,6 +467,12 @@ def _cmd_check(args) -> int:
         argv.append("--no-external")
     if args.no_contract:
         argv.append("--no-contract")
+    if args.sanitize:
+        argv.append("--sanitize")
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.sarif:
+        argv += ["--sarif", args.sarif]
     return devtools_check.main(argv)
 
 

@@ -29,7 +29,7 @@ from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, cast
 import numpy as np
 import numpy.typing as npt
 
-from ...devtools.seeding import SeedSpec, as_seed_sequence
+from ...devtools.seeding import SeedSpec, as_seed_sequence, rng_from_sequence
 from ...graphs.graph import Graph
 from ...graphs.io import to_sparse_adjacency
 from ..knowledge import EllMaxPolicy
@@ -121,7 +121,7 @@ class BatchedEngine:
         # every call; precompute it once (CSR for fast dense products).
         self._adj_t = self.adjacency.transpose().tocsr()
         self.ell_max = np.asarray(policy.ell_max, dtype=np.int64)
-        self.rngs = [np.random.default_rng(s) for s in seed_sequences]
+        self.rngs = [rng_from_sequence(s) for s in seed_sequences]
         self.levels = np.ones((self.replicas, self.n), dtype=np.int64)
         self.round_index = 0
         self._single = algorithm == "single"

@@ -3,19 +3,29 @@
 Runs, in order:
 
 1. **ruff** (``ruff check src tests benchmarks``) — generic style lint.
-2. **mypy** (``mypy --strict`` on the strictly-typed core surface:
-   ``core/engines``, ``graphs``, ``analysis/measurements.py``).
-3. **repro-lint** — the custom AST rules in
+2. **mypy** (``mypy --strict`` on the strictly-typed surface:
+   ``core/engines``, ``graphs``, ``analysis``, ``obs``).
+3. **repro-lint** — the per-line AST rules in
    :mod:`repro.devtools.rules` over ``src``.
-4. **engine-contract** — the runtime registry sweep from
+4. **repro-dataflow** — the whole-program RPR6xx analysis
+   (:mod:`repro.devtools.dataflow`): seed provenance, cross-function
+   dtype flow, alias/mutation, executor payloads.  Accepts a
+   ``--baseline`` suppression file; wall time is profiled and reported
+   in the JSON payload.
+5. **engine-contract** — the runtime registry sweep from
    :mod:`repro.devtools.contract`.
+6. **sanitizers** (only with ``--sanitize``) — the runtime traps in
+   :mod:`repro.devtools.sanitize`: errstate + frozen shared arrays over
+   the engine fixtures, RNG draw audits, seed-tree audits.
+
+``--sarif out.sarif`` additionally writes every RPR finding as SARIF
+2.1.0 for code-scanning upload.
 
 ruff and mypy are *optional* dependencies (the ``lint`` extra pins
 them); when a tool is not importable in the current environment it is
 reported as ``skipped`` and does not fail the gate, so the command stays
 useful on minimal installs while CI — which installs ``.[lint]`` — gets
-the full gate.  The custom linter and contract sweep are stdlib+numpy
-and always run.
+the full gate.  Everything else is stdlib+numpy and always runs.
 
 Exit status is 0 iff no tool *failed*.
 """
@@ -38,7 +48,8 @@ __all__ = ["STRICT_MYPY_TARGETS", "ToolResult", "run_check", "main"]
 STRICT_MYPY_TARGETS = (
     "src/repro/core/engines",
     "src/repro/graphs",
-    "src/repro/analysis/measurements.py",
+    "src/repro/analysis",
+    "src/repro/obs",
 )
 
 #: Paths swept by ruff when available.
@@ -53,18 +64,23 @@ class ToolResult:
     status: str  # "passed" | "failed" | "skipped"
     detail: str = ""
     violations: List[Dict[str, Any]] = field(default_factory=list)
+    #: Tool-specific extras (timings, counters) surfaced in the JSON payload.
+    data: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def failed(self) -> bool:
         return self.status == "failed"
 
     def to_json(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "name": self.name,
             "status": self.status,
             "detail": self.detail,
             "violations": self.violations,
         }
+        if self.data:
+            payload["data"] = self.data
+        return payload
 
 
 def _have_module(name: str) -> bool:
@@ -119,6 +135,72 @@ def _check_repro_lint(paths: Sequence[str]) -> ToolResult:
     )
 
 
+def _check_dataflow(
+    paths: Sequence[str], baseline: Optional[str] = None
+) -> ToolResult:
+    """The whole-program RPR6xx analysis, with profiled wall time."""
+    from ..obs.profiling import PhaseProfiler
+    from .dataflow import analyze_paths
+    from .dataflow.baseline import BaselineError, apply_baseline, load_baseline
+
+    profiler = PhaseProfiler()
+    with profiler.phase("dataflow"):
+        report = analyze_paths(paths)
+    violations = report.violations
+    suppressed = 0
+    if baseline is not None:
+        try:
+            fingerprints = load_baseline(baseline)
+        except BaselineError as exc:
+            return ToolResult(
+                name="repro-dataflow", status="failed", detail=str(exc)
+            )
+        kept = apply_baseline(violations, fingerprints)
+        suppressed = len(violations) - len(kept)
+        violations = kept
+    elapsed = profiler.phases["dataflow"]["wall_s"]
+    data: Dict[str, Any] = {
+        "elapsed_s": round(elapsed, 4),
+        "modules": report.modules_analyzed,
+        "functions": report.functions_analyzed,
+        "suppressed_by_baseline": suppressed,
+    }
+    status = "passed" if not (violations or report.errors) else "failed"
+    detail = (
+        f"{len(violations)} finding(s) across {report.modules_analyzed} "
+        f"module(s) in {elapsed:.2f}s"
+    )
+    if report.errors:
+        detail += f"; {len(report.errors)} parse error(s)"
+        data["parse_errors"] = report.errors
+    if suppressed:
+        detail += f" ({suppressed} baselined)"
+    return ToolResult(
+        name="repro-dataflow",
+        status=status,
+        detail=detail,
+        violations=[v.to_json() for v in violations],
+        data=data,
+    )
+
+
+def _check_sanitize() -> ToolResult:
+    """The runtime sanitizer suite (``--sanitize``)."""
+    from .sanitize import run_sanitizers
+
+    results = run_sanitizers()
+    failures = [r for r in results if not r.ok]
+    detail = "; ".join(r.format() for r in results)
+    return ToolResult(
+        name="sanitizers",
+        status="failed" if failures else "passed",
+        detail=detail,
+        data={"checks": [
+            {"name": r.name, "ok": r.ok, "detail": r.detail} for r in results
+        ]},
+    )
+
+
 def _check_contract() -> ToolResult:
     from .contract import verify_registry
 
@@ -148,6 +230,8 @@ def run_check(
     paths: Optional[Sequence[str]] = None,
     skip_external: bool = False,
     skip_contract: bool = False,
+    sanitize: bool = False,
+    baseline: Optional[str] = None,
 ) -> List[ToolResult]:
     """Run the full gate; returns one :class:`ToolResult` per tool."""
     lint_targets = list(paths) if paths else ["src"]
@@ -156,8 +240,11 @@ def run_check(
         results.append(_check_ruff())
         results.append(_check_mypy())
     results.append(_check_repro_lint(lint_targets))
+    results.append(_check_dataflow(lint_targets, baseline=baseline))
     if not skip_contract:
         results.append(_check_contract())
+    if sanitize:
+        results.append(_check_sanitize())
     return results
 
 
@@ -196,7 +283,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro check",
         description="determinism & contract gate (ruff + mypy + repro-lint "
-        "+ engine-contract)",
+        "+ repro-dataflow + engine-contract [+ sanitizers])",
     )
     parser.add_argument(
         "paths",
@@ -214,13 +301,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="skip the runtime engine-contract sweep",
     )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="also run the runtime sanitizers (errstate traps, frozen "
+        "shared arrays, RNG draw/seed-tree audits)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="JSON baseline of accepted dataflow findings to suppress",
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="FILE",
+        help="write all RPR findings as SARIF 2.1.0 to FILE",
+    )
     args = parser.parse_args(argv)
 
     results = run_check(
         paths=args.paths or None,
         skip_external=args.no_external,
         skip_contract=args.no_contract,
+        sanitize=args.sanitize,
+        baseline=args.baseline,
     )
+    if args.sarif:
+        from .dataflow.sarif import write_sarif
+
+        findings = [
+            violation
+            for result in results
+            for violation in result.violations
+            if str(violation.get("rule", "")).startswith("RPR")
+        ]
+        write_sarif(args.sarif, findings)
     if args.format == "json":
         print(json.dumps(to_json(results), indent=2))
     else:

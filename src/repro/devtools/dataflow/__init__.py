@@ -1,0 +1,128 @@
+"""Whole-program dataflow analysis (the RPR6xx rules).
+
+Public entry points:
+
+* :func:`analyze_paths` — parse + analyze files/directories on disk
+  (what ``repro check`` calls),
+* :func:`analyze_sources` — analyze in-memory ``{module: source}``
+  blobs (what the tests use),
+* :func:`dataflow_catalogue` — the RPR6xx rule metadata.
+
+Pragmas are honored at both granularities: a per-line
+``# repro: allow[RPR6xx]`` on the flagged line, and a file-level
+``# repro: allow-file[RPR6xx]`` anywhere in the file.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .engine import DataflowAnalyzer, DataflowViolation
+from .model import (
+    ModuleInfo,
+    Project,
+    build_project,
+    build_project_from_sources,
+)
+from .rules import DATAFLOW_RULES, DataflowRule, dataflow_catalogue
+
+__all__ = [
+    "DataflowReport",
+    "DataflowRule",
+    "DATAFLOW_RULES",
+    "DataflowViolation",
+    "analyze_paths",
+    "analyze_project",
+    "analyze_sources",
+    "build_project",
+    "build_project_from_sources",
+    "dataflow_catalogue",
+]
+
+_LINE_PRAGMA = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9*,\s]+)\]")
+_FILE_PRAGMA = re.compile(r"#\s*repro:\s*allow-file\[([A-Za-z0-9*,\s]+)\]")
+
+
+@dataclass
+class DataflowReport:
+    """The outcome of one whole-program analysis run."""
+
+    violations: List[DataflowViolation] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+    modules_analyzed: int = 0
+    functions_analyzed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.errors
+
+
+def _rules_in(match: "re.Match[str]") -> List[str]:
+    return [token.strip() for token in match.group(1).split(",") if token.strip()]
+
+
+def _file_allowed(module: ModuleInfo) -> frozenset:
+    allowed = set()
+    for line in module.lines:
+        match = _FILE_PRAGMA.search(line)
+        if match:
+            allowed.update(_rules_in(match))
+    return frozenset(allowed)
+
+
+def _line_allows(module: ModuleInfo, line_no: int, rule: str) -> bool:
+    if 1 <= line_no <= len(module.lines):
+        match = _LINE_PRAGMA.search(module.lines[line_no - 1])
+        if match:
+            rules = _rules_in(match)
+            return "*" in rules or rule in rules
+    return False
+
+
+def _filter_pragmas(
+    project: Project, violations: List[DataflowViolation]
+) -> List[DataflowViolation]:
+    file_allowed: Dict[str, frozenset] = {}
+    by_path = {m.path: m for m in project.modules.values()}
+    kept = []
+    for violation in violations:
+        module = by_path.get(violation.path)
+        if module is None:
+            kept.append(violation)
+            continue
+        if module.path not in file_allowed:
+            file_allowed[module.path] = _file_allowed(module)
+        allowed = file_allowed[module.path]
+        if "*" in allowed or violation.rule in allowed:
+            continue
+        if _line_allows(module, violation.line, violation.rule):
+            continue
+        kept.append(violation)
+    return kept
+
+
+def analyze_project(project: Project, errors: Optional[List[str]] = None) -> DataflowReport:
+    analyzer = DataflowAnalyzer(project)
+    violations = analyzer.run()
+    return DataflowReport(
+        violations=_filter_pragmas(project, violations),
+        errors=list(errors or []),
+        modules_analyzed=len(project.modules),
+        functions_analyzed=analyzer.functions_analyzed,
+    )
+
+
+def analyze_paths(
+    paths: Sequence[str], root: Optional[Path] = None
+) -> DataflowReport:
+    """Run the whole-program analysis over files/directories on disk."""
+    project, errors = build_project(paths, root=root)
+    return analyze_project(project, errors)
+
+
+def analyze_sources(sources: Dict[str, str]) -> DataflowReport:
+    """Run the analysis over in-memory sources (used by the test suite)."""
+    return analyze_project(build_project_from_sources(sources))

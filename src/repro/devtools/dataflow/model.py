@@ -1,0 +1,324 @@
+"""Whole-program symbol table for the dataflow analyzer.
+
+The per-line rules in :mod:`repro.devtools.rules` see one file at a
+time; the RPR6xx analyses need to know *who calls whom*.  This module
+parses every file once and builds:
+
+* :class:`ModuleInfo` — one parsed module with its import alias map
+  (``np`` → ``numpy``, ``resolve_rng`` →
+  ``repro.devtools.seeding.resolve_rng``, relative imports resolved
+  against the module's package),
+* :class:`FunctionInfo` / :class:`ClassInfo` — every function, method
+  and class with its parameter list, and
+* :class:`Project` — name resolution across modules, chasing re-export
+  hubs (``from .single import SingleChannelEngine`` in an
+  ``__init__.py``) to the defining module.
+
+Nothing here is imported or executed: the model is purely syntactic, so
+fixture corpora with deliberate bugs are safe to analyze.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "FunctionInfo",
+    "ClassInfo",
+    "ModuleInfo",
+    "Project",
+    "build_project",
+    "build_project_from_sources",
+]
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str  #: fully qualified, e.g. ``repro.analysis.sweep.run_sweep``
+    module: str
+    name: str
+    node: ast.AST  #: FunctionDef | AsyncFunctionDef
+    params: Tuple[str, ...]  #: positional + keyword params, ``self`` stripped
+    is_method: bool = False
+    class_name: Optional[str] = None
+
+    @property
+    def lineno(self) -> int:
+        return getattr(self.node, "lineno", 1)
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with locally-resolvable base names."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.AST
+    bases: Tuple[str, ...] = ()  #: resolved dotted names where possible
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+    @property
+    def init(self) -> Optional[FunctionInfo]:
+        return self.methods.get("__init__")
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    source: str
+    lines: List[str] = field(default_factory=list)
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    @property
+    def package(self) -> str:
+        """The package a relative import resolves against."""
+        if self.path.endswith("__init__.py"):
+            return self.name
+        return self.name.rpartition(".")[0]
+
+
+def _params_of(node: ast.AST) -> Tuple[str, ...]:
+    args = node.args  # type: ignore[attr-defined]
+    names = [a.arg for a in args.posonlyargs] + [a.arg for a in args.args]
+    names += [a.arg for a in args.kwonlyargs]
+    return tuple(names)
+
+
+def _module_name_for(path: Path, root: Optional[Path]) -> str:
+    """Dotted module name: under a ``repro`` package root when present,
+    otherwise relative to the analysis root (fixture corpora)."""
+    parts = list(path.parts)
+    if "repro" in parts:
+        dotted = parts[parts.index("repro"):]
+    elif root is not None:
+        try:
+            dotted = list(path.relative_to(root).parts)
+        except ValueError:
+            dotted = [path.name]
+    else:
+        dotted = [path.name]
+    dotted[-1] = Path(dotted[-1]).stem
+    if dotted[-1] == "__init__" and len(dotted) > 1:
+        dotted = dotted[:-1]
+    return ".".join(dotted)
+
+
+def _collect_imports(module_name: str, package: str, tree: ast.Module) -> Dict[str, str]:
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                imports[bound] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                # Relative import: climb ``level`` packages up.
+                base_parts = package.split(".") if package else []
+                climb = node.level - 1
+                base_parts = base_parts[: len(base_parts) - climb] if climb else base_parts
+                base = ".".join(base_parts)
+            else:
+                base = node.module or ""
+            if node.level and node.module:
+                base = f"{base}.{node.module}" if base else node.module
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                imports[bound] = f"{base}.{alias.name}" if base else alias.name
+    return imports
+
+
+def _index_module(info: ModuleInfo) -> None:
+    """Populate ``functions`` / ``classes`` (top level and class bodies)."""
+    for node in info.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fn = FunctionInfo(
+                qualname=f"{info.name}.{node.name}",
+                module=info.name,
+                name=node.name,
+                node=node,
+                params=_params_of(node),
+            )
+            info.functions[node.name] = fn
+        elif isinstance(node, ast.ClassDef):
+            bases = []
+            for base in node.bases:
+                dotted = _dotted(base)
+                if dotted:
+                    bases.append(dotted)
+            cls = ClassInfo(
+                qualname=f"{info.name}.{node.name}",
+                module=info.name,
+                name=node.name,
+                node=node,
+                bases=tuple(bases),
+            )
+            for sub in node.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    params = _params_of(sub)
+                    if params and params[0] in ("self", "cls"):
+                        params = params[1:]
+                    cls.methods[sub.name] = FunctionInfo(
+                        qualname=f"{info.name}.{node.name}.{sub.name}",
+                        module=info.name,
+                        name=sub.name,
+                        node=sub,
+                        params=params,
+                        is_method=True,
+                        class_name=node.name,
+                    )
+            info.classes[node.name] = cls
+
+
+def _dotted(node: ast.AST) -> str:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+@dataclass
+class Project:
+    """All analyzed modules plus cross-module name resolution."""
+
+    modules: Dict[str, ModuleInfo] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+
+    def add(self, info: ModuleInfo) -> None:
+        self.modules[info.name] = info
+        for fn in info.functions.values():
+            self.functions[fn.qualname] = fn
+        for cls in info.classes.values():
+            self.classes[cls.qualname] = cls
+            for meth in cls.methods.values():
+                self.functions[meth.qualname] = meth
+
+    # ------------------------------------------------------------------
+    # Name resolution
+    # ------------------------------------------------------------------
+    def resolve(self, module: ModuleInfo, dotted: str) -> str:
+        """Fully-qualify a local dotted name (``np.zeros`` → ``numpy.zeros``).
+
+        Returns the input unchanged when the head is not a module-level
+        binding (a local variable, builtin, …).
+        """
+        head, _, rest = dotted.partition(".")
+        if head in module.functions or head in module.classes:
+            base = f"{module.name}.{head}"
+        elif head in module.imports:
+            base = module.imports[head]
+        else:
+            return dotted
+        return f"{base}.{rest}" if rest else base
+
+    def _chase(self, qualified: str, table: Dict[str, object], seen: set) -> Optional[str]:
+        if qualified in table:
+            return qualified
+        if qualified in seen:
+            return None
+        seen.add(qualified)
+        # ``pkg.attr`` where pkg is a module whose __init__ re-exports attr.
+        mod_name, _, attr = qualified.rpartition(".")
+        module = self.modules.get(mod_name)
+        if module is not None and attr in module.imports:
+            return self._chase(module.imports[attr], table, seen)
+        return None
+
+    def lookup_function(self, qualified: str) -> Optional[FunctionInfo]:
+        found = self._chase(qualified, self.functions, set())  # type: ignore[arg-type]
+        return self.functions.get(found) if found else None
+
+    def lookup_class(self, qualified: str) -> Optional[ClassInfo]:
+        found = self._chase(qualified, self.classes, set())  # type: ignore[arg-type]
+        return self.classes.get(found) if found else None
+
+    def is_engine_class(self, cls: ClassInfo, _depth: int = 0) -> bool:
+        """Heuristic + base-chain check for engine/network classes."""
+        if _depth > 8:
+            return False
+        name = cls.name
+        if name.endswith(("Engine", "Network")) or name == "EngineBase":
+            return True
+        module = self.modules.get(cls.module)
+        for base in cls.bases:
+            resolved = self.resolve(module, base) if module else base
+            if resolved.rsplit(".", 1)[-1] in ("EngineBase", "BeepingNetwork"):
+                return True
+            parent = self.lookup_class(resolved)
+            if parent is not None and self.is_engine_class(parent, _depth + 1):
+                return True
+        return False
+
+
+def _iter_python_files(paths: Iterable[Path]) -> Iterable[Tuple[Path, Optional[Path]]]:
+    for path in paths:
+        if path.is_dir():
+            for file in sorted(path.rglob("*.py")):
+                yield file, path
+        elif path.suffix == ".py":
+            yield path, None
+
+
+def build_project(
+    paths: Sequence[str], root: Optional[Path] = None
+) -> Tuple[Project, List[str]]:
+    """Parse every ``*.py`` under ``paths``; returns (project, parse errors)."""
+    base = root if root is not None else Path.cwd()
+    project = Project()
+    errors: List[str] = []
+    for file_path, dir_root in _iter_python_files(Path(p) for p in paths):
+        try:
+            display = str(file_path.relative_to(base))
+        except ValueError:
+            display = str(file_path)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=display)
+        except SyntaxError as exc:
+            errors.append(f"{display}: {exc.msg} (line {exc.lineno})")
+            continue
+        name = _module_name_for(file_path, dir_root)
+        info = ModuleInfo(
+            name=name, path=display, tree=tree, source=source
+        )
+        info.imports = _collect_imports(name, info.package, tree)
+        _index_module(info)
+        project.add(info)
+    return project, errors
+
+
+def build_project_from_sources(sources: Dict[str, str]) -> Project:
+    """Build a project from ``{module_name: source}`` blobs (tests)."""
+    project = Project()
+    for name, source in sources.items():
+        tree = ast.parse(source, filename=f"<{name}>")
+        info = ModuleInfo(
+            name=name, path=f"{name.replace('.', '/')}.py", tree=tree, source=source
+        )
+        info.imports = _collect_imports(name, info.package, tree)
+        _index_module(info)
+        project.add(info)
+    return project

@@ -1,0 +1,101 @@
+"""Metadata for the whole-program dataflow rules (RPR6xx).
+
+The per-line rules carry their metadata on :class:`repro.devtools.rules.
+Rule` subclasses; the dataflow rules are emitted by one interprocedural
+engine, so their catalogue lives here as plain records.  ``docs/
+linting.md`` and ``tests/test_dataflow.py`` assert the two stay in sync.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = ["DataflowRule", "DATAFLOW_RULES", "dataflow_catalogue"]
+
+
+@dataclass(frozen=True)
+class DataflowRule:
+    rule_id: str
+    title: str
+    rationale: str
+
+
+DATAFLOW_RULES: Tuple[DataflowRule, ...] = (
+    DataflowRule(
+        rule_id="RPR601",
+        title="unblessed generator reaches a simulation entry point",
+        rationale=(
+            "A numpy Generator created by a raw np.random.default_rng / "
+            "Generator call (outside repro.devtools.seeding) that flows — "
+            "possibly through several call hops — into a seed-accepting "
+            "entry point (engine constructor, simulate_*, run_sweep, a "
+            "measurement callable) bypasses the blessed coercion points, "
+            "so the documented seed tree no longer accounts for its "
+            "stream.  Create generators via resolve_rng / "
+            "rng_from_sequence instead."
+        ),
+    ),
+    DataflowRule(
+        rule_id="RPR602",
+        title="seed consumed twice on one path",
+        rationale=(
+            "Turning the same scalar seed into randomness twice on one "
+            "control-flow path (two resolve_rng/default_rng calls, or two "
+            "seed-consuming entry points) yields two *identical* streams: "
+            "runs that should be independent are silently correlated.  "
+            "Spawn children from a SeedSequence root instead; passing an "
+            "already-coerced Generator onward is fine."
+        ),
+    ),
+    DataflowRule(
+        rule_id="RPR611",
+        title="small integer dtype flows into a matvec/accumulation",
+        rationale=(
+            "An int8/int16 array produced in one function and consumed by "
+            "adjacency.dot / @ / np.dot or a dtype-less sum in another "
+            "wraps at degree >= 128 exactly like the PR-1 bug, but "
+            "RPR302's per-line view cannot connect the cast to the sink.  "
+            "Cast to int32+ before the accumulation, or pin a wide "
+            "accumulator dtype."
+        ),
+    ),
+    DataflowRule(
+        rule_id="RPR612",
+        title="silent downcast on store into a preallocated small array",
+        rationale=(
+            "Assigning into (or writing via out=) a preallocated "
+            "int8/int16 buffer silently truncates values that exceed the "
+            "narrow range — numpy does not raise on subscript-store "
+            "downcasts.  Allocate the buffer int32+ or range-check before "
+            "storing."
+        ),
+    ),
+    DataflowRule(
+        rule_id="RPR621",
+        title="shared graph/collector array reaches an in-place mutation",
+        rationale=(
+            "Arrays reachable as .adjacency / .ell_max / .floor / ._adj_t "
+            "are shared between engines and observability collectors "
+            "(StructureView.adopt_engine) and across replicas; an "
+            "in-place store, augmented assignment, out= target or "
+            "mutating method call through such a reference corrupts "
+            "every other reader.  Derive a private copy before writing."
+        ),
+    ),
+    DataflowRule(
+        rule_id="RPR622",
+        title="unpicklable callable submitted to a process pool",
+        rationale=(
+            "ProcessPoolExecutor pickles every task; a lambda or nested "
+            "function submitted to submit()/map() fails only at runtime, "
+            "deep inside a sweep.  Executor payloads must be module-level "
+            "functions (see repro.analysis.sweep's worker functions)."
+        ),
+    ),
+)
+
+
+def dataflow_catalogue() -> List[Tuple[str, str, str]]:
+    """``(rule_id, title, rationale)`` rows — used by docs and tests."""
+    return [(r.rule_id, r.title, r.rationale) for r in DATAFLOW_RULES]

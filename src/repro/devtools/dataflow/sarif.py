@@ -1,0 +1,95 @@
+"""SARIF 2.1.0 export for ``repro check`` findings.
+
+SARIF (Static Analysis Results Interchange Format) is what code-scanning
+UIs ingest — the CI workflow uploads this file so findings annotate pull
+requests.  We emit one run with both rule families (the per-line RPRxxx
+catalogue and the dataflow RPR6xx catalogue) in ``tool.driver.rules``
+and one ``result`` per violation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, List, Mapping, Union
+
+from ..lint import rule_catalogue
+from .rules import dataflow_catalogue
+
+__all__ = ["to_sarif", "write_sarif"]
+
+#: A finding: either a ``Violation``-shaped object or its ``to_json`` dict.
+Finding = Mapping[str, Any]
+
+_SARIF_VERSION = "2.1.0"
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rules_block() -> List[dict]:
+    rows = list(rule_catalogue()) + list(dataflow_catalogue())
+    return [
+        {
+            "id": rule_id,
+            "name": rule_id,
+            "shortDescription": {"text": title},
+            "fullDescription": {"text": rationale},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule_id, title, rationale in rows
+    ]
+
+
+def to_sarif(violations: Iterable[Finding]) -> dict:
+    """Render violation dicts (``Violation.to_json`` shape) as SARIF."""
+    rules = _rules_block()
+    index = {rule["id"]: i for i, rule in enumerate(rules)}
+    results = []
+    for violation in violations:
+        rule_id = str(violation["rule"])
+        results.append(
+            {
+                "ruleId": rule_id,
+                "ruleIndex": index.get(rule_id, -1),
+                "level": "error",
+                "message": {"text": str(violation["message"])},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": str(violation["path"]).replace("\\", "/"),
+                                "uriBaseId": "ROOTPATH",
+                            },
+                            "region": {
+                                "startLine": max(1, int(violation["line"])),
+                                "startColumn": max(1, int(violation["col"]) + 1),
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": _SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-check",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(path: Union[str, Path], violations: Iterable[Finding]) -> None:
+    Path(path).write_text(
+        json.dumps(to_sarif(violations), indent=2) + "\n", encoding="utf-8"
+    )

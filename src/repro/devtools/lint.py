@@ -8,7 +8,10 @@ Usage (also wired into ``python -m repro check``)::
 Exit status is 0 when no rule fires, 1 otherwise; violations are
 reported as ``path:line:col RULE message``.  A violation whose line
 carries the pragma ``# repro: allow[RPR123]`` (comma-separated IDs, or
-``*`` for all rules) is suppressed.
+``*`` for all rules) is suppressed; a file-level
+``# repro: allow-file[RPR123]`` anywhere in the file suppresses the
+listed rules for the whole file (used by deliberately-buggy fixture
+corpora).
 
 The rule catalogue lives in :mod:`repro.devtools.rules` and is
 documented with rationale and examples in ``docs/linting.md``.
@@ -30,6 +33,7 @@ from .rules import FileContext, Rule, Violation, _registry
 __all__ = ["LintReport", "lint_source", "lint_paths", "main"]
 
 _PRAGMA = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9*,\s]+)\]")
+_FILE_PRAGMA = re.compile(r"#\s*repro:\s*allow-file\[([A-Za-z0-9*,\s]+)\]")
 
 
 @dataclass
@@ -71,6 +75,16 @@ def _allowed_rules(line: str) -> frozenset:
     return frozenset(found)
 
 
+def _file_allowed_rules(lines: Sequence[str]) -> frozenset:
+    """Rule IDs suppressed file-wide by ``# repro: allow-file[...]``."""
+    found = set()
+    for line in lines:
+        for match in _FILE_PRAGMA.finditer(line):
+            for rule_id in match.group(1).split(","):
+                found.add(rule_id.strip())
+    return frozenset(found)
+
+
 def _module_name_for(path: Path) -> str:
     """Dotted module path when the file sits under a ``repro`` package."""
     parts = list(path.parts)
@@ -98,9 +112,12 @@ def lint_source(
         source=source,
     )
     chosen = tuple(rules) if rules is not None else _registry()
+    file_allowed = _file_allowed_rules(ctx.lines)
     found: List[Violation] = []
     for rule in chosen:
         for violation in rule.check(tree, ctx):
+            if violation.rule in file_allowed or "*" in file_allowed:
+                continue
             line_text = (
                 ctx.lines[violation.line - 1]
                 if 0 < violation.line <= len(ctx.lines)

@@ -24,6 +24,7 @@ __all__ = [
     "SeedLike",
     "SeedSpec",
     "resolve_rng",
+    "rng_from_sequence",
     "as_seed_sequence",
     "derive_seed_sequence",
     "spawn_children",
@@ -49,6 +50,23 @@ def resolve_rng(seed: SeedLike = None) -> np.random.Generator:
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def rng_from_sequence(sequence: np.random.SeedSequence) -> np.random.Generator:
+    """A ``Generator`` for one child of the documented seed tree.
+
+    Replica streams (sweep repetitions, batched-engine rows, coloring
+    phases) are keyed by ``SeedSequence`` children spawned from a root;
+    this is the blessed point where such a child becomes randomness.
+    Funneling the conversion here keeps the dataflow analyzer's seed
+    provenance exact: a generator is *blessed* iff it came out of this
+    module (rule RPR601).
+    """
+    if not isinstance(sequence, np.random.SeedSequence):
+        raise TypeError(
+            f"rng_from_sequence expects a SeedSequence, got {type(sequence).__name__}"
+        )
+    return np.random.default_rng(sequence)
 
 
 def as_seed_sequence(seed: SeedSpec = None) -> np.random.SeedSequence:

@@ -212,7 +212,7 @@ def _row_counts(mask: npt.NDArray[np.bool_]) -> npt.NDArray[np.int32]:
 def _beep_counts(out: BeepObservation) -> List[int]:
     """Per-channel transmission totals from any step-output shape."""
     channels: Sequence[Any] = out if isinstance(out, tuple) else (out,)
-    counts = []
+    counts: List[int] = []
     for channel in channels:
         if isinstance(channel, (int, np.integer)):
             counts.append(int(channel))
@@ -275,7 +275,7 @@ class RunCollector:
         every: int = 1,
         level_hist: bool = False,
         records: Optional[List[Dict[str, Any]]] = None,
-    ):
+    ) -> None:
         if every < 1:
             raise ValueError("every must be >= 1")
         self.view = view
@@ -399,7 +399,7 @@ class BatchedCollector:
         every: int = 1,
         level_hist: bool = False,
         records: Optional[List[Dict[str, Any]]] = None,
-    ):
+    ) -> None:
         if every < 1:
             raise ValueError("every must be >= 1")
         self.view = view

@@ -118,7 +118,7 @@ class SweepRecorder:
         base_labels: Optional[Mapping[str, Any]] = None,
         every: int = 1,
         level_hist: bool = False,
-    ):
+    ) -> None:
         self.base_labels = dict(base_labels or {})
         self.every = every
         self.level_hist = level_hist

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Any, Callable, Dict, Iterator, Mapping, Optional
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional
 
 __all__ = ["PhaseProfiler", "peak_rss_bytes"]
 
@@ -56,7 +56,7 @@ class PhaseProfiler:
         self,
         wall: Optional[Callable[[], float]] = None,
         cpu: Optional[Callable[[], float]] = None,
-    ):
+    ) -> None:
         self._wall = wall if wall is not None else time.perf_counter
         self._cpu = cpu if cpu is not None else time.process_time
         self.phases: Dict[str, Dict[str, float]] = {}
@@ -123,7 +123,7 @@ class PhaseProfiler:
 
     def format(self) -> str:
         """Human-readable phase report (CLI ``--metrics summary``)."""
-        lines = []
+        lines: List[str] = []
         for name, entry in sorted(self.phases.items()):
             line = (
                 f"{name}: wall {entry['wall_s']:.3f}s, "

@@ -134,17 +134,17 @@ class MetricsRegistry:
         def entry(key: MetricKey) -> Dict[str, Any]:
             return {"name": key[0], "labels": {k: v for k, v in key[1]}}
 
-        counters = []
+        counters: List[Dict[str, Any]] = []
         for key in sorted(self._counters, key=repr):
             row = entry(key)
             row["value"] = self._counters[key].value
             counters.append(row)
-        gauges = []
+        gauges: List[Dict[str, Any]] = []
         for key in sorted(self._gauges, key=repr):
             row = entry(key)
             row["value"] = self._gauges[key].value
             gauges.append(row)
-        histograms = []
+        histograms: List[Dict[str, Any]] = []
         for key in sorted(self._histograms, key=repr):
             h = self._histograms[key]
             row = entry(key)
@@ -208,7 +208,7 @@ class MetricsRegistry:
 
     def format(self) -> str:
         """A small fixed-width report (CLI ``--metrics summary``)."""
-        lines = []
+        lines: List[str] = []
         for row in self.rows():
             labels = ",".join(f"{k}={v}" for k, v in sorted(row["labels"].items()))
             name = f"{row['name']}{{{labels}}}" if labels else row["name"]

@@ -57,7 +57,7 @@ def _open_target(target: Union[str, TextIO]) -> "tuple[TextIO, bool]":
 class JsonlSink(MetricSink):
     """One record per line as canonical (sorted-keys) JSON."""
 
-    def __init__(self, target: Union[str, TextIO]):
+    def __init__(self, target: Union[str, TextIO]) -> None:
         self._stream, self._owns = _open_target(target)
         self.emitted = 0
 
@@ -85,7 +85,7 @@ class CsvSink(MetricSink):
         self,
         target: Union[str, TextIO],
         fields: Optional[Sequence[str]] = None,
-    ):
+    ) -> None:
         self._stream, self._owns = _open_target(target)
         self._fields: Optional[List[str]] = list(fields) if fields else None
         self._writer: Optional[Any] = None

@@ -1,10 +1,30 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Running pytest with ``REPRO_SANITIZE=1`` arms the sanitizer fixture
+below: every test then executes under
+``np.errstate(over='raise', invalid='raise', divide='raise')`` so
+silent numeric corruption (scalar integer overflow, NaN production)
+fails the test that caused it.  See :mod:`repro.devtools.sanitize`.
+"""
+
+import os
 
 import numpy as np
 import pytest
 
 from repro.graphs import generators
 from repro.graphs.graph import Graph
+
+_SANITIZE = bool(os.environ.get("REPRO_SANITIZE"))
+
+
+@pytest.fixture(autouse=_SANITIZE)
+def _sanitize_numerics():
+    """Trap silent numeric corruption (armed by ``REPRO_SANITIZE=1``)."""
+    from repro.devtools.sanitize import errstate_guard
+
+    with errstate_guard():
+        yield
 
 
 @pytest.fixture

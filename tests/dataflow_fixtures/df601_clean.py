@@ -1,0 +1,15 @@
+"""RPR601 (clean): the same two-hop flow, but through the blessed helper."""
+from repro.devtools.seeding import resolve_rng
+
+
+def simulate(graph, seed=None):
+    return graph, seed
+
+
+def middle(graph, stream):
+    return simulate(graph, seed=stream)
+
+
+def top(graph, seed):
+    rng = resolve_rng(seed)
+    return middle(graph, rng)

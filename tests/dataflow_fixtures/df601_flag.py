@@ -1,0 +1,17 @@
+"""RPR601 (flag): a raw generator crosses two call hops into an entry point."""
+import numpy as np
+
+
+def simulate(graph, seed=None):
+    return graph, seed
+
+
+def middle(graph, stream):
+    # Hop 2: forwards the stream into the seed-accepting entry point.
+    return simulate(graph, seed=stream)
+
+
+def top(graph):
+    # Hop 1: a raw generator bypassing repro.devtools.seeding.
+    rng = np.random.default_rng(7)
+    return middle(graph, rng)

@@ -1,0 +1,14 @@
+"""RPR602 (clean): one coercion, independent children via the seed tree."""
+from repro.devtools.seeding import derive_seed_sequence, rng_from_sequence
+
+
+def independent_streams(seed, count):
+    root = derive_seed_sequence(seed)
+    return [rng_from_sequence(child) for child in root.spawn(count)]
+
+
+def branch_local(seed, fast):
+    # One coercion per control-flow path is fine.
+    if fast:
+        return derive_seed_sequence(seed)
+    return derive_seed_sequence(seed)

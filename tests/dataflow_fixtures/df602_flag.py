@@ -1,0 +1,8 @@
+"""RPR602 (flag): the same scalar seed coerced twice on one path."""
+from repro.devtools.seeding import resolve_rng
+
+
+def correlated_streams(seed):
+    first = resolve_rng(seed)
+    second = resolve_rng(seed)
+    return first, second

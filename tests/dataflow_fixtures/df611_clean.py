@@ -1,0 +1,13 @@
+"""RPR611 (clean): the same flow with a wide cast before the accumulation."""
+import numpy as np
+
+from df611_lib import make_levels
+
+
+def neighbor_counts(adjacency, levels):
+    return adjacency.dot(levels)
+
+
+def run(adjacency, num_vertices):
+    levels = make_levels(num_vertices).astype(np.int64)
+    return neighbor_counts(adjacency, levels)

@@ -1,0 +1,12 @@
+"""RPR611 (flag): the int8 buffer from df611_lib reaches a matvec two hops on."""
+from df611_lib import make_levels
+
+
+def neighbor_counts(adjacency, levels):
+    # Hop 2: the accumulation; int8 counts wrap at degree >= 128.
+    return adjacency.dot(levels)
+
+
+def run(adjacency, num_vertices):
+    levels = make_levels(num_vertices)  # Hop 1: cross-module producer.
+    return neighbor_counts(adjacency, levels)

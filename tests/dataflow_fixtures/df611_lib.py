@@ -1,0 +1,12 @@
+"""Producer half of the two-hop RPR611 fixture (the PR-1 int8 buffer).
+
+The narrow dtype is deliberate — this file reintroduces the original
+PR-1 bug, split across a module boundary so only the whole-program
+analyzer can connect the allocation to the matvec.
+"""
+# repro: allow-file[RPR302]
+import numpy as np
+
+
+def make_levels(num_vertices):
+    return np.ones(num_vertices, dtype=np.int8)

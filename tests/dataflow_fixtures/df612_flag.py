@@ -1,0 +1,10 @@
+"""RPR612 (flag): stores into a preallocated int16 buffer silently truncate."""
+# repro: allow-file[RPR302]
+import numpy as np
+
+
+def fill_histogram(counts):
+    out = np.zeros(16, dtype=np.int16)
+    for index, value in enumerate(counts):
+        out[index] = value * 1000
+    return out

@@ -1,0 +1,12 @@
+"""RPR621 (clean): copy the shared matrix before mutating."""
+
+
+def clear_diagonal(matrix):
+    matrix.setdiag(0)
+    return matrix
+
+
+def scrub_engine(engine):
+    private = engine.adjacency.copy()
+    clear_diagonal(private)
+    return private

@@ -1,0 +1,12 @@
+"""RPR621 (flag): an engine-shared adjacency is mutated through a helper."""
+
+
+def clear_diagonal(matrix):
+    matrix.setdiag(0)
+    return matrix
+
+
+def scrub_engine(engine):
+    # engine.adjacency is aliased by collectors and sibling replicas.
+    clear_diagonal(engine.adjacency)
+    return engine

@@ -1,0 +1,12 @@
+"""RPR622 (clean): executor payloads are module-level functions."""
+from concurrent.futures import ProcessPoolExecutor
+
+
+def double(config):
+    return config * 2
+
+
+def sweep(configs):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(double, config) for config in configs]
+    return [f.result() for f in futures]

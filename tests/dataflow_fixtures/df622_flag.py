@@ -1,0 +1,10 @@
+"""RPR622 (flag): a lambda handed to a process pool fails only at runtime."""
+from concurrent.futures import ProcessPoolExecutor
+
+
+def sweep(configs):
+    futures = []
+    with ProcessPoolExecutor() as pool:
+        for config in configs:
+            futures.append(pool.submit(lambda c: c * 2, config))
+    return [f.result() for f in futures]

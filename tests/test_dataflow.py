@@ -1,0 +1,410 @@
+"""The whole-program dataflow analyzer: every RPR6xx rule, both directions.
+
+Covers: the fixture corpus (one flagging and one clean file per rule,
+with the RPR611 case split across a module boundary), interprocedural
+depth, pragma handling at both granularities, baseline round-trips,
+SARIF output, the ``repro check`` integration, catalogue/docs sync, and
+the wall-time budget on the real tree.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.dataflow import (
+    DATAFLOW_RULES,
+    analyze_paths,
+    analyze_sources,
+    dataflow_catalogue,
+)
+from repro.devtools.dataflow.baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.devtools.dataflow.sarif import to_sarif
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+FIXTURES = REPO_ROOT / "tests" / "dataflow_fixtures"
+
+ALL_RULE_IDS = ("RPR601", "RPR602", "RPR611", "RPR612", "RPR621", "RPR622")
+
+
+@pytest.fixture(scope="module")
+def corpus_report():
+    return analyze_paths([str(FIXTURES)], root=REPO_ROOT)
+
+
+def rules_in(report, path_fragment):
+    return sorted(
+        v.rule for v in report.violations if path_fragment in v.path
+    )
+
+
+# ----------------------------------------------------------------------
+# The fixture corpus: each rule fires on its flag file, never on clean
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("rule_id", ALL_RULE_IDS)
+def test_rule_catches_its_seeded_fixture(corpus_report, rule_id):
+    stem = f"df{rule_id[3:]}_flag"
+    assert rules_in(corpus_report, stem) == [rule_id]
+
+
+@pytest.mark.parametrize("rule_id", ALL_RULE_IDS)
+def test_rule_passes_its_clean_fixture(corpus_report, rule_id):
+    stem = f"df{rule_id[3:]}_clean"
+    assert rules_in(corpus_report, stem) == []
+
+
+def test_corpus_parses_cleanly(corpus_report):
+    assert corpus_report.errors == []
+
+
+def test_rpr611_crosses_the_module_boundary(corpus_report):
+    """The reintroduced PR-1 bug: producer and matvec in different files."""
+    [violation] = [
+        v for v in corpus_report.violations if "df611_flag" in v.path
+    ]
+    # Flagged at the call site in run(), citing the helper it flows through.
+    assert violation.symbol.endswith(".run")
+    assert "neighbor_counts" in violation.message
+
+
+def test_rpr601_flags_two_hops_from_the_raw_generator(corpus_report):
+    [violation] = [
+        v for v in corpus_report.violations if "df601_flag" in v.path
+    ]
+    assert violation.symbol.endswith(".top")
+
+
+# ----------------------------------------------------------------------
+# Interprocedural behavior on in-memory sources
+# ----------------------------------------------------------------------
+def test_rpr601_direct_raw_generator_into_entry_point():
+    report = analyze_sources({
+        "m": (
+            "import numpy as np\n"
+            "def simulate(graph, seed=None):\n"
+            "    return seed\n"
+            "def run(graph):\n"
+            "    rng = np.random.default_rng(0)\n"
+            "    return simulate(graph, seed=rng)\n"
+        )
+    })
+    assert [v.rule for v in report.violations] == ["RPR601"]
+
+
+def test_rpr601_blessed_generator_is_fine():
+    report = analyze_sources({
+        "m": (
+            "from repro.devtools.seeding import resolve_rng\n"
+            "def simulate(graph, seed=None):\n"
+            "    return seed\n"
+            "def run(graph, seed):\n"
+            "    return simulate(graph, seed=resolve_rng(seed))\n"
+        )
+    })
+    assert report.violations == []
+
+
+def test_rpr602_loop_consumption_of_outer_seed():
+    report = analyze_sources({
+        "m": (
+            "from repro.devtools.seeding import resolve_rng\n"
+            "def run(seed, n):\n"
+            "    out = []\n"
+            "    for _ in range(n):\n"
+            "        out.append(resolve_rng(seed))\n"
+            "    return out\n"
+        )
+    })
+    assert [v.rule for v in report.violations] == ["RPR602"]
+    assert "loop" in report.violations[0].message
+
+
+def test_rpr602_not_fooled_by_terminated_branches():
+    """A consume in a returning branch must not merge into the fall-through."""
+    report = analyze_sources({
+        "m": (
+            "from repro.devtools.seeding import resolve_rng\n"
+            "def run(seed, fast):\n"
+            "    if fast:\n"
+            "        return resolve_rng(seed)\n"
+            "    return resolve_rng(seed)\n"
+        )
+    })
+    assert report.violations == []
+
+
+def test_rpr602_reassignment_resets_the_count():
+    report = analyze_sources({
+        "m": (
+            "from repro.devtools.seeding import resolve_rng\n"
+            "def run(seed):\n"
+            "    a = resolve_rng(seed)\n"
+            "    seed = 123\n"
+            "    b = resolve_rng(seed)\n"
+            "    return a, b\n"
+        )
+    })
+    assert report.violations == []
+
+
+def test_rpr611_dtype_survives_three_hops():
+    report = analyze_sources({
+        "a": (
+            "import numpy as np\n"
+            "def make(n):\n"
+            "    return np.zeros(n, dtype=np.int8)\n"
+        ),
+        "b": (
+            "from a import make\n"
+            "def wrap(n):\n"
+            "    return make(n)\n"
+        ),
+        "c": (
+            "from b import wrap\n"
+            "def count(adj, n):\n"
+            "    return adj.dot(wrap(n))\n"
+        ),
+    })
+    assert [(v.rule, v.path) for v in report.violations] == [("RPR611", "c.py")]
+
+
+def test_rpr612_out_kwarg_counts_as_a_store():
+    report = analyze_sources({
+        "m": (
+            "import numpy as np\n"
+            "def run(x, y):\n"
+            "    buf = np.empty(4, dtype=np.int16)\n"
+            "    np.add(x, y, out=buf)\n"
+            "    return buf\n"
+        )
+    })
+    assert "RPR612" in [v.rule for v in report.violations]
+
+
+def test_rpr621_augmented_assignment_is_a_mutation():
+    report = analyze_sources({
+        "m": (
+            "def bump(engine):\n"
+            "    engine.ell_max += 1\n"
+            "    return engine\n"
+        )
+    })
+    assert [v.rule for v in report.violations] == ["RPR621"]
+
+
+def test_rpr622_nested_function_submitted_via_helper():
+    report = analyze_sources({
+        "m": (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def dispatch(pool, task, item):\n"
+            "    return pool.submit(task, item)\n"
+            "def run(items):\n"
+            "    def local(x):\n"
+            "        return x + 1\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return [dispatch(pool, local, i) for i in items]\n"
+        )
+    })
+    assert "RPR622" in [v.rule for v in report.violations]
+
+
+# ----------------------------------------------------------------------
+# Pragmas
+# ----------------------------------------------------------------------
+def test_line_pragma_suppresses_a_dataflow_finding():
+    report = analyze_sources({
+        "m": (
+            "from repro.devtools.seeding import resolve_rng\n"
+            "def run(seed):\n"
+            "    a = resolve_rng(seed)\n"
+            "    b = resolve_rng(seed)  # repro: allow[RPR602]\n"
+            "    return a, b\n"
+        )
+    })
+    assert report.violations == []
+
+
+def test_file_pragma_suppresses_the_whole_file():
+    source = (
+        "# repro: allow-file[RPR602]\n"
+        "from repro.devtools.seeding import resolve_rng\n"
+        "def run(seed):\n"
+        "    return resolve_rng(seed), resolve_rng(seed)\n"
+    )
+    assert analyze_sources({"m": source}).violations == []
+    # Without the pragma the same source is flagged.
+    assert analyze_sources({"m": source.split("\n", 1)[1]}).violations
+
+
+def test_file_pragma_is_rule_specific():
+    report = analyze_sources({
+        "m": (
+            "# repro: allow-file[RPR611]\n"
+            "from repro.devtools.seeding import resolve_rng\n"
+            "def run(seed):\n"
+            "    return resolve_rng(seed), resolve_rng(seed)\n"
+        )
+    })
+    assert [v.rule for v in report.violations] == ["RPR602"]
+
+
+# ----------------------------------------------------------------------
+# Baseline round-trip
+# ----------------------------------------------------------------------
+def test_baseline_round_trip_suppresses_known_findings(tmp_path, corpus_report):
+    baseline_path = tmp_path / "baseline.json"
+    save_baseline(baseline_path, corpus_report.violations)
+    fingerprints = load_baseline(baseline_path)
+    assert apply_baseline(corpus_report.violations, fingerprints) == []
+    # A fresh finding in a different symbol survives the baseline.
+    fresh = analyze_sources({
+        "other": (
+            "from repro.devtools.seeding import resolve_rng\n"
+            "def newly_buggy(seed):\n"
+            "    return resolve_rng(seed), resolve_rng(seed)\n"
+        )
+    }).violations
+    assert apply_baseline(fresh, fingerprints) == fresh
+
+
+def test_baseline_rejects_malformed_files(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"version": 2, "suppressions": []}')
+    with pytest.raises(BaselineError):
+        load_baseline(bad)
+    bad.write_text("not json")
+    with pytest.raises(BaselineError):
+        load_baseline(bad)
+
+
+# ----------------------------------------------------------------------
+# SARIF
+# ----------------------------------------------------------------------
+def test_sarif_structure(corpus_report):
+    log = to_sarif([v.to_json() for v in corpus_report.violations])
+    assert log["version"] == "2.1.0"
+    [run] = log["runs"]
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert set(ALL_RULE_IDS) <= rule_ids
+    assert "RPR101" in rule_ids  # per-line catalogue is included too
+    assert len(run["results"]) == len(corpus_report.violations)
+    for result in run["results"]:
+        assert result["ruleIndex"] >= 0
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Catalogue / docs sync
+# ----------------------------------------------------------------------
+def test_dataflow_catalogue_is_complete():
+    rows = dataflow_catalogue()
+    ids = [rule_id for rule_id, _, _ in rows]
+    assert ids == sorted(ids)
+    assert tuple(ids) == ALL_RULE_IDS
+    for rule_id, title, rationale in rows:
+        assert title and rationale, rule_id
+    assert len(DATAFLOW_RULES) == len(ALL_RULE_IDS)
+
+
+def test_docs_cover_every_dataflow_rule():
+    docs = (REPO_ROOT / "docs" / "linting.md").read_text(encoding="utf-8")
+    for rule_id, title, _ in dataflow_catalogue():
+        assert rule_id in docs, f"{rule_id} missing from docs/linting.md"
+        assert title in docs, f"title of {rule_id} missing from docs/linting.md"
+    assert "--sanitize" in docs
+    assert "allow-file" in docs
+
+
+# ----------------------------------------------------------------------
+# The real tree and the repro check integration
+# ----------------------------------------------------------------------
+def test_real_source_tree_is_dataflow_clean():
+    report = analyze_paths([str(SRC / "repro")], root=REPO_ROOT)
+    assert report.errors == []
+    assert report.violations == [], "\n".join(
+        v.format() for v in report.violations
+    )
+
+
+def test_analyzer_wall_time_budget():
+    import time
+
+    start = time.perf_counter()
+    analyze_paths([str(SRC / "repro")], root=REPO_ROOT)
+    assert time.perf_counter() - start < 10.0
+
+
+def test_check_json_payload_reports_dataflow_timing():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "check", "--no-external",
+         "--no-contract", "--format", "json"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(proc.stdout)
+    assert payload["ok"] is True
+    [dataflow] = [t for t in payload["tools"] if t["name"] == "repro-dataflow"]
+    assert dataflow["status"] == "passed"
+    assert dataflow["data"]["elapsed_s"] < 10.0
+    assert dataflow["data"]["modules"] > 50
+
+
+def test_check_baseline_and_sarif_flags(tmp_path):
+    # Seed one finding, baseline it, and confirm the gate goes green.
+    bad = tmp_path / "pkg"
+    bad.mkdir()
+    (bad / "buggy.py").write_text(
+        "from repro.devtools.seeding import resolve_rng\n"
+        "def run(seed):\n"
+        "    return resolve_rng(seed), resolve_rng(seed)\n",
+        encoding="utf-8",
+    )
+    sarif_path = tmp_path / "out.sarif"
+
+    def check(*extra):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "check", str(bad),
+             "--no-external", "--no-contract", "--format", "json", *extra],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+
+    proc = check("--sarif", str(sarif_path))
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    [dataflow] = [t for t in payload["tools"] if t["name"] == "repro-dataflow"]
+    [violation] = dataflow["violations"]
+    assert violation["rule"] == "RPR602"
+    sarif = json.loads(sarif_path.read_text(encoding="utf-8"))
+    assert [r["ruleId"] for r in sarif["runs"][0]["results"]] == ["RPR602"]
+
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(
+        json.dumps({
+            "version": 1,
+            "suppressions": [{
+                "rule": violation["rule"],
+                "path": violation["path"],
+                "symbol": violation["symbol"],
+            }],
+        }),
+        encoding="utf-8",
+    )
+    proc = check("--baseline", str(baseline_path))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(proc.stdout)
+    [dataflow] = [t for t in payload["tools"] if t["name"] == "repro-dataflow"]
+    assert dataflow["violations"] == []
+    assert dataflow["data"]["suppressed_by_baseline"] == 1

@@ -283,6 +283,40 @@ def test_pragma_suppression():
     assert flagged(wrong_rule, "RPR103")
 
 
+def test_file_pragma_suppresses_anywhere_in_the_file():
+    bad = (
+        "# repro: allow-file[RPR101]\n"
+        "import numpy as np\n"
+        "x = np.random.shuffle(items)\n"
+        "y = np.random.shuffle(others)\n"
+    )
+    assert not flagged(bad, "RPR101")
+    # The pragma works from any line, not just the header.
+    trailer = (
+        "import numpy as np\n"
+        "x = np.random.shuffle(items)\n"
+        "# repro: allow-file[RPR101]\n"
+    )
+    assert not flagged(trailer, "RPR101")
+
+
+def test_file_pragma_round_trips_every_catalogued_rule():
+    """``allow-file[ID]`` must parse and suppress for each rule in the
+    catalogue (and only that rule)."""
+    bad = "import numpy as np\nx = np.random.shuffle(items)\n"
+    for rule_id, _, _ in rule_catalogue():
+        pragma = f"# repro: allow-file[{rule_id}]\n"
+        suppressed = not flagged(pragma + bad, "RPR101")
+        assert suppressed == (rule_id == "RPR101"), rule_id
+
+
+def test_file_pragma_wildcard_and_wrong_rule():
+    bad = "# repro: allow-file[RPR999]\nimport random\n"
+    assert flagged(bad, "RPR103")
+    wildcard = "# repro: allow-file[*]\nimport random\n"
+    assert not flagged(wildcard, "RPR103")
+
+
 def test_lint_paths_reports_and_sorts(tmp_path):
     (tmp_path / "a.py").write_text(
         "import random\nimport numpy as np\nr = np.random.default_rng()\n"
