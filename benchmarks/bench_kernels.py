@@ -1,0 +1,371 @@
+"""E10 — hear-kernel engineering: kernel grid + structure-cache + shm sweep.
+
+Two artifacts, both written to ``results/BENCH_kernels.json``:
+
+* a **kernel × engine × size grid** timing each registered hear kernel
+  under every engine, with structure-cache *cold* (cache cleared before
+  construction) and *warm* columns — the cache's construction-time win
+  is the column gap;
+* the **Theorem-2.1 smoke sweep** (6 sizes × 20 seeds, batched
+  executor) timed on the pre-kernel ``sparse_int32`` path — faithfully
+  reconstructed below as :class:`LegacyBatchedEngine` — versus the new
+  batched engine on the ``bitset`` kernel, in-process and through a
+  shared-memory :class:`~repro.analysis.sweep.SweepPool`.  Samples must
+  be byte-identical across all paths; the acceptance bar is a ≥ 2×
+  wall-clock speedup.
+
+Methodology: every ratio is a *median of adjacent pairs* — baseline and
+candidate run back-to-back, repeatedly, and the median per-pair ratio is
+reported.  Scheduler drift cancels within a pair, and the median is
+robust to an occasional stolen quantum in a way best-of-N minima are
+not (see ``docs/performance.md``).
+"""
+
+import time
+
+import numpy as np
+from _harness import print_header, save_bench_rows, seed_for
+
+from repro.analysis.measurements import StabilizationRounds, graph_for_config
+from repro.analysis.sweep import SweepPool, run_sweep
+from repro.analysis.tables import format_table
+from repro.core import max_degree_policy
+from repro.core.engines.base import MAX_EXPONENT
+from repro.core.engines.batched import BatchedEngine
+from repro.core.engines.single import SingleChannelEngine
+from repro.core.engines.two_channel import TwoChannelEngine
+from repro.core.kernels import available_kernels, clear_structure_cache
+from repro.graphs.generators import by_name
+from repro.graphs.io import to_sparse_adjacency
+
+#: The Theorem-2.1 smoke sweep (same shape as bench_engines.py).
+SPEEDUP_SIZES = (32, 64, 128, 256, 512, 1024)
+SPEEDUP_REPS = 20
+MASTER_SEED = 2024
+
+GRID_SIZES_SMOKE = (64, 256)
+GRID_SIZES_FULL = (64, 256, 1024)
+GRID_ROUNDS = 100
+GRID_REPLICAS = 8
+
+
+# ----------------------------------------------------------------------
+# The pre-kernel baseline, reconstructed verbatim
+# ----------------------------------------------------------------------
+class LegacyBatchedEngine(BatchedEngine):
+    """The batched engine exactly as it stood before the kernels package.
+
+    Per instance it rebuilds the CSR adjacency *and* a transposed copy
+    (no structure cache), hears through the double-transpose int32
+    product ``adj_t.dot(rows.T).T``, recomputes ``2^-clip(levels)``
+    every round (no p-table), allocates fresh draw/level arrays per
+    step, and checks legality on every replica row (no candidate
+    prune).  Trajectories are bit-identical to the current engine — the
+    refactor changed none of the arithmetic — which is what lets the
+    sweep comparison assert byte-equal samples.
+    """
+
+    def __init__(self, graph, policy, **kwargs):
+        super().__init__(graph, policy, **kwargs)
+        self.adjacency = to_sparse_adjacency(graph)
+        self._legacy_adj_t = self.adjacency.transpose().tocsr()
+
+    def _received_legacy(self, rows):
+        return self._legacy_adj_t.dot(rows.T).T
+
+    def _mis_mask_rows(self, levels):
+        not_at_max = (levels != self.ell_max).astype(np.int32)
+        blocked = self._received_legacy(not_at_max)
+        return (levels == self._floor_vector()) & (blocked == 0)
+
+    def _legal_rows(self, levels):
+        in_mis = self._mis_mask_rows(levels)
+        dominated = self._received_legacy(in_mis.astype(np.int32)) > 0
+        others_ok = (levels == self.ell_max) & dominated
+        return np.all(in_mis | others_ok, axis=1)
+
+    def step(self, active=None, active_idx=None):
+        # ``active_idx`` comes from the shared run loop; deriving it from
+        # the mask (as the pre-kernel step did) is equivalent.
+        if active_idx is None:
+            if active is None:
+                active_idx = np.arange(self.replicas)
+            else:
+                active_idx = np.nonzero(np.asarray(active, dtype=bool))[0]
+        if active_idx.size == 0:
+            return np.zeros((0, self.n), dtype=bool)
+
+        levels = self.levels[active_idx]
+        draws = np.empty((active_idx.size, self.n), dtype=np.float64)
+        for i, r in enumerate(active_idx):
+            draws[i] = self.rngs[r].random(self.n)
+
+        if self._single:
+            exponent = np.clip(levels, 0, MAX_EXPONENT).astype(np.float64)
+            p = np.power(2.0, -exponent)
+            p[levels <= 0] = 1.0
+            p[levels >= self.ell_max] = 0.0
+            beeps = draws < p
+            heard = self._received_legacy(beeps.astype(np.int32)) > 0
+            up = np.minimum(levels + 1, self.ell_max)
+            down = np.maximum(levels - 1, 1)
+            new_levels = np.where(heard, up, np.where(beeps, -self.ell_max, down))
+            beep1 = beeps
+        else:
+            exponent = np.clip(levels, 0, MAX_EXPONENT).astype(np.float64)
+            p1 = np.power(2.0, -exponent)
+            active_band = (levels > 0) & (levels < self.ell_max)
+            beep1 = active_band & (draws < p1)
+            beep2 = levels == 0
+            stacked = np.concatenate(
+                [beep1.astype(np.int32), beep2.astype(np.int32)], axis=0
+            )
+            heard = self._received_legacy(stacked) > 0
+            heard1 = heard[: active_idx.size]
+            heard2 = heard[active_idx.size :]
+            up = np.minimum(levels + 1, self.ell_max)
+            down = np.maximum(levels - 1, 1)
+            new_levels = np.where(
+                heard2,
+                self.ell_max,
+                np.where(
+                    heard1,
+                    up,
+                    np.where(beep1, 0, np.where(~beep2, down, levels)),
+                ),
+            )
+
+        self.levels[active_idx] = new_levels
+        self.round_index += 1
+        return beep1
+
+
+class LegacyStabilizationRounds(StabilizationRounds):
+    """``StabilizationRounds`` batch path on :class:`LegacyBatchedEngine`."""
+
+    def measure_batch(self, config, seed_sequences):
+        graph = graph_for_config(config)
+        policy = self._policy(config, graph)
+        engine = LegacyBatchedEngine(
+            graph,
+            policy,
+            seed_sequences=list(seed_sequences),
+            algorithm="two_channel" if self.variant == "two_channel" else "single",
+        )
+        block = engine.run(
+            max_rounds=self.max_rounds, arbitrary_start=self.arbitrary_start
+        )
+        return [self._check(outcome, config) for outcome in block]
+
+
+# ----------------------------------------------------------------------
+# Kernel × engine × size grid (structure cache cold vs warm)
+# ----------------------------------------------------------------------
+def _grid_run(engine_label, kernel, graph, policy):
+    if engine_label == "batched":
+        engine = BatchedEngine(
+            graph, policy, replicas=GRID_REPLICAS, seed=1, kernel=kernel
+        )
+        for _ in range(GRID_ROUNDS):
+            engine.step()
+        return
+    cls = SingleChannelEngine if engine_label == "single" else TwoChannelEngine
+    engine = cls(graph, policy, seed=1, kernel=kernel)
+    for _ in range(GRID_ROUNDS):
+        engine.step()
+
+
+def kernel_grid(sizes, pairs=3):
+    """Cold/warm wall-clock per kernel × engine × size (median of pairs)."""
+    rows = []
+    for n in sizes:
+        graph = by_name("er", n, seed=seed_for("E10g", n))
+        policy = max_degree_policy(graph, c1=8)
+        for engine_label in ("single", "two_channel", "batched"):
+            for kernel in available_kernels():
+                _grid_run(engine_label, kernel, graph, policy)  # warmup
+                cold, warm = [], []
+                for _ in range(pairs):
+                    clear_structure_cache()
+                    start = time.perf_counter()
+                    _grid_run(engine_label, kernel, graph, policy)
+                    cold.append(time.perf_counter() - start)
+                    start = time.perf_counter()
+                    _grid_run(engine_label, kernel, graph, policy)
+                    warm.append(time.perf_counter() - start)
+                rows.append(
+                    {
+                        "bench": "grid",
+                        "engine": engine_label,
+                        "kernel": kernel,
+                        "n": n,
+                        "rounds": GRID_ROUNDS,
+                        "cache_cold_ms": round(1e3 * sorted(cold)[len(cold) // 2], 3),
+                        "cache_warm_ms": round(1e3 * sorted(warm)[len(warm) // 2], 3),
+                    }
+                )
+    return rows
+
+
+def grid_table(rows):
+    body = [
+        [
+            r["engine"], r["kernel"], r["n"],
+            f"{r['cache_cold_ms']:.2f}", f"{r['cache_warm_ms']:.2f}",
+        ]
+        for r in rows
+    ]
+    return format_table(
+        ["engine", "kernel", "n", "cache-cold ms", "cache-warm ms"],
+        body,
+        title=f"hear-kernel grid ({GRID_ROUNDS} rounds/cell)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Theorem-2.1 smoke sweep: legacy sparse path vs bitset (+ shm pool)
+# ----------------------------------------------------------------------
+def _timed_sweep(measure, pool=None):
+    configs = [{"family": "er", "n": n} for n in SPEEDUP_SIZES]
+    start = time.perf_counter()
+    result = run_sweep(
+        configs,
+        measure,
+        repetitions=SPEEDUP_REPS,
+        master_seed=MASTER_SEED,
+        executor="batched",
+        pool=pool,
+    )
+    seconds = time.perf_counter() - start
+    return seconds, [list(cell.samples) for cell in result.cells]
+
+
+def sweep_speedup(pairs=3):
+    """(rows, speedup, shm_speedup, identical) for the smoke sweep."""
+    configs = [{"family": "er", "n": n} for n in SPEEDUP_SIZES]
+    legacy_measure = LegacyStabilizationRounds(variant="max_degree")
+    new_measure = StabilizationRounds(variant="max_degree", kernel="bitset")
+    graphs = [graph_for_config(config) for config in configs]
+
+    with SweepPool(jobs=1, graphs=graphs) as pool:
+        _timed_sweep(legacy_measure)  # warmup
+        _timed_sweep(new_measure)
+        _timed_sweep(new_measure, pool=pool)
+        measurements = []  # (legacy_s, new_s, shm_s) adjacent triples
+        samples = {}
+        for _ in range(pairs):
+            legacy_s, samples["legacy"] = _timed_sweep(legacy_measure)
+            new_s, samples["new"] = _timed_sweep(new_measure)
+            shm_s, samples["shm"] = _timed_sweep(new_measure, pool=pool)
+            measurements.append((legacy_s, new_s, shm_s))
+
+    identical = (
+        samples["new"] == samples["legacy"] and samples["shm"] == samples["legacy"]
+    )
+    ratios = sorted(t[0] / t[1] for t in measurements)
+    shm_ratios = sorted(t[0] / t[2] for t in measurements)
+    speedup = ratios[len(ratios) // 2]
+    shm_speedup = shm_ratios[len(shm_ratios) // 2]
+    median = sorted(measurements, key=lambda t: t[0] / t[1])[len(measurements) // 2]
+    samples_total = SPEEDUP_REPS * len(SPEEDUP_SIZES)
+    rows = [
+        {
+            "bench": "thm21_sweep",
+            "path": "legacy_sparse_int32",
+            "wall_seconds": round(median[0], 4),
+            "samples": samples_total,
+        },
+        {
+            "bench": "thm21_sweep",
+            "path": "batched_bitset",
+            "wall_seconds": round(median[1], 4),
+            "samples": samples_total,
+            "speedup_vs_legacy": round(speedup, 2),
+            "samples_identical_to_legacy": identical,
+        },
+        {
+            "bench": "thm21_sweep",
+            "path": "batched_bitset_shm_pool",
+            "wall_seconds": round(median[2], 4),
+            "samples": samples_total,
+            "speedup_vs_legacy": round(shm_speedup, 2),
+            "samples_identical_to_legacy": identical,
+        },
+    ]
+    return rows, speedup, shm_speedup, identical
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark smoke entry
+# ----------------------------------------------------------------------
+def bench_bitset_hear_rows(benchmark):
+    """Smoke: one bitset hear_rows block on the n=256 grid graph."""
+    from repro.core.kernels import make_kernel, structure_for
+
+    graph = by_name("er", 256, seed=seed_for("E10g", 256))
+    structure = structure_for(graph)
+    kernel = make_kernel("bitset", structure)
+    rng = np.random.default_rng(0)
+    rows = rng.random((GRID_REPLICAS, structure.n)) < 0.25
+    out = np.empty_like(rows)
+    heard = benchmark(lambda: kernel.hear_rows(rows, out=out))
+    benchmark.extra_info["n"] = structure.n
+    benchmark.extra_info["replicas"] = GRID_REPLICAS
+    assert out.flags.c_contiguous
+
+
+# ----------------------------------------------------------------------
+def run_experiment(full: bool = False) -> None:
+    print_header(
+        "E10 (kernels)",
+        "hear-kernel grid + structure cache + shared-memory sweep speedup",
+    )
+    sizes = GRID_SIZES_FULL if full else GRID_SIZES_SMOKE
+    grid_rows = kernel_grid(sizes)
+    print(grid_table(grid_rows))
+    print()
+
+    sweep_rows, speedup, shm_speedup, identical = sweep_speedup()
+    legacy_s = sweep_rows[0]["wall_seconds"]
+    new_s = sweep_rows[1]["wall_seconds"]
+    shm_s = sweep_rows[2]["wall_seconds"]
+    print(
+        f"Theorem-2.1 smoke sweep ({len(SPEEDUP_SIZES)} sizes × "
+        f"{SPEEDUP_REPS} seeds, batched executor):"
+    )
+    print(f"  legacy sparse_int32 path : {legacy_s:.3f}s")
+    print(f"  bitset kernel            : {new_s:.3f}s  ({speedup:.1f}x)")
+    print(f"  bitset + shm worker pool : {shm_s:.3f}s  ({shm_speedup:.1f}x)")
+    print(f"sweep outputs byte-identical across paths: {'PASS' if identical else 'FAIL'}")
+    bar_ok = speedup >= 2.0
+    print(
+        f"speedup vs legacy sparse path: {speedup:.1f}x — "
+        f"{'PASS' if bar_ok else 'FAIL'} (bar: >= 2x)"
+    )
+
+    path = save_bench_rows(
+        "kernels",
+        grid_rows + sweep_rows,
+        parameters={
+            "grid_sizes": list(sizes),
+            "grid_rounds": GRID_ROUNDS,
+            "grid_replicas": GRID_REPLICAS,
+            "speedup_sizes": list(SPEEDUP_SIZES),
+            "speedup_reps": SPEEDUP_REPS,
+            "master_seed": MASTER_SEED,
+            "methodology": "median of adjacent pairs",
+        },
+    )
+    print(f"rows written to {path}")
+
+
+def main() -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="full grid sizes")
+    run_experiment(full=parser.parse_args().full)
+
+
+if __name__ == "__main__":
+    main()

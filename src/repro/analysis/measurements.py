@@ -77,6 +77,9 @@ class StabilizationRounds:
     slack: float = 1.0
     max_rounds: int = 200_000
     arbitrary_start: bool = True
+    #: Hear-kernel name forwarded to every engine (bit-identical across
+    #: kernels, so this is a pure performance knob).
+    kernel: str = "auto"
 
     # ------------------------------------------------------------------
     def _policy(
@@ -108,6 +111,7 @@ class StabilizationRounds:
             seed=rng,
             max_rounds=self.max_rounds,
             arbitrary_start=self.arbitrary_start,
+            kernel=self.kernel,
         )
         return self._check(outcome, config)
 
@@ -126,6 +130,7 @@ class StabilizationRounds:
             algorithm=algorithm,
             max_rounds=self.max_rounds,
             arbitrary_start=self.arbitrary_start,
+            kernel=self.kernel,
         )
         return [self._check(outcome, config) for outcome in block]
 
@@ -159,6 +164,7 @@ class StabilizationRounds:
             max_rounds=self.max_rounds,
             arbitrary_start=self.arbitrary_start,
             collector=collector,
+            kernel=self.kernel,
         )
         return self._check(outcome, config)
 
@@ -187,6 +193,7 @@ class StabilizationRounds:
             max_rounds=self.max_rounds,
             arbitrary_start=self.arbitrary_start,
             collector=collector,
+            kernel=self.kernel,
         )
         return [self._check(outcome, config) for outcome in block]
 
@@ -210,6 +217,8 @@ class FaultRecoveryRounds:
     fault: str = "random"
     engine: str = "reference"
     max_rounds: int = 200_000
+    #: Hear kernel for the vectorized path (the reference path has none).
+    kernel: str = "auto"
 
     def __call__(self, config: Mapping[str, Any], rng: np.random.Generator) -> float:
         graph = graph_for_config(config)
@@ -267,7 +276,7 @@ class FaultRecoveryRounds:
         engine_cls = (
             TwoChannelEngine if self.variant == "two_channel" else SingleChannelEngine
         )
-        engine = engine_cls(graph, policy, seed=rng)
+        engine = engine_cls(graph, policy, seed=rng, kernel=self.kernel)
         first = drive(engine, self.max_rounds, 1, False)
         if not first.stabilized:
             raise RuntimeError(f"initial stabilization failed: {dict(config)}")

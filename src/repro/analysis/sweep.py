@@ -42,14 +42,37 @@ Executors
 ``auto``
     ``batched`` if the measurement supports it, else ``process`` when
     ``jobs > 1``, else ``serial``.
+
+Shared-memory workers
+---------------------
+The parallel executors regenerate each configuration's graph inside
+every worker.  ``shared_graphs=True`` (or an explicit :class:`SweepPool`)
+instead exports each *distinct* graph's derived structure — edge list,
+CSR, packed bitset — into ``multiprocessing.shared_memory`` once, and a
+pool initializer seeds every worker's structure cache with zero-copy
+views (:mod:`repro.core.kernels.shm`).  A :class:`SweepPool` also makes
+the pool *persistent*: several ``run_sweep`` calls reuse the same
+workers and segments instead of re-spawning per sweep.  Samples are
+byte-identical with shared memory on or off — structures are read-only
+and carry no randomness — asserted by ``tests/test_sweep_executors.py``.
 """
 
 from __future__ import annotations
 
 import math
 from concurrent.futures import Future, ProcessPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -65,6 +88,7 @@ from .tables import format_table
 
 __all__ = [
     "SweepCell",
+    "SweepPool",
     "SweepResult",
     "run_sweep",
     "spawn_sweep_seeds",
@@ -149,6 +173,81 @@ def spawn_sweep_seeds(
     """The documented seed tree: ``[config][repetition] -> SeedSequence``."""
     root = np.random.SeedSequence(master_seed)
     return [child.spawn(repetitions) for child in root.spawn(num_configs)]
+
+
+class SweepPool:
+    """A persistent worker pool with shared-memory graph structures.
+
+    Construct once, pass to any number of :func:`run_sweep` calls via
+    ``pool=``, and :meth:`close` (or use as a context manager) when
+    done.  The constructor exports the distinct ``graphs``' derived
+    structures into shared memory (``shared_graphs=True``, the default)
+    and arms a pool initializer that seeds each worker's structure cache
+    with zero-copy views onto the segments.
+
+    Lifecycle: the parent owns the segments — :meth:`close` shuts the
+    pool down *first* and unlinks the segments after, so no worker ever
+    outlives the memory it maps.  See ``docs/performance.md``.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        graphs: Sequence[Any] = (),
+        shared_graphs: bool = True,
+    ) -> None:
+        from ..core.kernels import export_structures, seed_worker_structures
+
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self._shared = (
+            export_structures(list(graphs)) if (shared_graphs and graphs) else None
+        )
+        if self._shared is not None and self._shared.manifests:
+            self._pool = ProcessPoolExecutor(
+                max_workers=jobs,
+                initializer=seed_worker_structures,
+                initargs=(tuple(self._shared.manifests),),
+            )
+        else:
+            self._pool = ProcessPoolExecutor(max_workers=jobs)
+
+    @property
+    def executor(self) -> ProcessPoolExecutor:
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the pool down, then unlink the shared segments."""
+        self._pool.shutdown(wait=True)
+        if self._shared is not None:
+            self._shared.close()
+            self._shared = None
+
+    def __enter__(self) -> "SweepPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def _graphs_for_configs(configs: Sequence[Mapping[str, Any]]) -> List[Any]:
+    """Best-effort graph list for a config grid (for structure export).
+
+    Configurations a measurement resolves through
+    :func:`repro.analysis.measurements.graph_for_config` share their
+    structures; anything unresolvable is simply skipped — workers then
+    rebuild that graph locally, exactly as without shared memory.
+    """
+    from .measurements import graph_for_config
+
+    graphs: List[Any] = []
+    for config in configs:
+        try:
+            graphs.append(graph_for_config(config))
+        except Exception:
+            continue
+    return graphs
 
 
 def supports_batch(measure: Measurement) -> bool:
@@ -263,6 +362,8 @@ def run_sweep(
     jobs: int = 1,
     executor: str = "auto",
     metrics: Optional[MetricsOptions] = None,
+    shared_graphs: bool = False,
+    pool: Optional[SweepPool] = None,
 ) -> SweepResult:
     """Run ``measure`` ``repetitions`` times per configuration.
 
@@ -297,6 +398,17 @@ def run_sweep(
         without metrics — collectors are zero-perturbation reads.
         Workers aggregate locally; payloads are merged here in config ×
         repetition order, so record order is executor-independent.
+    shared_graphs:
+        Ship each distinct configuration graph's derived structure to the
+        workers through shared memory (one export, zero-copy attach)
+        instead of rebuilding it per worker.  Builds an ephemeral
+        :class:`SweepPool` for this call; byte-identical samples either
+        way.  Ignored when ``pool`` is given (the pool already decided).
+    pool:
+        An existing :class:`SweepPool` to run on.  The pooled (process /
+        batched-parallel) code paths are used even when ``jobs == 1`` —
+        the pool's worker count governs — and the pool stays open for the
+        caller to reuse.  ``executor="serial"`` still means in-process.
     """
     if repetitions < 1:
         raise ValueError("repetitions must be >= 1")
@@ -304,7 +416,32 @@ def run_sweep(
         raise ValueError("jobs must be >= 1")
     configs = list(configs)
     seeds = spawn_sweep_seeds(master_seed, len(configs), repetitions)
-    chosen = _resolve_executor(executor, measure, jobs)
+    effective_jobs = pool.jobs if pool is not None else jobs
+    chosen = _resolve_executor(executor, measure, effective_jobs)
+    owned_pool: Optional[SweepPool] = None
+    if pool is None and shared_graphs and chosen != "serial":
+        owned_pool = SweepPool(jobs, graphs=_graphs_for_configs(configs))
+        pool = owned_pool
+    try:
+        return _run_sweep_cells(
+            configs, measure, seeds, chosen, effective_jobs, metrics,
+            pool, progress,
+        )
+    finally:
+        if owned_pool is not None:
+            owned_pool.close()
+
+
+def _run_sweep_cells(
+    configs: Sequence[Mapping[str, Any]],
+    measure: Measurement,
+    seeds: List[List[np.random.SeedSequence]],
+    chosen: str,
+    jobs: int,
+    metrics: Optional[MetricsOptions],
+    pool: Optional[SweepPool],
+    progress: Optional[Callable[[str], None]],
+) -> SweepResult:
     if metrics is not None:
         if not supports_observation(measure):
             raise ValueError(
@@ -319,26 +456,34 @@ def run_sweep(
                 "measure_batch_observed()"
             )
 
+    # An explicit pool forces the worker-pool code paths even at
+    # ``jobs == 1`` (so the shared-memory transport is actually
+    # exercised); a "serial" resolution always stays in-process.
+    executor_obj = pool.executor if pool is not None and chosen != "serial" else None
     payloads: List[Mapping[str, Any]] = []
     if metrics is None:
-        if chosen == "serial" or jobs == 1:
+        if executor_obj is None and (chosen == "serial" or jobs == 1):
             per_config = _run_cells_serial(configs, measure, seeds, chosen)
-        elif chosen == "process":
-            per_config = _run_cells_process(configs, measure, seeds, jobs)
-        else:  # batched + jobs > 1: per-config blocks over workers
-            per_config = _run_cells_batched_parallel(configs, measure, seeds, jobs)
+        elif chosen == "batched":
+            per_config = _run_cells_batched_parallel(
+                configs, measure, seeds, jobs, executor_obj
+            )
+        else:  # process cells over workers
+            per_config = _run_cells_process(
+                configs, measure, seeds, jobs, executor_obj
+            )
     else:
-        if chosen == "serial" or jobs == 1:
+        if executor_obj is None and (chosen == "serial" or jobs == 1):
             per_config, payloads = _run_cells_serial_observed(
                 configs, measure, seeds, chosen, metrics
             )
-        elif chosen == "process":
-            per_config, payloads = _run_cells_process_observed(
-                configs, measure, seeds, jobs, metrics
+        elif chosen == "batched":
+            per_config, payloads = _run_cells_batched_parallel_observed(
+                configs, measure, seeds, jobs, metrics, executor_obj
             )
         else:
-            per_config, payloads = _run_cells_batched_parallel_observed(
-                configs, measure, seeds, jobs, metrics
+            per_config, payloads = _run_cells_process_observed(
+                configs, measure, seeds, jobs, metrics, executor_obj
             )
 
     result = SweepResult()
@@ -374,16 +519,29 @@ def _run_cells_serial(
     ]
 
 
+@contextmanager
+def _pool_for(
+    jobs: int, existing: Optional[ProcessPoolExecutor]
+) -> Iterator[ProcessPoolExecutor]:
+    """An executor to submit to: the caller's pool, or an owned one."""
+    if existing is not None:
+        yield existing
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as owned:
+            yield owned
+
+
 def _run_cells_process(
     configs: Sequence[Mapping[str, Any]],
     measure: Measurement,
     seeds: List[List[np.random.SeedSequence]],
     jobs: int,
+    executor_obj: Optional[ProcessPoolExecutor] = None,
 ) -> List[List[float]]:
     """(config, seed-chunk) cells over a process pool, order-preserving."""
     repetitions = len(seeds[0]) if seeds else 0
     chunk = max(1, math.ceil(repetitions / jobs))
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
+    with _pool_for(jobs, executor_obj) as pool:
         futures: List[List["Future[List[float]]"]] = []
         for config, children in zip(configs, seeds):
             futures.append(
@@ -403,9 +561,10 @@ def _run_cells_batched_parallel(
     measure: Measurement,
     seeds: List[List[np.random.SeedSequence]],
     jobs: int,
+    executor_obj: Optional[ProcessPoolExecutor] = None,
 ) -> List[List[float]]:
     """Whole repetition blocks through measure_batch, one task per config."""
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
+    with _pool_for(jobs, executor_obj) as pool:
         futures = [
             pool.submit(_measure_batch_block, measure, config, children)
             for config, children in zip(configs, seeds)
@@ -443,10 +602,11 @@ def _run_cells_process_observed(
     seeds: List[List[np.random.SeedSequence]],
     jobs: int,
     spec: MetricsOptions,
+    executor_obj: Optional[ProcessPoolExecutor] = None,
 ) -> Tuple[List[List[float]], List[Mapping[str, Any]]]:
     repetitions = len(seeds[0]) if seeds else 0
     chunk = max(1, math.ceil(repetitions / jobs))
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
+    with _pool_for(jobs, executor_obj) as pool:
         futures: List[
             List["Future[Tuple[List[float], Mapping[str, Any]]]"]
         ] = []
@@ -482,8 +642,9 @@ def _run_cells_batched_parallel_observed(
     seeds: List[List[np.random.SeedSequence]],
     jobs: int,
     spec: MetricsOptions,
+    executor_obj: Optional[ProcessPoolExecutor] = None,
 ) -> Tuple[List[List[float]], List[Mapping[str, Any]]]:
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
+    with _pool_for(jobs, executor_obj) as pool:
         futures = [
             pool.submit(_observed_batch_block, measure, config, children, spec)
             for config, children in zip(configs, seeds)

@@ -102,6 +102,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="boot from level 1 instead of an arbitrary configuration")
     run_p.add_argument("--engine", choices=available_engines(), default="vectorized",
                        help="execution backend (registered engines)")
+    run_p.add_argument("--kernel", choices=["auto", "sparse", "dense", "bitset"],
+                       default="auto",
+                       help="hear kernel (bit-identical results; perf only)")
     run_p.add_argument("--reps", type=int, default=1,
                        help="independent repetitions; > 1 prints a summary")
     run_p.add_argument("--jobs", type=int, default=1,
@@ -124,6 +127,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "vectorized: solo runs (parallel with --jobs)")
     sweep_p.add_argument("--jobs", type=int, default=1,
                          help="worker processes for the sweep executor")
+    sweep_p.add_argument("--kernel", choices=["auto", "sparse", "dense", "bitset"],
+                         default="auto",
+                         help="hear kernel (bit-identical results; perf only)")
+    sweep_p.add_argument("--shared-graphs", action="store_true",
+                         help="ship graph structures to workers via shared "
+                              "memory (parallel executors only)")
     add_metrics_args(sweep_p)
 
     recover_p = sub.add_parser("recover", help="fault-injection recovery measurement")
@@ -239,6 +248,7 @@ def _cmd_run(args) -> int:
                 engine=args.engine,
                 policy=policy,
                 collector=collector,
+                kernel=None if args.kernel == "auto" else args.kernel,
             )
         profiler.add_rounds(result.rounds)
     else:
@@ -249,6 +259,7 @@ def _cmd_run(args) -> int:
             arbitrary_start=not args.fresh_start,
             c1=args.c1,
             engine=args.engine,
+            kernel=None if args.kernel == "auto" else args.kernel,
         )
     print(
         f"{args.family}(n={graph.num_vertices}, m={graph.num_edges}) "
@@ -271,7 +282,8 @@ def _cmd_run_repeated(args, graph) -> int:
         print("--reps > 1 requires a vectorized/batched engine", file=sys.stderr)
         return 2
     measure = StabilizationRounds(
-        variant=args.variant, c1=args.c1, arbitrary_start=not args.fresh_start
+        variant=args.variant, c1=args.c1,
+        arbitrary_start=not args.fresh_start, kernel=args.kernel,
     )
     config = {"family": args.family, "n": args.n, "graph_seed": args.graph_seed}
     executor = "batched" if args.engine == "batched" else (
@@ -298,7 +310,7 @@ def _cmd_run_watch(args, graph) -> int:
     engine_cls = (
         TwoChannelEngine if args.variant == "two_channel" else SingleChannelEngine
     )
-    engine = engine_cls(graph, policy, seed=args.seed)
+    engine = engine_cls(graph, policy, seed=args.seed, kernel=args.kernel)
     if not args.fresh_start:
         engine.randomize_levels()
     snapshots = [list(int(x) for x in engine.levels)]
@@ -321,7 +333,9 @@ def _cmd_sweep(args) -> int:
         print("no sizes given", file=sys.stderr)
         return 2
 
-    measure = StabilizationRounds(variant=args.variant, c1=args.c1)
+    measure = StabilizationRounds(
+        variant=args.variant, c1=args.c1, kernel=args.kernel
+    )
     executor = "batched" if args.engine == "batched" else (
         "process" if args.jobs > 1 else "serial"
     )
@@ -329,6 +343,7 @@ def _cmd_sweep(args) -> int:
         [{"family": args.family, "n": n} for n in sizes],
         measure, repetitions=args.reps, master_seed=args.seed,
         jobs=args.jobs, executor=executor, metrics=_metrics_options(args),
+        shared_graphs=args.shared_graphs,
     )
     print(sweep.to_table(
         ["n"], title=f"{args.family} / {args.variant}: stabilization rounds"

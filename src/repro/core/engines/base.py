@@ -29,7 +29,7 @@ import numpy.typing as npt
 
 from ...devtools.seeding import SeedLike, resolve_rng
 from ...graphs.graph import Graph
-from ...graphs.io import to_sparse_adjacency
+from ..kernels import HearKernel, make_kernel, structure_for
 from ..knowledge import EllMaxPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -95,25 +95,42 @@ class EngineBase:
     #: "-ell_max" or 0 — resolved per-vertex in :meth:`_floor_vector`.
     uses_negative_levels = True
 
-    def __init__(self, graph: Graph, policy: EllMaxPolicy, seed: SeedLike = None):
+    def __init__(
+        self,
+        graph: Graph,
+        policy: EllMaxPolicy,
+        seed: SeedLike = None,
+        kernel: str = "auto",
+    ):
         if policy.num_vertices != graph.num_vertices:
             raise ValueError("policy size does not match graph size")
         self.graph = graph
         self.n = graph.num_vertices
-        self.adjacency = to_sparse_adjacency(graph)
+        # All derived adjacency forms come from the shared, content-keyed
+        # structure cache; ``adjacency`` stays as the public alias every
+        # existing consumer (collectors, tests) reads.  Shared structures
+        # are read-only by contract.
+        self.structure = structure_for(graph)
+        self.adjacency = self.structure.csr
+        self.kernel: HearKernel = make_kernel(kernel, self.structure)
         self.ell_max: npt.NDArray[np.int64] = np.asarray(
             policy.ell_max, dtype=np.int64
         )
         self.rng = resolve_rng(seed)
         self.levels: npt.NDArray[np.int64] = np.ones(self.n, dtype=np.int64)
         self.round_index = 0
+        self._floor: npt.NDArray[np.int64] = (
+            -self.ell_max
+            if self.uses_negative_levels
+            else np.zeros_like(self.ell_max)
+        )
 
     # ------------------------------------------------------------------
     # Level management
     # ------------------------------------------------------------------
     def _floor_vector(self) -> npt.NDArray[np.int64]:
-        """Per-vertex lowest admissible level."""
-        return -self.ell_max if self.uses_negative_levels else np.zeros_like(self.ell_max)
+        """Per-vertex lowest admissible level (cached; treat as read-only)."""
+        return self._floor
 
     def set_levels(self, levels: npt.ArrayLike) -> None:
         """Install a level vector (values are validated, not clamped)."""
@@ -146,22 +163,35 @@ class EngineBase:
     # neighbor below ℓmax.
     # ------------------------------------------------------------------
     def mis_mask(self) -> npt.NDArray[np.bool_]:
-        """Boolean mask of ``I_t`` (paper Section 3), vectorized."""
-        not_at_max = (self.levels != self.ell_max).astype(np.int32)
-        blocked = self.adjacency.dot(not_at_max)
-        return (self.levels == self._floor_vector()) & (blocked == 0)
+        """Boolean mask of ``I_t`` (paper Section 3), vectorized.
+
+        ``blocked == 0`` (no neighbor below ℓmax) is exactly "did not
+        hear the below-ℓmax mask" — a hear-kernel call, not a count.
+        """
+        blocked = self.kernel.hear(self.levels != self.ell_max)
+        return (self.levels == self._floor) & ~blocked
 
     def stable_mask(self) -> npt.NDArray[np.bool_]:
         """Boolean mask of ``S_t = I_t ∪ N(I_t)``."""
         in_mis = self.mis_mask()
-        dominated = self.adjacency.dot(in_mis.astype(np.int32)) > 0
+        dominated = self.kernel.hear(in_mis)
         return in_mis | dominated
 
     def is_legal(self) -> bool:
-        """Legal iff S_t covers all vertices and the rest sit at ℓmax."""
+        """Legal iff S_t covers all vertices and the rest sit at ℓmax.
+
+        Prune: a legal configuration puts every vertex at its floor (MIS
+        members) or at ℓmax (dominated vertices) — a necessary condition
+        costing one comparison pass.  While any level sits strictly
+        between the two (every converging round), the kernel calls are
+        skipped entirely; when it holds, the full predicate decides.
+        """
+        levels = self.levels
+        if not bool(np.all((levels == self._floor) | (levels == self.ell_max))):
+            return False
         in_mis = self.mis_mask()
-        dominated = self.adjacency.dot(in_mis.astype(np.int32)) > 0
-        others_ok = (self.levels == self.ell_max) & dominated
+        dominated = self.kernel.hear(in_mis)
+        others_ok = (levels == self.ell_max) & dominated
         return bool(np.all(in_mis | others_ok))
 
     def mis_vertices(self) -> FrozenSet[int]:

@@ -1,10 +1,11 @@
-"""Multi-replica batched engine: R independent runs, one matmul a round.
+"""Multi-replica batched engine: R independent runs, one hear a round.
 
 Repetition blocks dominate every sweep behind Theorems 2.1/2.2 and
 Corollary 2.3: the same graph and policy are simulated for 20+ seeds.
 :class:`BatchedEngine` runs R such replicas simultaneously as an
 ``(R, n)`` level matrix, so the per-round reception of *all* replicas is
-one ``beeps @ A`` sparse matmul instead of R separate matvecs.
+one :meth:`~repro.core.kernels.HearKernel.hear_rows` call instead of R
+separate matvecs.
 
 Bit-identical replica contract
 ------------------------------
@@ -12,26 +13,27 @@ Each replica owns its own ``numpy.random.Generator``, spawned from one
 ``SeedSequence`` (``SeedSequence(seed).spawn(replicas)`` unless explicit
 child sequences are given), and consumes randomness in exactly the solo
 order: one optional ``integers`` draw for the arbitrary start, then one
-``random(n)`` call per round.  Replica ``k`` therefore produces the
-*bit-identical* trajectory, round count, and MIS of a solo
-:func:`~repro.core.engines.single.simulate_single` /
+``random`` call filling ``n`` doubles per round.  Replica ``k``
+therefore produces the *bit-identical* trajectory, round count, and MIS
+of a solo :func:`~repro.core.engines.single.simulate_single` /
 :func:`~repro.core.engines.two_channel.simulate_two_channel` run seeded
 with ``np.random.default_rng(children[k])`` — asserted by
 ``tests/test_batched_engine.py``.  This is what makes the batched sweep
-executor byte-identical to the serial one.
+executor byte-identical to the serial one.  The same contract holds for
+every registered hear kernel (``tests/test_kernels.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, cast
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple, cast
 
 import numpy as np
 import numpy.typing as npt
 
 from ...devtools.seeding import SeedSpec, as_seed_sequence, rng_from_sequence
 from ...graphs.graph import Graph
-from ...graphs.io import to_sparse_adjacency
+from ..kernels import HearKernel, make_kernel, structure_for
 from ..knowledge import EllMaxPolicy
 from .base import MAX_EXPONENT, VectorizedResult
 
@@ -87,6 +89,10 @@ class BatchedEngine:
         *same* children to batched and solo paths.
     algorithm:
         ``"single"`` (Algorithm 1) or ``"two_channel"`` (Algorithm 2).
+    kernel:
+        Hear-kernel name (:mod:`repro.core.kernels`); ``"auto"`` picks
+        by graph size/density and the replica count.  Trajectories are
+        bit-identical for every kernel.
     """
 
     def __init__(
@@ -97,6 +103,7 @@ class BatchedEngine:
         seed: SeedSpec = None,
         seed_sequences: Optional[Sequence[np.random.SeedSequence]] = None,
         algorithm: str = "single",
+        kernel: str = "auto",
     ):
         if policy.num_vertices != graph.num_vertices:
             raise ValueError("policy size does not match graph size")
@@ -116,21 +123,105 @@ class BatchedEngine:
         self.n = graph.num_vertices
         self.replicas = len(seed_sequences)
         self.algorithm = algorithm
-        self.adjacency = to_sparse_adjacency(graph)
-        # ``rows @ A`` via scipy's __rmatmul__ would materialize A.T on
-        # every call; precompute it once (CSR for fast dense products).
-        self._adj_t = self.adjacency.transpose().tocsr()
+        # Derived adjacency forms come from the shared structure cache;
+        # ``adjacency``/``_adj_t`` stay as the aliases collectors and
+        # tests read (the matrix is symmetric, so both are one object).
+        self.structure = structure_for(graph)
+        self.adjacency = self.structure.csr
+        self._adj_t = self.structure.csr_t
+        self.kernel: HearKernel = make_kernel(
+            kernel, self.structure, replicas=self.replicas
+        )
         self.ell_max = np.asarray(policy.ell_max, dtype=np.int64)
         self.rngs = [rng_from_sequence(s) for s in seed_sequences]
-        self.levels = np.ones((self.replicas, self.n), dtype=np.int64)
+        # Levels are stored as int32: they live in [−ℓmax, ℓmax], far
+        # inside int32 range, and the per-round update is memory-bound —
+        # halving the element width halves the traffic of every gather,
+        # arithmetic op, and scatter below.  All arithmetic is exact, so
+        # trajectories are bit-identical to the int64 layout; consumers
+        # that need int64 (observability, result comparison) cast at
+        # their own boundary.
+        self.levels = np.ones((self.replicas, self.n), dtype=np.int32)
         self.round_index = 0
         self._single = algorithm == "single"
+        self._floor: npt.NDArray[np.int64] = (
+            -self.ell_max if self._single else np.zeros_like(self.ell_max)
+        )
+        self._ell_max32 = self.ell_max.astype(np.int32)
+        self._floor32 = self._floor.astype(np.int32)
+        # Round-scratch buffers, reused every step: the uniform draws,
+        # the hear output (two channels stack beep1/beep2, hence 2R rows),
+        # and the level-update intermediates.  Only the beep matrix is
+        # freshly allocated per round — it escapes to collectors.
+        self._draws = np.empty((self.replicas, self.n), dtype=np.float64)
+        self._heard = np.empty((2 * self.replicas, self.n), dtype=bool)
+        self._stack = (
+            None
+            if self._single
+            else np.empty((2 * self.replicas, self.n), dtype=bool)
+        )
+        self._up = np.empty((self.replicas, self.n), dtype=np.int32)
+        self._down = np.empty((self.replicas, self.n), dtype=np.int32)
+        self._sel = np.empty((self.replicas, self.n), dtype=np.int32)
+        self._p_idx = np.empty((self.replicas, self.n), dtype=np.int32)
+        self._p_buf = np.empty((self.replicas, self.n), dtype=np.float64)
+        self._neg_ell_max = -self._ell_max32
+        # Per-replica block pre-draw: each replica's uniforms are pulled
+        # from its own generator ``_draw_block`` rounds at a time, then
+        # served round by round from ``_blocks``.  A replica only ever
+        # consumes a contiguous prefix of its stream (retired replicas
+        # never step again), so the values each round sees — and hence
+        # every trajectory — are bit-identical to drawing one ``random``
+        # per round; only the Python call overhead is amortized.  The
+        # generator may end up to ``_draw_block − 1`` rounds ahead of the
+        # last consumed draw, which nothing downstream observes.
+        self._draw_block = max(1, 16384 // max(1, self.n))
+        self._blocks = np.empty(
+            (self.replicas, self._draw_block, self.n), dtype=np.float64
+        )
+        self._cursor = np.full(self.replicas, self._draw_block, dtype=np.intp)
+        self._draw_fns = [rng.random for rng in self.rngs]
+        # Candidate MIS rows stashed by the last ``_legal_rows`` call
+        # (None when that pass found no candidates or never ran).
+        self._mis_scratch: Optional[
+            Tuple[npt.NDArray[np.intp], npt.NDArray[np.bool_]]
+        ] = None
+        self._p_table = self._build_p_table()
+
+    def _build_p_table(self) -> Optional[npt.NDArray[np.float64]]:
+        """Beep-probability lookup table for uniform-ℓmax policies.
+
+        With one global ``L = ℓmax`` the Figure-1 activation depends only
+        on the level, so ``p = table[level + L]`` replaces the per-round
+        clip/power/masked-assignment chain with a single fancy index.
+        Entries are computed by the *same* ``np.power`` call as the
+        direct formula, so probabilities are bit-identical:
+
+        * ``table[0..L] = 1.0`` (levels ≤ 0 beep always);
+        * ``table[L+k] = 2^−k`` for ``0 < k < L``;
+        * ``table[2L] = 0.0`` (level ℓmax never beeps on channel 1).
+
+        The two-channel engine indexes the same table (levels ∈ [0, L]):
+        level 0 maps to 1.0 = 2^0 and the 0.0 entry at level L is masked
+        out by the activity band, exactly as in the direct formula.
+        """
+        if self.ell_max.size == 0:
+            return None
+        lo = int(self.ell_max.min())
+        hi = int(self.ell_max.max())
+        if lo != hi or hi < 1 or hi > MAX_EXPONENT:
+            return None
+        exponent = np.arange(2 * hi + 1, dtype=np.float64) - float(hi)
+        table = np.power(2.0, -np.clip(exponent, 0.0, float(MAX_EXPONENT)))
+        table[: hi + 1] = 1.0
+        table[2 * hi] = 0.0
+        return table
 
     # ------------------------------------------------------------------
     # Level management (mirrors EngineBase, one row per replica)
     # ------------------------------------------------------------------
     def _floor_vector(self) -> npt.NDArray[np.int64]:
-        return -self.ell_max if self._single else np.zeros_like(self.ell_max)
+        return self._floor
 
     def set_levels(self, levels: npt.ArrayLike) -> None:
         """Install an (R, n) level matrix (validated, not clamped)."""
@@ -140,7 +231,7 @@ class BatchedEngine:
         floor = self._floor_vector()
         if np.any(levels < floor) or np.any(levels > self.ell_max):
             raise ValueError("levels outside the admissible range")
-        self.levels = levels.copy()
+        self.levels = levels.astype(np.int32)
 
     def randomize_levels(self) -> None:
         """Per-replica uniform arbitrary configuration.
@@ -152,21 +243,29 @@ class BatchedEngine:
         floor = self._floor_vector()
         span = self.ell_max - floor + 1
         for r, rng in enumerate(self.rngs):
-            self.levels[r] = rng.integers(0, span, size=self.n).astype(np.int64) + floor
+            # Same ``integers`` call (and hence the same drawn values) as
+            # the solo engines; the shift lands straight in the level row.
+            np.add(rng.integers(0, span, size=self.n), floor, out=self.levels[r])
 
     # ------------------------------------------------------------------
     # Batched stability structure: all masks are (R', n) row blocks.
     # ------------------------------------------------------------------
     def _received(self, rows: npt.NDArray[np.int32]) -> npt.NDArray[np.int32]:
-        """``rows @ A`` for an (R', n) int block, one sparse product."""
-        return self._adj_t.dot(rows.T).T
+        """``rows @ A`` for an (R', n) int block, C-contiguous output.
+
+        Back-compat count interface (the kernels return booleans); the
+        transpose happens *before* the sparse product so the result needs
+        no trailing copy.
+        """
+        cols = np.ascontiguousarray(rows.T)
+        received = self._adj_t.dot(cols)
+        return np.ascontiguousarray(received.T)
 
     def _mis_mask_rows(
-        self, levels: npt.NDArray[np.int64]
+        self, levels: npt.NDArray[np.int32]
     ) -> npt.NDArray[np.bool_]:
-        not_at_max = (levels != self.ell_max).astype(np.int32)
-        blocked = self._received(not_at_max)
-        return (levels == self._floor_vector()) & (blocked == 0)
+        blocked = self.kernel.hear_rows(levels != self._ell_max32)
+        return (levels == self._floor32) & ~blocked
 
     def mis_mask(self) -> npt.NDArray[np.bool_]:
         """Boolean (R, n) mask of ``I_t`` per replica."""
@@ -175,16 +274,32 @@ class BatchedEngine:
     def stable_mask(self) -> npt.NDArray[np.bool_]:
         """Boolean (R, n) mask of ``S_t = I_t ∪ N(I_t)`` per replica."""
         in_mis = self.mis_mask()
-        dominated = self._received(in_mis.astype(np.int32)) > 0
+        dominated = self.kernel.hear_rows(in_mis)
         return in_mis | dominated
 
     def _legal_rows(
-        self, levels: npt.NDArray[np.int64]
+        self, levels: npt.NDArray[np.int32]
     ) -> npt.NDArray[np.bool_]:
-        in_mis = self._mis_mask_rows(levels)
-        dominated = self._received(in_mis.astype(np.int32)) > 0
-        others_ok = (levels == self.ell_max) & dominated
-        return np.all(in_mis | others_ok, axis=1)
+        # Prune (same necessary condition as EngineBase.is_legal): a
+        # legal row holds only floor/ℓmax levels.  Rows failing it — in
+        # practice every still-converging replica — skip the hear calls.
+        candidates = np.all(
+            (levels == self._floor32) | (levels == self._ell_max32), axis=1
+        )
+        legal = np.zeros(levels.shape[0], dtype=bool)
+        self._mis_scratch = None
+        if not candidates.any():
+            return legal
+        rows = levels if candidates.all() else levels[candidates]
+        in_mis = self._mis_mask_rows(rows)
+        dominated = self.kernel.hear_rows(in_mis)
+        others_ok = (rows == self._ell_max32) & dominated
+        legal[candidates] = np.all(in_mis | others_ok, axis=1)
+        # Stash the candidate MIS rows (positions relative to ``levels``)
+        # so the run loop can read a retiring replica's MIS straight out
+        # of this legality pass instead of re-deriving it per replica.
+        self._mis_scratch = (np.flatnonzero(candidates), in_mis)
+        return legal
 
     def legal_mask(self) -> npt.NDArray[np.bool_]:
         """Boolean (R,) vector: which replicas sit in a legal configuration."""
@@ -192,71 +307,141 @@ class BatchedEngine:
 
     def mis_vertices(self, replica: int) -> "frozenset[int]":
         row = self._mis_mask_rows(self.levels[replica : replica + 1])[0]
-        return frozenset(int(v) for v in np.nonzero(row)[0])
+        return frozenset(np.flatnonzero(row).tolist())
 
     # ------------------------------------------------------------------
     # Stepping
     # ------------------------------------------------------------------
     def step(
-        self, active: Optional[npt.NDArray[np.bool_]] = None
+        self,
+        active: Optional[npt.NDArray[np.bool_]] = None,
+        active_idx: Optional[npt.NDArray[np.intp]] = None,
     ) -> npt.NDArray[np.bool_]:
         """One synchronous round for the ``active`` replicas (default all).
 
         Returns the (R', n) channel-1 beep matrix of the stepped rows.
         Inactive replicas' levels and generators are left untouched, so a
         retired replica's state stays frozen at its stabilization round.
+        ``active_idx`` (sorted replica indices) short-circuits the mask
+        conversion when the caller already maintains the index form.
         """
-        if active is None:
-            active_idx = np.arange(self.replicas)
-        else:
-            active_idx = np.nonzero(np.asarray(active, dtype=bool))[0]
-        if active_idx.size == 0:
+        if active_idx is None:
+            if active is None:
+                active_idx = np.arange(self.replicas)
+            else:
+                active_idx = np.nonzero(np.asarray(active, dtype=bool))[0]
+        k = active_idx.size
+        if k == 0:
             return np.zeros((0, self.n), dtype=bool)
 
-        levels = self.levels[active_idx]
-        draws = np.empty((active_idx.size, self.n), dtype=np.float64)
-        for i, r in enumerate(active_idx):
-            draws[i] = self.rngs[r].random(self.n)
+        # With every replica still active the level block is the stored
+        # matrix itself (no gather); otherwise a fancy-index copy.
+        full = k == self.replicas
+        levels = self.levels if full else self.levels[active_idx]
+        # Serve this round's uniforms from the replicas' pre-drawn blocks
+        # (value-identical to one ``random(n)`` per round — see
+        # ``_blocks`` in ``__init__``), refilling each exhausted block
+        # from its own generator.
+        blocks, cursor, block = self._blocks, self._cursor, self._draw_block
+        exhausted = cursor[active_idx] == block
+        if exhausted.any():
+            for r in active_idx[exhausted]:
+                self._draw_fns[r](out=blocks[r])
+            cursor[active_idx[exhausted]] = 0
+        positions = cursor[active_idx]
+        first = positions[0]
+        if np.all(positions == first):
+            # In-order stepping keeps every active cursor aligned: a
+            # strided view (full) or one fancy gather replaces k copies.
+            draws = blocks[:, first] if full else blocks[active_idx, first]
+        else:
+            draws = self._draws[:k]
+            for i, r in enumerate(active_idx):
+                np.copyto(draws[i], blocks[r, positions[i]])
+        cursor[active_idx] = positions + 1
 
+        up = self._up[:k]
+        np.add(levels, 1, out=up)
+        np.minimum(up, self._ell_max32, out=up)
         if self._single:
-            exponent = np.clip(levels, 0, MAX_EXPONENT).astype(np.float64)
-            p = np.power(2.0, -exponent)
-            p[levels <= 0] = 1.0
-            p[levels >= self.ell_max] = 0.0
+            p = self._beep_probabilities(levels)
             beeps = draws < p
-            heard = self._received(beeps.astype(np.int32)) > 0
-            up = np.minimum(levels + 1, self.ell_max)
-            down = np.maximum(levels - 1, 1)
-            new_levels = np.where(heard, up, np.where(beeps, -self.ell_max, down))
+            heard = self.kernel.hear_rows(beeps, out=self._heard[:k])
+            # Branch-free select chain, lowest priority first (matches
+            # the solo ``np.where(heard, up, np.where(beeps, -ℓmax,
+            # down))``).  ``x + (y − x)·mask`` equals ``where(mask, y,
+            # x)`` exactly in integer arithmetic, and unlike a masked
+            # ``copyto`` its cost does not blow up at the ~30–50 % beep
+            # densities this algorithm lives at (branchy masked copies
+            # cost ~10× more there than at the extremes).
+            new_levels = self._down if full else self._down[:k]
+            sel = self._sel if full else self._sel[:k]
+            np.subtract(levels, 1, out=new_levels)
+            np.maximum(new_levels, 1, out=new_levels)
+            np.subtract(self._neg_ell_max, new_levels, out=sel)
+            np.multiply(sel, beeps, out=sel)
+            np.add(new_levels, sel, out=new_levels)
+            np.subtract(up, new_levels, out=sel)
+            np.multiply(sel, heard, out=sel)
+            np.add(new_levels, sel, out=new_levels)
+            if full:
+                # Ping-pong: the freshly written buffer becomes the level
+                # matrix and the old one the next round's scratch.
+                self.levels, self._down = self._down, self.levels
+            else:
+                self.levels[active_idx] = new_levels
             beep1 = beeps
         else:
-            exponent = np.clip(levels, 0, MAX_EXPONENT).astype(np.float64)
-            p1 = np.power(2.0, -exponent)
-            active_band = (levels > 0) & (levels < self.ell_max)
+            p1 = self._beep_probabilities(levels)
+            active_band = (levels > 0) & (levels < self._ell_max32)
             beep1 = active_band & (draws < p1)
             beep2 = levels == 0
-            # One sparse matmul for both channels: stack the beep rows.
-            stacked = np.concatenate(
-                [beep1.astype(np.int32), beep2.astype(np.int32)], axis=0
-            )
-            heard = self._received(stacked) > 0
-            heard1 = heard[: active_idx.size]
-            heard2 = heard[active_idx.size :]
-            up = np.minimum(levels + 1, self.ell_max)
-            down = np.maximum(levels - 1, 1)
-            new_levels = np.where(
-                heard2,
-                self.ell_max,
-                np.where(
-                    heard1,
-                    up,
-                    np.where(beep1, 0, np.where(~beep2, down, levels)),
-                ),
-            )
-
-        self.levels[active_idx] = new_levels
+            # One hear call for both channels: stack the beep rows.
+            stacked = cast(npt.NDArray[np.bool_], self._stack)[: 2 * k]
+            stacked[:k] = beep1
+            stacked[k:] = beep2
+            heard = self.kernel.hear_rows(stacked, out=self._heard[: 2 * k])
+            heard1 = heard[:k]
+            heard2 = heard[k:]
+            down = self._down[:k]
+            np.subtract(levels, 1, out=down)
+            np.maximum(down, 1, out=down)
+            # Solo priority order heard2 > heard1 > beep1 > ~beep2,
+            # applied in reverse.  ``levels`` doubles as the "unchanged"
+            # base case: a fancy-index copy when some replicas are
+            # retired, the stored matrix itself (updated in place — every
+            # read above happened already) when all are active.
+            new_levels = levels
+            np.copyto(new_levels, down, where=~beep2)
+            np.copyto(new_levels, 0, where=beep1)
+            np.copyto(new_levels, up, where=heard1)
+            np.copyto(new_levels, self._ell_max32, where=heard2)
+            if not full:
+                self.levels[active_idx] = new_levels
         self.round_index += 1
         return beep1
+
+    def _beep_probabilities(
+        self, levels: npt.NDArray[np.int64]
+    ) -> npt.NDArray[np.float64]:
+        """Per-entry channel-1 beep probability for an (R', n) block."""
+        table = self._p_table
+        if table is not None:
+            # One fancy index for both algorithms: single-channel levels
+            # span [−L, L]; two-channel levels sit in [0, L] and the
+            # table's 0.0 entry at L is masked out by the activity band.
+            k = levels.shape[0]
+            idx = self._p_idx[:k]
+            np.add(levels, int(self.ell_max[0]), out=idx)
+            p = self._p_buf[:k]
+            np.take(table, idx, out=p)
+            return p
+        exponent = np.clip(levels, 0, MAX_EXPONENT).astype(np.float64)
+        p = np.power(2.0, -exponent)
+        if self._single:
+            p[levels <= 0] = 1.0
+            p[levels >= self.ell_max] = 0.0
+        return p
 
     # ------------------------------------------------------------------
     def run(
@@ -293,34 +478,44 @@ class BatchedEngine:
 
         results: List[Optional[VectorizedResult]] = [None] * self.replicas
         active = np.ones(self.replicas, dtype=bool)
+        active_idx = np.arange(self.replicas)
         executed = 0
-        while active.any():
+        while active_idx.size:
             should_check = executed % check_every == 0 or executed >= max_rounds
+            scratch = None
             if collector is not None:
-                active_idx = np.nonzero(active)[0]
                 legal = collector.observe_structure(self.levels, active_idx)
             elif should_check:
-                active_idx = np.nonzero(active)[0]
                 rows = (
                     self.levels
                     if active_idx.size == self.replicas
                     else self.levels[active_idx]
                 )
                 legal = self._legal_rows(rows)
-            if should_check:
+                scratch = self._mis_scratch
+            if should_check and legal.any():
                 for i in np.nonzero(legal)[0]:
                     r = int(active_idx[i])
+                    if scratch is not None:
+                        # The legality pass already holds this row's MIS
+                        # mask — read it instead of re-deriving it.
+                        positions, mis_rows = scratch
+                        j = int(np.searchsorted(positions, i))
+                        mis = frozenset(np.flatnonzero(mis_rows[j]).tolist())
+                    else:
+                        mis = self.mis_vertices(r)
                     results[r] = VectorizedResult(
                         stabilized=True,
                         rounds=executed,
-                        mis=self.mis_vertices(r),
+                        mis=mis,
                         final_levels=self.levels[r].copy(),
                     )
                     active[r] = False
                     if collector is not None:
                         collector.finalize_replica(r, True, executed)
+                active_idx = active_idx[~legal]
             if executed >= max_rounds:
-                for r in np.nonzero(active)[0]:
+                for r in active_idx:
                     results[int(r)] = VectorizedResult(
                         stabilized=False,
                         rounds=executed,
@@ -331,11 +526,10 @@ class BatchedEngine:
                     if collector is not None:
                         collector.finalize_replica(int(r), False, executed)
                 break
-            if active.any():
-                step_idx = np.nonzero(active)[0]
-                beep1 = self.step(active)
+            if active_idx.size:
+                beep1 = self.step(active, active_idx=active_idx)
                 if collector is not None:
-                    collector.observe_beeps(beep1, step_idx)
+                    collector.observe_beeps(beep1, active_idx)
             executed += 1
         return BatchedResult(results=cast(List[VectorizedResult], results))
 
@@ -351,6 +545,7 @@ def simulate_batched(
     arbitrary_start: bool = False,
     check_every: int = 1,
     collector: Optional["BatchedCollector"] = None,
+    kernel: str = "auto",
 ) -> BatchedResult:
     """Run R replicas of Algorithm 1/2 to stabilization, batched."""
     engine = BatchedEngine(
@@ -360,6 +555,7 @@ def simulate_batched(
         seed=seed,
         seed_sequences=seed_sequences,
         algorithm=algorithm,
+        kernel=kernel,
     )
     return engine.run(
         max_rounds=max_rounds,

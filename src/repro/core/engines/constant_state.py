@@ -14,8 +14,8 @@ import numpy as np
 import numpy.typing as npt
 
 from ...graphs.graph import Graph
-from ...graphs.io import to_sparse_adjacency
 from ...devtools.seeding import SeedLike, resolve_rng
+from ..kernels import HearKernel, make_kernel, structure_for
 from .base import VectorizedResult
 
 __all__ = ["ConstantStateEngine", "simulate_constant_state"]
@@ -24,10 +24,14 @@ __all__ = ["ConstantStateEngine", "simulate_constant_state"]
 class ConstantStateEngine:
     """Vectorized two-state self-stabilizing MIS ([16] style)."""
 
-    def __init__(self, graph: Graph, seed: SeedLike = None):
+    def __init__(
+        self, graph: Graph, seed: SeedLike = None, kernel: str = "auto"
+    ):
         self.graph = graph
         self.n = graph.num_vertices
-        self.adjacency = to_sparse_adjacency(graph)
+        self.structure = structure_for(graph)
+        self.adjacency = self.structure.csr
+        self.kernel: HearKernel = make_kernel(kernel, self.structure)
         self.rng = resolve_rng(seed)
         #: True = IN (the fresh state), False = OUT.
         self.in_mis: npt.NDArray[np.bool_] = np.ones(self.n, dtype=bool)
@@ -45,7 +49,7 @@ class ConstantStateEngine:
     def step(self) -> npt.NDArray[np.bool_]:
         draws = self.rng.random(self.n)
         beeps = self.in_mis.copy()
-        heard = self.adjacency.dot(beeps.astype(np.int32)) > 0
+        heard = self.kernel.hear(beeps)
         coin = draws < 0.5
         retreat = self.in_mis & heard & coin
         rejoin = ~self.in_mis & ~heard & coin
@@ -55,10 +59,9 @@ class ConstantStateEngine:
 
     def is_legal(self) -> bool:
         """Legal iff the IN set is an MIS (independent + dominating)."""
-        members = self.in_mis.astype(np.int32)
-        member_neighbors = self.adjacency.dot(members)
-        independent = not bool((self.in_mis & (member_neighbors > 0)).any())
-        dominated = bool(np.all(self.in_mis | (member_neighbors > 0)))
+        heard_members = self.kernel.hear(self.in_mis)
+        independent = not bool((self.in_mis & heard_members).any())
+        dominated = bool(np.all(self.in_mis | heard_members))
         return independent and dominated
 
     def mis_vertices(self) -> FrozenSet[int]:
@@ -70,9 +73,10 @@ def simulate_constant_state(
     seed: SeedLike = None,
     max_rounds: int = 1_000_000,
     arbitrary_start: bool = False,
+    kernel: str = "auto",
 ) -> VectorizedResult:
     """Run the two-state baseline to its first MIS configuration."""
-    engine = ConstantStateEngine(graph, seed)
+    engine = ConstantStateEngine(graph, seed, kernel=kernel)
     if arbitrary_start:
         engine.randomize()
     executed = 0

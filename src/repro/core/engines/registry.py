@@ -5,11 +5,13 @@ CLI) dispatch on an engine *name* rather than on hard-coded ``if``
 chains.  A backend is a callable with the uniform signature
 
     run(graph, policy, variant, seed, max_rounds, arbitrary_start,
-        collector=None) -> outcome with .stabilized / .rounds / .mis
+        collector=None, kernel=None) -> outcome with .stabilized / .rounds / .mis
 
 (``collector`` is an optional trailing zero-perturbation observer — see
 :func:`repro.obs.collector_for_backend` for the shape each backend
-expects; the contract checker only pins the six leading parameters.)
+expects; ``kernel`` optionally names a hear kernel for backends that
+support one, ``None`` meaning the backend's default; the contract
+checker only pins the six leading parameters.)
 
 Built-in backends:
 
@@ -115,6 +117,7 @@ def _run_vectorized(
     max_rounds: int,
     arbitrary_start: bool,
     collector: Any = None,
+    kernel: Optional[str] = None,
 ) -> Any:
     from .single import simulate_single
     from .two_channel import simulate_two_channel
@@ -127,6 +130,7 @@ def _run_vectorized(
         max_rounds=max_rounds,
         arbitrary_start=arbitrary_start,
         collector=collector,
+        kernel=kernel or "auto",
     )
 
 
@@ -138,7 +142,10 @@ def _run_reference(
     max_rounds: int,
     arbitrary_start: bool,
     collector: Any = None,
+    kernel: Optional[str] = None,
 ) -> Any:
+    if kernel is not None and kernel != "auto":
+        raise ValueError("the reference engine has no hear-kernel choice")
     # Imported lazily: the reference engine lives outside repro.core and
     # pulling it in here at import time would cycle through repro.beeping.
     from ...beeping.faults import random_states
@@ -166,6 +173,7 @@ def _run_batched(
     max_rounds: int,
     arbitrary_start: bool,
     collector: Any = None,
+    kernel: Optional[str] = None,
 ) -> Any:
     from .batched import simulate_batched
 
@@ -179,6 +187,7 @@ def _run_batched(
         max_rounds=max_rounds,
         arbitrary_start=arbitrary_start,
         collector=collector,
+        kernel=kernel or "auto",
     )
     return outcome[0]
 

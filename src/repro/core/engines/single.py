@@ -38,7 +38,7 @@ class SingleChannelEngine(EngineBase):
         """One synchronous round; returns the beep vector (bool array)."""
         draws = self.rng.random(self.n)
         beeps = draws < self.beep_probabilities()
-        heard = self.adjacency.dot(beeps.astype(np.int32)) > 0
+        heard = self.kernel.hear(beeps)
         up = np.minimum(self.levels + 1, self.ell_max)
         reset = -self.ell_max
         down = np.maximum(self.levels - 1, 1)
@@ -57,6 +57,7 @@ def simulate_single(
     check_every: int = 1,
     record_series: bool = False,
     collector: Optional["RunCollector"] = None,
+    kernel: str = "auto",
 ) -> VectorizedResult:
     """Run Algorithm 1 to stabilization on the vectorized engine.
 
@@ -64,9 +65,11 @@ def simulate_single(
     configuration (the self-stabilization setting); otherwise the run
     starts from the fresh level-1 configuration, unless
     ``initial_levels`` overrides it.  ``collector`` attaches a
-    zero-perturbation :class:`repro.obs.RunCollector`.
+    zero-perturbation :class:`repro.obs.RunCollector`.  ``kernel`` picks
+    the hear kernel (:mod:`repro.core.kernels`) — trajectories are
+    bit-identical for every kernel.
     """
-    engine = SingleChannelEngine(graph, policy, seed)
+    engine = SingleChannelEngine(graph, policy, seed, kernel=kernel)
     if initial_levels is not None:
         engine.set_levels(initial_levels)
     elif arbitrary_start:

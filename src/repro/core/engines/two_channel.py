@@ -30,8 +30,8 @@ class TwoChannelEngine(EngineBase):
         active = (self.levels > 0) & (self.levels < self.ell_max)
         beep1 = active & (draws < p1)
         beep2 = self.levels == 0
-        heard1 = self.adjacency.dot(beep1.astype(np.int32)) > 0
-        heard2 = self.adjacency.dot(beep2.astype(np.int32)) > 0
+        heard1 = self.kernel.hear(beep1)
+        heard2 = self.kernel.hear(beep2)
         up = np.minimum(self.levels + 1, self.ell_max)
         down = np.maximum(self.levels - 1, 1)
         self.levels = np.where(
@@ -57,9 +57,10 @@ def simulate_two_channel(
     check_every: int = 1,
     record_series: bool = False,
     collector: Optional["RunCollector"] = None,
+    kernel: str = "auto",
 ) -> VectorizedResult:
     """Run Algorithm 2 to stabilization on the vectorized engine."""
-    engine = TwoChannelEngine(graph, policy, seed)
+    engine = TwoChannelEngine(graph, policy, seed, kernel=kernel)
     if initial_levels is not None:
         engine.set_levels(initial_levels)
     elif arbitrary_start:

@@ -1,0 +1,241 @@
+"""Shared-memory transport for graph structures across sweep workers.
+
+The sweep executors regenerate each configuration's graph inside every
+worker process and then (pre-kernel) rebuilt its CSR per engine
+instance.  This module ships each *distinct* graph's derived structure
+once instead: the parent exports the big arrays (edge list, CSR parts,
+packed bitset) into one ``multiprocessing.shared_memory`` segment per
+graph, workers attach at pool-initializer time and seed their local
+structure cache with zero-copy views onto the segment.
+
+Lifecycle contract (see ``docs/performance.md``):
+
+* the parent owns the segments — :class:`SharedStructureSet` creates
+  them and must be closed (``close()``/context manager) *after* the pool
+  shuts down, which both closes and unlinks every segment;
+* workers only ever attach; attached views are marked read-only so a
+  stray in-place write (RPR621's failure class) raises instead of
+  corrupting every sibling worker;
+* on Python < 3.13 the attach side immediately unregisters the segment
+  from the ``resource_tracker`` — the parent is the single owner, and
+  per-worker tracking would unlink segments early and spam warnings at
+  interpreter exit.
+
+Everything in the manifest is tiny and picklable; the arrays themselves
+never cross the pickle boundary.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ...graphs.graph import Graph
+from .structure import GraphStructure, seed_structure, structure_for
+
+__all__ = [
+    "SharedStructureManifest",
+    "SharedStructureSet",
+    "export_structures",
+    "attach_structure",
+    "seed_worker_structures",
+]
+
+#: (field name, dtype string) layout of one exported structure, in
+#: segment order.  Shapes are derived from ``n``/``m``/``words``.
+_FIELDS: Tuple[Tuple[str, str], ...] = (
+    ("edges", "int64"),
+    ("csr_data", "int32"),
+    ("csr_indices", "int32"),
+    ("csr_indptr", "int32"),
+    ("packed", "uint64"),
+)
+
+
+@dataclass(frozen=True)
+class SharedStructureManifest:
+    """Everything a worker needs to attach one graph's structure.
+
+    ``offsets`` maps field name → byte offset inside the segment; shapes
+    are recomputed from ``n``/``m``/``words`` so the manifest stays a few
+    hundred bytes regardless of graph size.
+    """
+
+    segment: str
+    digest: str
+    n: int
+    m: int
+    words: int
+    offsets: Dict[str, int]
+    total_bytes: int
+
+
+def _field_shapes(n: int, m: int, words: int) -> Dict[str, Tuple[int, ...]]:
+    return {
+        "edges": (m, 2),
+        "csr_data": (2 * m,),
+        "csr_indices": (2 * m,),
+        "csr_indptr": (n + 1,),
+        "packed": (n, words),
+    }
+
+
+class SharedStructureSet:
+    """Parent-side owner of the exported segments (one per graph)."""
+
+    def __init__(self, graphs: Sequence[Graph]):
+        self.manifests: List[SharedStructureManifest] = []
+        self._segments: List[shared_memory.SharedMemory] = []
+        seen: set = set()
+        for graph in graphs:
+            structure = structure_for(graph)
+            if structure.digest in seen:
+                continue
+            seen.add(structure.digest)
+            manifest, segment = _export_one(structure)
+            self.manifests.append(manifest)
+            self._segments.append(segment)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close and unlink every segment (call after pool shutdown)."""
+        for segment in self._segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - double close
+                pass
+        self._segments = []
+        self.manifests = []
+
+    def __enter__(self) -> "SharedStructureSet":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def export_structures(graphs: Sequence[Graph]) -> SharedStructureSet:
+    """Export the distinct graphs' structures into shared memory."""
+    return SharedStructureSet(graphs)
+
+
+def _export_one(
+    structure: GraphStructure,
+) -> Tuple[SharedStructureManifest, shared_memory.SharedMemory]:
+    n, m, words = structure.n, structure.num_edges, structure.words
+    shapes = _field_shapes(n, m, words)
+    arrays = {
+        "edges": structure.edge_array,
+        "csr_data": structure.csr.data,
+        "csr_indices": structure.csr.indices,
+        "csr_indptr": structure.csr.indptr,
+        "packed": structure.packed,
+    }
+    offsets: Dict[str, int] = {}
+    cursor = 0
+    for field, dtype in _FIELDS:
+        offsets[field] = cursor
+        cursor += int(np.dtype(dtype).itemsize) * int(np.prod(shapes[field]))
+    total = max(cursor, 1)  # zero-byte segments are not allowed
+    segment = shared_memory.SharedMemory(create=True, size=total)
+    for field, dtype in _FIELDS:
+        array = np.ascontiguousarray(arrays[field], dtype=np.dtype(dtype))
+        view = np.ndarray(
+            shapes[field], dtype=np.dtype(dtype),
+            buffer=segment.buf, offset=offsets[field],
+        )
+        view[...] = array
+    manifest = SharedStructureManifest(
+        segment=segment.name,
+        digest=structure.digest,
+        n=n,
+        m=m,
+        words=words,
+        offsets=offsets,
+        total_bytes=total,
+    )
+    return manifest, segment
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _attach_segment(name: str, untrack: bool) -> shared_memory.SharedMemory:
+    if sys.version_info >= (3, 13) and untrack:
+        return shared_memory.SharedMemory(name=name, track=False)
+    segment = shared_memory.SharedMemory(name=name)
+    if untrack and _private_tracker():
+        try:
+            # The worker runs its own resource tracker (spawn): drop the
+            # attach registration so that tracker does not unlink the
+            # parent-owned segment when the worker exits.
+            resource_tracker.unregister(segment._name, "shared_memory")  # type: ignore[attr-defined]
+        except Exception:  # pragma: no cover - tracker internals vary
+            pass
+    # fork/forkserver workers share the parent's tracker process; the
+    # attach registration is a set no-op there, and unregistering would
+    # erase the *owner's* entry (KeyError at unlink time).
+    return segment
+
+
+def _private_tracker() -> bool:
+    """Whether this process runs its own resource-tracker process."""
+    try:
+        import multiprocessing
+
+        return multiprocessing.get_start_method(allow_none=True) == "spawn"
+    except Exception:  # pragma: no cover - defensive
+        return False
+
+
+def attach_structure(
+    manifest: SharedStructureManifest, untrack: bool = False
+) -> GraphStructure:
+    """Rebuild one graph's structure from its shared segment (zero-copy).
+
+    The reconstructed :class:`Graph` is content-equal to the parent's, so
+    it keys the same cache slot; all big arrays are read-only views onto
+    the shared buffer.  ``untrack=True`` (worker processes only — never
+    in the segment-owning parent) drops the attachment from this
+    process's ``resource_tracker`` so only the owner unlinks.
+    """
+    import scipy.sparse as sp
+
+    segment = _attach_segment(manifest.segment, untrack)
+    shapes = _field_shapes(manifest.n, manifest.m, manifest.words)
+    views: Dict[str, np.ndarray] = {}
+    for field, dtype in _FIELDS:
+        view = np.ndarray(
+            shapes[field], dtype=np.dtype(dtype),
+            buffer=segment.buf, offset=manifest.offsets[field],
+        )
+        view.flags.writeable = False
+        views[field] = view
+
+    edge_pairs = [(int(u), int(v)) for u, v in views["edges"]]
+    graph = Graph(manifest.n, edge_pairs)
+    structure = GraphStructure(graph)
+    structure._edge_array = views["edges"]
+    if manifest.m == 0:
+        structure._csr = sp.csr_matrix((manifest.n, manifest.n), dtype=np.int32)
+    else:
+        structure._csr = sp.csr_matrix(
+            (views["csr_data"], views["csr_indices"], views["csr_indptr"]),
+            shape=(manifest.n, manifest.n),
+        )
+    structure._packed = views["packed"]
+    structure._segments = (segment,)
+    return structure
+
+
+def seed_worker_structures(
+    manifests: Sequence[SharedStructureManifest],
+) -> None:
+    """Process-pool initializer: attach and cache every shared structure."""
+    for manifest in manifests:
+        seed_structure(attach_structure(manifest, untrack=True))

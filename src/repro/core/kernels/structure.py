@@ -1,0 +1,268 @@
+"""Per-graph derived structure, built once and shared everywhere.
+
+Every engine round reduces to the boolean question "which vertices heard
+at least one beep" — a neighborhood aggregation against a *fixed*
+adjacency.  :class:`GraphStructure` bundles every derived form of that
+adjacency the hear kernels consume:
+
+* ``csr`` — the canonical int32 CSR matrix (identical, entry for entry,
+  to :func:`repro.graphs.io.to_sparse_adjacency`; the symmetric matrix
+  doubles as its own transpose, so ``csr_t is csr``).
+* ``dense`` — the boolean dense matrix (small/dense graphs).
+* ``packed`` — rows packed into uint64 words (64 adjacency bits per
+  word) for the bitset kernel.
+
+All forms are built lazily and exactly once per structure; the
+module-level **structure cache** (:func:`structure_for`) is keyed by the
+:class:`~repro.graphs.graph.Graph` itself — Graphs hash and compare by
+content, so two engines on equal topologies share one structure (and
+therefore one CSR, one bitset, …) even when the Graph objects differ.
+The cache is a bounded LRU guarded by a lock, safe to touch from
+collector threads; worker processes are seeded through
+:func:`seed_structure` by the shared-memory sweep path
+(:mod:`repro.core.kernels.shm`).
+
+Shared structures are *read-only by contract*: engines and collectors
+only ever multiply against them (the RPR621 dataflow rule flags in-place
+writes through shared references, and the shared-memory path additionally
+drops the ``writeable`` flag on attached arrays).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Union
+
+import numpy as np
+import numpy.typing as npt
+import scipy.sparse as sp
+
+from ...graphs.graph import Graph
+
+__all__ = [
+    "GraphStructure",
+    "structure_for",
+    "seed_structure",
+    "clear_structure_cache",
+    "structure_cache_info",
+]
+
+
+class GraphStructure:
+    """Lazily-built derived adjacency forms of one graph.
+
+    Parameters
+    ----------
+    graph:
+        The topology.  ``None`` only for :meth:`from_csr` wrappers around
+        a foreign adjacency matrix (e.g. an engine the cache has never
+        seen); such structures are not cacheable.
+    """
+
+    def __init__(self, graph: Optional[Graph]):
+        self.graph = graph
+        if graph is not None:
+            self.n = graph.num_vertices
+            self.num_edges = graph.num_edges
+        self._edge_array: Optional[npt.NDArray[np.int64]] = None
+        self._csr: Optional[sp.csr_matrix] = None
+        self._dense: Optional[npt.NDArray[np.bool_]] = None
+        self._packed: Optional[npt.NDArray[np.uint64]] = None
+        self._digest: Optional[str] = None
+        #: SharedMemory segments backing the arrays (attach path only) —
+        #: held so the buffers outlive every view taken on them.
+        self._segments: tuple = ()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_csr(cls, csr: sp.csr_matrix) -> "GraphStructure":
+        """Wrap a foreign, already-built adjacency matrix (uncacheable)."""
+        structure = cls(None)
+        structure.n = int(csr.shape[0])
+        structure.num_edges = int(csr.nnz) // 2
+        structure._csr = csr
+        return structure
+
+    # ------------------------------------------------------------------
+    # Derived forms (each built at most once)
+    # ------------------------------------------------------------------
+    @property
+    def edge_array(self) -> npt.NDArray[np.int64]:
+        """Canonical ``(m, 2)`` int64 edge array (sorted, u < v)."""
+        if self._edge_array is None:
+            if self.graph is None:
+                raise ValueError("structure wraps a bare CSR; no edge list")
+            self._edge_array = np.asarray(
+                self.graph.edges, dtype=np.int64
+            ).reshape(-1, 2)
+        return self._edge_array
+
+    @property
+    def csr(self) -> sp.csr_matrix:
+        """The symmetric int32 CSR adjacency (canonical form).
+
+        Entry-identical to :func:`repro.graphs.io.to_sparse_adjacency`:
+        scipy's COO→CSR conversion sorts and deduplicates, and the edge
+        list is already canonical, so construction order cannot leak into
+        the result.
+        """
+        if self._csr is None:
+            edges = self.edge_array
+            if edges.size == 0:
+                self._csr = sp.csr_matrix((self.n, self.n), dtype=np.int32)
+            else:
+                rows = np.concatenate([edges[:, 0], edges[:, 1]])
+                cols = np.concatenate([edges[:, 1], edges[:, 0]])
+                data = np.ones(rows.size, dtype=np.int32)
+                self._csr = sp.csr_matrix(
+                    (data, (rows, cols)), shape=(self.n, self.n), dtype=np.int32
+                )
+        return self._csr
+
+    @property
+    def csr_t(self) -> sp.csr_matrix:
+        """The transpose — the same object, by symmetry.
+
+        ``A == A.T`` for an undirected adjacency, and the CSR form is
+        canonical, so the pre-PR ``adjacency.transpose().tocsr()`` copy
+        held byte-identical arrays; sharing the object halves the memory
+        and keeps every downstream product bit-identical.
+        """
+        return self.csr
+
+    @property
+    def dense(self) -> npt.NDArray[np.bool_]:
+        """The boolean dense adjacency (built on first use)."""
+        if self._dense is None:
+            self._dense = self._build_dense()
+        return self._dense
+
+    def _build_dense(self) -> npt.NDArray[np.bool_]:
+        dense = np.zeros((self.n, self.n), dtype=bool)
+        if self.graph is not None:
+            edges = self.edge_array
+            if edges.size:
+                dense[edges[:, 0], edges[:, 1]] = True
+                dense[edges[:, 1], edges[:, 0]] = True
+        else:
+            csr = self.csr
+            dense[csr.nonzero()] = True
+        return dense
+
+    @property
+    def words(self) -> int:
+        """uint64 words per packed adjacency row."""
+        return max(1, (self.n + 63) // 64)
+
+    @property
+    def packed(self) -> npt.NDArray[np.uint64]:
+        """Adjacency rows packed into ``(n, words)`` uint64 words.
+
+        Bit ``v`` of row ``u`` (little-endian within each word) is the
+        edge indicator ``{u, v} ∈ E`` — the layout
+        ``np.packbits(..., bitorder="little")`` produces, so
+        ``np.unpackbits(..., bitorder="little")`` is the exact inverse.
+        """
+        if self._packed is None:
+            # Use the cached dense form when present, else a transient one
+            # (packing should not pin n² bytes for bitset-only users).
+            dense = self._dense if self._dense is not None else self._build_dense()
+            padded_bits = self.words * 64
+            if padded_bits == self.n:
+                padded = dense
+            else:
+                padded = np.zeros((self.n, padded_bits), dtype=bool)
+                padded[:, : self.n] = dense
+            packed_bytes = np.packbits(padded, axis=1, bitorder="little")
+            self._packed = packed_bytes.view(np.uint64)
+        return self._packed
+
+    @property
+    def density(self) -> float:
+        """Edge density ``2m / (n(n-1))`` (0.0 for n < 2)."""
+        if self.n < 2:
+            return 0.0
+        return 2.0 * self.num_edges / (self.n * (self.n - 1))
+
+    @property
+    def digest(self) -> str:
+        """Content digest keying shared-memory manifests across processes."""
+        if self._digest is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(np.int64(self.n).tobytes())
+            h.update(np.int64(self.num_edges).tobytes())
+            h.update(np.ascontiguousarray(self.edge_array).tobytes())
+            self._digest = h.hexdigest()
+        return self._digest
+
+    def __repr__(self) -> str:
+        return f"GraphStructure(n={self.n}, m={self.num_edges})"
+
+
+# ----------------------------------------------------------------------
+# The content-keyed structure cache
+# ----------------------------------------------------------------------
+#: Bounded LRU: a sweep touches a handful of distinct graphs; 64 covers
+#: every harness in the repo with room to spare.
+_CACHE_CAPACITY = 64
+
+_cache: "OrderedDict[Graph, GraphStructure]" = OrderedDict()
+_cache_lock = threading.Lock()
+_hits = 0
+_misses = 0
+
+
+def structure_for(graph: Graph) -> GraphStructure:
+    """The shared :class:`GraphStructure` of ``graph`` (content-keyed).
+
+    Graphs hash/compare by ``(n, edges)``, so equal topologies map to one
+    structure regardless of object identity — CSR/bitset/dense forms are
+    built once per graph and shared across engine instances, replicas,
+    and observability views.
+    """
+    global _hits, _misses
+    with _cache_lock:
+        cached = _cache.get(graph)
+        if cached is not None:
+            _cache.move_to_end(graph)
+            _hits += 1
+            return cached
+        _misses += 1
+        structure = GraphStructure(graph)
+        _cache[graph] = structure
+        while len(_cache) > _CACHE_CAPACITY:
+            _cache.popitem(last=False)
+        return structure
+
+
+def seed_structure(structure: GraphStructure) -> None:
+    """Install a pre-built structure (the shared-memory attach path)."""
+    if structure.graph is None:
+        raise ValueError("only graph-keyed structures can seed the cache")
+    with _cache_lock:
+        _cache[structure.graph] = structure
+        _cache.move_to_end(structure.graph)
+        while len(_cache) > _CACHE_CAPACITY:
+            _cache.popitem(last=False)
+
+
+def clear_structure_cache() -> None:
+    """Drop every cached structure (tests / benchmark cold-start runs)."""
+    global _hits, _misses
+    with _cache_lock:
+        _cache.clear()
+        _hits = 0
+        _misses = 0
+
+
+def structure_cache_info() -> Dict[str, Union[int, float]]:
+    """``{size, capacity, hits, misses}`` — cache effectiveness counters."""
+    with _cache_lock:
+        return {
+            "size": len(_cache),
+            "capacity": _CACHE_CAPACITY,
+            "hits": _hits,
+            "misses": _misses,
+        }

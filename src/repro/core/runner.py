@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 
@@ -117,6 +117,7 @@ def compute_mis(
     engine: str = "vectorized",
     policy: Optional[EllMaxPolicy] = None,
     collector: Optional[object] = None,
+    kernel: Optional[str] = None,
 ) -> MISResult:
     """Compute a certified MIS of ``graph`` with the paper's algorithm.
 
@@ -150,6 +151,12 @@ def compute_mis(
         one with :func:`repro.obs.collector_for_backend` — the expected
         shape differs per backend).  Forwarded to the backend only when
         set, so backends without observability support keep working.
+    kernel:
+        Hear-kernel name (``"auto"``/``"sparse"``/``"dense"``/
+        ``"bitset"``, see :mod:`repro.core.kernels`); ``None`` keeps the
+        backend's default.  Trajectories are bit-identical for every
+        kernel, so this is purely a performance knob.  Forwarded only
+        when set, as with ``collector``.
 
     Returns
     -------
@@ -171,13 +178,14 @@ def compute_mis(
         max_rounds = default_round_budget(graph, policy)
 
     backend = get_engine(engine)
+    extra: Dict[str, object] = {}
     if collector is not None:
-        outcome = backend.run(
-            graph, policy, variant, seed, max_rounds, arbitrary_start,
-            collector=collector,
-        )
-    else:
-        outcome = backend.run(graph, policy, variant, seed, max_rounds, arbitrary_start)
+        extra["collector"] = collector
+    if kernel is not None:
+        extra["kernel"] = kernel
+    outcome = backend.run(
+        graph, policy, variant, seed, max_rounds, arbitrary_start, **extra
+    )
 
     if not outcome.stabilized:
         raise RuntimeError(

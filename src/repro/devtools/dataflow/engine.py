@@ -105,6 +105,24 @@ _FRESH_METHODS = frozenset({
 #: Attribute names whose value is shared between engine and collectors.
 _SHARED_ATTRS = frozenset({"adjacency", "ell_max", "floor", "_adj_t"})
 
+#: RPR631 — the only modules allowed to build adjacency matrices by hand.
+#: Everything else must go through the content-keyed structure cache
+#: (``repro.core.kernels.structure_for``), which shares the derived CSR /
+#: dense / bitset forms across engines, replicas, and collectors.
+_STRUCTURE_HOMES = ("repro.core.kernels", "repro.graphs.io")
+_ADJACENCY_BUILDERS = frozenset({"to_sparse_adjacency"})
+_SPARSE_CTORS = frozenset({
+    "csr_matrix", "csc_matrix", "coo_matrix", "lil_matrix", "dok_matrix",
+    "bsr_matrix", "dia_matrix", "csr_array", "csc_array", "coo_array",
+})
+
+
+def _structure_home(module_name: str) -> bool:
+    return any(
+        module_name == home or module_name.startswith(home + ".")
+        for home in _STRUCTURE_HOMES
+    )
+
 
 def _marker(i: int) -> str:
     return f"p:{i}"
@@ -190,6 +208,7 @@ class DataflowAnalyzer:
     def run(self) -> List[DataflowViolation]:
         for name in sorted(self.project.modules):
             module = self.project.modules[name]
+            self._check_structure_bypass(module)
             _FunctionWalker(self, module, None).walk_module(module.tree)
             for fn in module.functions.values():
                 self.summary(fn)
@@ -198,6 +217,40 @@ class DataflowAnalyzer:
                     self.summary(meth)
         self.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
         return self.violations
+
+    def _check_structure_bypass(self, module: ModuleInfo) -> None:
+        """RPR631: adjacency built by hand instead of via the structure cache.
+
+        A one-pass syntactic sweep (no tag propagation needed): any call
+        to ``to_sparse_adjacency`` or a ``scipy.sparse`` constructor
+        outside the structure-home modules rebuilds arrays the cache
+        already holds.
+        """
+        if _structure_home(module.name):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            last = dotted.rsplit(".", 1)[-1] if dotted else ""
+            if last in _ADJACENCY_BUILDERS:
+                self.emit(
+                    module, "RPR631", node,
+                    f"{last}() rebuilds the CSR the structure cache "
+                    "already holds; use "
+                    "repro.core.kernels.structure_for(graph).csr",
+                    module.name,
+                )
+            elif last in _SPARSE_CTORS:
+                self.emit(
+                    module, "RPR631", node,
+                    f"ad-hoc scipy.sparse.{last} construction bypasses "
+                    "the shared structure cache; derive adjacency via "
+                    "repro.core.kernels.structure_for (only "
+                    "repro.core.kernels / repro.graphs.io build matrices "
+                    "directly)",
+                    module.name,
+                )
 
     def summary(self, fn: FunctionInfo) -> Summary:
         if fn.qualname in self._summaries:

@@ -93,6 +93,21 @@ DATAFLOW_RULES: Tuple[DataflowRule, ...] = (
             "functions (see repro.analysis.sweep's worker functions)."
         ),
     ),
+    DataflowRule(
+        rule_id="RPR631",
+        title="ad-hoc adjacency construction bypasses the structure cache",
+        rationale=(
+            "Calling to_sparse_adjacency or a scipy.sparse constructor "
+            "directly rebuilds the CSR (and forfeits the dense/bitset "
+            "forms) for a graph whose derived structure is already "
+            "memoized by repro.core.kernels.structure_for — every such "
+            "call site pays the build again and cannot share the arrays "
+            "with other engines, replicas, or collectors.  Fetch "
+            "adjacency via structure_for(graph).csr (or the structure's "
+            "dense/packed forms); only repro.core.kernels and "
+            "repro.graphs.io may construct the matrices themselves."
+        ),
+    ),
 )
 
 

@@ -76,19 +76,34 @@ def errstate_guard() -> Iterator[None]:
 
 
 def engine_shared_arrays(engine: object) -> List[np.ndarray]:
-    """The arrays ``engine`` shares with collectors / other replicas."""
+    """The arrays ``engine`` shares with collectors / other replicas.
+
+    Deduplicated by identity: the adjacency is symmetric, so
+    ``engine._adj_t`` *is* ``engine.adjacency`` (one cached object), and
+    appending an array twice would make :func:`frozen_arrays` restore
+    the wrong ``writeable`` flag on exit.
+    """
     arrays: List[np.ndarray] = []
+    seen: set = set()
+
+    def add(candidate: object) -> None:
+        if isinstance(candidate, np.ndarray) and id(candidate) not in seen:
+            seen.add(id(candidate))
+            arrays.append(candidate)
+
     for attr in ("adjacency", "_adj_t"):
         matrix = getattr(engine, attr, None)
         if matrix is None:
             continue
         for part in ("data", "indices", "indptr"):
-            candidate = getattr(matrix, part, None)
-            if isinstance(candidate, np.ndarray):
-                arrays.append(candidate)
-    ell_max = getattr(engine, "ell_max", None)
-    if isinstance(ell_max, np.ndarray):
-        arrays.append(ell_max)
+            add(getattr(matrix, part, None))
+    structure = getattr(engine, "structure", None)
+    if structure is not None:
+        # Already-built cached forms only — reading the lazy properties
+        # here would build them as a side effect of the audit.
+        for attr in ("_packed", "_dense", "_edge_array"):
+            add(getattr(structure, attr, None))
+    add(getattr(engine, "ell_max", None))
     return arrays
 
 

@@ -42,8 +42,8 @@ from weakref import WeakKeyDictionary
 import numpy as np
 import numpy.typing as npt
 
+from ..core.kernels import GraphStructure, make_kernel, structure_for
 from ..graphs.graph import Graph
-from ..graphs.io import to_sparse_adjacency
 from .registry import MetricsRegistry
 from .sinks import MetricSink
 
@@ -74,6 +74,7 @@ class StructureView:
     channels: int = 1
     _adj_t: Any = None  # transpose, materialized lazily for row blocks
     graph: Optional[Graph] = None  # lazy-build source when adjacency is None
+    kernel: Any = None  # HearKernel, adopted from the engine or lazy-built
 
     # ------------------------------------------------------------------
     @classmethod
@@ -90,6 +91,7 @@ class StructureView:
             ell_max=engine.ell_max,
             floor=floor,
             channels=channels,
+            kernel=getattr(engine, "kernel", None),
         )
 
     @classmethod
@@ -101,6 +103,7 @@ class StructureView:
             ell_max=engine.ell_max,
             floor=-engine.ell_max if single else np.zeros_like(engine.ell_max),
             channels=1 if single else 2,
+            kernel=getattr(engine, "kernel", None),
         )
         view._adj_t = getattr(engine, "_adj_t", None)
         return view
@@ -125,14 +128,17 @@ class StructureView:
 
     # ------------------------------------------------------------------
     def adopt_engine(self, engine: Any) -> None:
-        """Share an engine's already-built sparse structures.
+        """Share an engine's already-built structures and hear kernel.
 
-        Both sides build the adjacency with
-        :func:`~repro.graphs.io.to_sparse_adjacency` on the same graph,
-        so the shared matrix is identical by construction — collectors
-        only ever *read* it, making this a pure setup-cost optimization.
-        Engines without a sparse adjacency (the reference network) are a
-        no-op; the view then lazy-builds from :attr:`graph`.
+        Both sides resolve their structure through the shared
+        :func:`~repro.core.kernels.structure_for` cache on the same
+        graph, so the shared forms are identical by construction —
+        collectors only ever *read* them, making this a pure setup-cost
+        optimization.  Adopting the engine's *kernel* additionally keeps
+        the collector's aggregation strategy in lock-step with the run it
+        observes.  Engines without these attributes (the reference
+        network) are a no-op; the view then lazy-builds from
+        :attr:`graph`.
         """
         if self.adjacency is None:
             adjacency = getattr(engine, "adjacency", None)
@@ -142,21 +148,48 @@ class StructureView:
             adj_t = getattr(engine, "_adj_t", None)
             if adj_t is not None:
                 self._adj_t = adj_t
+        if self.kernel is None:
+            kernel = getattr(engine, "kernel", None)
+            if kernel is not None:
+                self.kernel = kernel
+
+    def _built_kernel(self) -> Any:
+        """The hear kernel, lazy-built when no engine was adopted."""
+        if self.kernel is None:
+            if self.graph is not None:
+                structure = structure_for(self.graph)
+            elif self.adjacency is not None:
+                structure = GraphStructure.from_csr(self.adjacency)
+            else:
+                raise ValueError("StructureView has neither adjacency nor graph")
+            self.kernel = make_kernel("auto", structure)
+        return self.kernel
 
     def _built_adjacency(self) -> Any:
         if self.adjacency is None:
             if self.graph is None:
                 raise ValueError("StructureView has neither adjacency nor graph")
-            self.adjacency = to_sparse_adjacency(self.graph)
+            self.adjacency = structure_for(self.graph).csr
         return self.adjacency
 
+    def hear(self, active: npt.NDArray[np.bool_]) -> npt.NDArray[np.bool_]:
+        """Vertices with ≥ 1 active neighbor (bool, kernel-delegated)."""
+        return self._built_kernel().hear(active)
+
+    def hear_rows(self, rows: npt.NDArray[np.bool_]) -> npt.NDArray[np.bool_]:
+        """Row-wise :meth:`hear` over an ``(R', n)`` block."""
+        return self._built_kernel().hear_rows(rows)
+
     def received(self, vec: npt.NDArray[np.int32]) -> npt.NDArray[np.int32]:
+        """Neighbor-count transport (back-compat; prefer :meth:`hear`)."""
         return self._built_adjacency().dot(vec)
 
     def received_rows(self, rows: npt.NDArray[np.int32]) -> npt.NDArray[np.int32]:
+        """Row-block counts (back-compat; prefer :meth:`hear_rows`)."""
         if self._adj_t is None:
             self._adj_t = self._built_adjacency().transpose().tocsr()
-        return self._adj_t.dot(rows.T).T
+        cols = np.ascontiguousarray(rows.T)
+        return np.ascontiguousarray(self._adj_t.dot(cols).T)
 
 
 #: Run-level instrument handles per registry — finalize runs once per
@@ -308,10 +341,9 @@ class RunCollector:
         self._round += 1
         self.peak_level_bytes = max(self.peak_level_bytes, int(levels.nbytes))
 
-        not_at_max = (levels != view.ell_max).astype(np.int32)
-        blocked = view.received(not_at_max)
-        in_mis = (levels == view.floor) & (blocked == 0)
-        dominated = view.received(in_mis.astype(np.int32)) > 0
+        blocked = view.hear(levels != view.ell_max)
+        in_mis = (levels == view.floor) & ~blocked
+        dominated = view.hear(in_mis)
         others_ok = (levels == view.ell_max) & dominated
         legal = bool(np.all(in_mis | others_ok))
 
@@ -460,10 +492,9 @@ class BatchedCollector:
         # Skip the fancy-index copy while every replica is still running
         # (the common early rounds) — all downstream uses only read.
         rows = levels if active_arr.size == levels.shape[0] else levels[active_arr]
-        not_at_max = (rows != view.ell_max).astype(np.int32)
-        blocked = view.received_rows(not_at_max)
-        in_mis = (rows == view.floor) & (blocked == 0)
-        dominated = view.received_rows(in_mis.astype(np.int32)) > 0
+        blocked = view.hear_rows(rows != view.ell_max)
+        in_mis = (rows == view.floor) & ~blocked
+        dominated = view.hear_rows(in_mis)
         others_ok = (rows == view.ell_max) & dominated
         legal_rows = np.all(in_mis | others_ok, axis=1)
 

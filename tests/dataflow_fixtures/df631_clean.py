@@ -1,0 +1,11 @@
+"""RPR631 (clean): adjacency fetched through the shared structure cache."""
+
+from repro.core.kernels import structure_for
+
+
+def local_adjacency(graph):
+    return structure_for(graph).csr
+
+
+def packed_rows(graph):
+    return structure_for(graph).packed

@@ -1,0 +1,8 @@
+"""RPR631 (flag): adjacency rebuilt by hand instead of via the cache."""
+
+from repro.graphs.io import to_sparse_adjacency
+
+
+def local_adjacency(graph):
+    # Rebuilds a CSR the structure cache already memoizes for this graph.
+    return to_sparse_adjacency(graph)

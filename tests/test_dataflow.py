@@ -32,7 +32,9 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
 FIXTURES = REPO_ROOT / "tests" / "dataflow_fixtures"
 
-ALL_RULE_IDS = ("RPR601", "RPR602", "RPR611", "RPR612", "RPR621", "RPR622")
+ALL_RULE_IDS = (
+    "RPR601", "RPR602", "RPR611", "RPR612", "RPR621", "RPR622", "RPR631",
+)
 
 
 @pytest.fixture(scope="module")
@@ -214,6 +216,33 @@ def test_rpr622_nested_function_submitted_via_helper():
         )
     })
     assert "RPR622" in [v.rule for v in report.violations]
+
+
+def test_rpr631_flags_sparse_constructor_outside_kernels():
+    report = analyze_sources({
+        "m": (
+            "import scipy.sparse as sp\n"
+            "def adjacency(rows, cols, data, n):\n"
+            "    return sp.csr_matrix((data, (rows, cols)), shape=(n, n))\n"
+        )
+    })
+    assert [v.rule for v in report.violations] == ["RPR631"]
+
+
+def test_rpr631_exempts_the_structure_home_modules():
+    source = (
+        "import scipy.sparse as sp\n"
+        "from repro.graphs.io import to_sparse_adjacency\n"
+        "def build(graph, n):\n"
+        "    direct = to_sparse_adjacency(graph)\n"
+        "    return direct, sp.csr_matrix((n, n))\n"
+    )
+    for module in ("repro.core.kernels.structure", "repro.graphs.io"):
+        report = analyze_sources({module: source})
+        assert report.violations == [], module
+    # The same source anywhere else is flagged at both call sites.
+    flagged = analyze_sources({"repro.analysis.helpers": source})
+    assert [v.rule for v in flagged.violations] == ["RPR631", "RPR631"]
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,320 @@
+"""Hear kernels: registry, cache, shared memory, and cross-kernel identity.
+
+The kernels package promises that every registered hear kernel is
+*bit-identical* to the reference ``sparse_int32`` formula on any input,
+so engines may switch kernels without perturbing a single trajectory.
+This suite pins that promise across ≥ 8 graph families (including a
+degree ≥ 256 hub — the PR-1 int8-overflow class), the auto-selection
+heuristic, the content-keyed structure cache, and the shared-memory
+export/attach roundtrip used by sweep workers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.measurements import StabilizationRounds
+from repro.analysis.sweep import SweepPool, run_sweep
+from repro.core.engines.batched import simulate_batched
+from repro.core.engines.constant_state import simulate_constant_state
+from repro.core.engines.single import simulate_single
+from repro.core.engines.two_channel import simulate_two_channel
+from repro.core.kernels import (
+    KERNEL_ALIASES,
+    GraphStructure,
+    attach_structure,
+    available_kernels,
+    clear_structure_cache,
+    export_structures,
+    make_kernel,
+    resolve_kernel_name,
+    seed_structure,
+    structure_cache_info,
+    structure_for,
+)
+from repro.core.knowledge import max_degree_policy
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.graphs.io import to_sparse_adjacency  # repro: allow-file[RPR631]
+
+SEED = 2024
+
+#: ≥ 8 graph families; ``star(300)`` has a degree-299 hub (the class the
+#: PR-1 int8 overflow wrapped on) and ``complete(40)`` is fully dense.
+FAMILIES = {
+    "path": lambda: gen.path(40),
+    "cycle": lambda: gen.cycle(33),
+    "star_deg299": lambda: gen.star(300),
+    "complete": lambda: gen.complete(40),
+    "grid": lambda: gen.grid_2d(6, 7),
+    "torus": lambda: gen.torus_2d(5, 6),
+    "binary_tree": lambda: gen.binary_tree(5),
+    "er": lambda: gen.erdos_renyi(64, 0.15, seed=SEED),
+    "regular": lambda: gen.random_regular(30, 4, seed=SEED),
+    "watts_strogatz": lambda: gen.watts_strogatz(36, 4, 0.2, seed=SEED),
+}
+
+
+@pytest.fixture(params=sorted(FAMILIES))
+def family_graph(request):
+    return request.param, FAMILIES[request.param]()
+
+
+# ----------------------------------------------------------------------
+# Registry + auto heuristic
+# ----------------------------------------------------------------------
+def test_registry_lists_all_three_kernels():
+    assert available_kernels() == ("bitset", "dense_bool", "sparse_int32")
+
+
+def test_aliases_resolve_to_registered_names():
+    for alias, target in KERNEL_ALIASES.items():
+        assert resolve_kernel_name(alias) == target
+        assert target in available_kernels()
+
+
+def test_unknown_kernel_name_raises():
+    with pytest.raises(ValueError, match="unknown hear kernel"):
+        resolve_kernel_name("blas")
+
+
+def test_auto_heuristic_small_graphs_go_dense():
+    assert resolve_kernel_name("auto", structure_for(gen.path(50))) == "dense_bool"
+
+
+def test_auto_heuristic_dense_graphs_go_bitset():
+    structure = structure_for(gen.complete(200))
+    assert resolve_kernel_name("auto", structure) == "bitset"
+
+
+def test_auto_heuristic_large_sparse_goes_sparse():
+    structure = structure_for(gen.cycle(400))
+    assert resolve_kernel_name("auto", structure) == "sparse_int32"
+
+
+def test_auto_heuristic_batched_blocks_prefer_bitset():
+    # Moderate density: sparse solo, bitset once a replica block amortizes
+    # the per-round gather.
+    structure = structure_for(gen.erdos_renyi(400, 0.01, seed=SEED))
+    assert resolve_kernel_name("auto", structure, replicas=1) == "sparse_int32"
+    assert resolve_kernel_name("auto", structure, replicas=16) == "bitset"
+
+
+# ----------------------------------------------------------------------
+# The structure cache
+# ----------------------------------------------------------------------
+def test_structure_cache_shares_by_content():
+    clear_structure_cache()
+    a = structure_for(gen.cycle(12))
+    b = structure_for(gen.cycle(12))  # distinct Graph object, same content
+    assert a is b
+    info = structure_cache_info()
+    assert info["misses"] == 1 and info["hits"] == 1
+
+
+def test_structure_cache_capacity_is_bounded():
+    clear_structure_cache()
+    capacity = structure_cache_info()["capacity"]
+    for n in range(2, capacity + 10):
+        structure_for(gen.path(n))
+    assert structure_cache_info()["size"] == capacity
+
+
+def test_seed_structure_installs_prebuilt_entry():
+    clear_structure_cache()
+    graph = gen.cycle(9)
+    prebuilt = GraphStructure(graph)
+    prebuilt.csr  # force the build
+    seed_structure(prebuilt)
+    assert structure_for(Graph(9, graph.edges)) is prebuilt
+    assert structure_cache_info()["hits"] == 1
+
+
+def test_structure_csr_matches_to_sparse_adjacency(family_graph):
+    _, graph = family_graph
+    ours = structure_for(graph).csr
+    reference = to_sparse_adjacency(graph)
+    assert (ours != reference).nnz == 0
+    assert ours.dtype == reference.dtype
+
+
+def test_structure_transpose_is_shared():
+    structure = structure_for(gen.erdos_renyi(30, 0.2, seed=SEED))
+    assert structure.csr_t is structure.csr
+
+
+def test_packed_roundtrips_through_unpack(family_graph):
+    _, graph = family_graph
+    structure = structure_for(graph)
+    bits = np.unpackbits(
+        structure.packed.view(np.uint8), axis=1, bitorder="little"
+    )
+    np.testing.assert_array_equal(
+        bits[:, : structure.n].astype(bool), structure.dense
+    )
+
+
+# ----------------------------------------------------------------------
+# Kernel-level bit-identity (every kernel vs the reference formula)
+# ----------------------------------------------------------------------
+def test_kernels_agree_on_random_masks(family_graph):
+    _, graph = family_graph
+    structure = structure_for(graph)
+    adjacency = structure.csr
+    rng = np.random.default_rng(SEED)
+    kernels = [make_kernel(name, structure) for name in available_kernels()]
+    for density in (0.0, 0.05, 0.5, 1.0):
+        active = rng.random(structure.n) < density
+        expected = adjacency.dot(active.astype(np.int32)) > 0
+        for kernel in kernels:
+            np.testing.assert_array_equal(
+                kernel.hear(active), expected, err_msg=kernel.name
+            )
+
+
+def test_hear_rows_agree_and_are_c_contiguous(family_graph):
+    _, graph = family_graph
+    structure = structure_for(graph)
+    adjacency = structure.csr
+    rng = np.random.default_rng(SEED + 1)
+    rows = rng.random((5, structure.n)) < 0.3
+    expected = (adjacency.dot(rows.T.astype(np.int32)) > 0).T
+    for name in available_kernels():
+        kernel = make_kernel(name, structure)
+        heard = kernel.hear_rows(rows)
+        assert heard.flags.c_contiguous, name
+        np.testing.assert_array_equal(heard, expected, err_msg=name)
+        # The out= path (what the batched engine uses) must match too.
+        out = np.empty_like(rows)
+        result = kernel.hear_rows(rows, out=out)
+        assert result is out and out.flags.c_contiguous, name
+        np.testing.assert_array_equal(out, expected, err_msg=name)
+
+
+# ----------------------------------------------------------------------
+# Engine-level bit-identity: outcomes must not depend on the kernel
+# ----------------------------------------------------------------------
+def _outcome_tuple(result):
+    return (
+        result.stabilized,
+        result.rounds,
+        sorted(result.mis),
+        result.final_levels.tolist(),
+    )
+
+
+def test_engine_outcomes_identical_across_kernels(family_graph):
+    _, graph = family_graph
+    policy = max_degree_policy(graph)
+    runs = {
+        "single": lambda k: simulate_single(
+            graph, policy, seed=SEED, arbitrary_start=True, kernel=k
+        ),
+        "two_channel": lambda k: simulate_two_channel(
+            graph, policy, seed=SEED, arbitrary_start=True, kernel=k
+        ),
+        "constant_state": lambda k: simulate_constant_state(
+            graph, seed=SEED, kernel=k
+        ),
+    }
+    for label, run in runs.items():
+        reference = _outcome_tuple(run("sparse_int32"))
+        for name in available_kernels():
+            assert _outcome_tuple(run(name)) == reference, (label, name)
+
+
+@pytest.mark.parametrize("algorithm", ["single", "two_channel"])
+def test_batched_outcomes_identical_across_kernels(family_graph, algorithm):
+    _, graph = family_graph
+    policy = max_degree_policy(graph)
+
+    def run(kernel):
+        result = simulate_batched(
+            graph,
+            policy,
+            replicas=4,
+            seed=SEED,
+            algorithm=algorithm,
+            arbitrary_start=True,
+            kernel=kernel,
+        )
+        return [_outcome_tuple(replica) for replica in result.results]
+
+    reference = run("sparse_int32")
+    for name in available_kernels():
+        assert run(name) == reference, name
+
+
+# ----------------------------------------------------------------------
+# Shared-memory export / attach roundtrip
+# ----------------------------------------------------------------------
+def test_shared_memory_roundtrip_preserves_every_form():
+    graph = gen.erdos_renyi(48, 0.2, seed=SEED)
+    original = structure_for(graph)
+    original.packed  # build before export
+    shared = export_structures([graph, gen.erdos_renyi(48, 0.2, seed=SEED)])
+    try:
+        assert len(shared.manifests) == 1  # digest-deduplicated
+        attached = attach_structure(shared.manifests[0])
+        assert attached.graph == graph
+        assert attached.digest == original.digest
+        np.testing.assert_array_equal(attached.edge_array, original.edge_array)
+        assert (attached.csr != original.csr).nnz == 0
+        np.testing.assert_array_equal(attached.packed, original.packed)
+        # Attached views are read-only: a stray in-place write must raise.
+        assert not attached.packed.flags.writeable
+        with pytest.raises((ValueError, RuntimeError)):
+            attached.edge_array[0, 0] = 99
+        # Hearing through an attached structure matches the original.
+        mask = np.zeros(48, dtype=bool)
+        mask[::5] = True
+        for name in available_kernels():
+            np.testing.assert_array_equal(
+                make_kernel(name, attached).hear(mask),
+                make_kernel(name, original).hear(mask),
+                err_msg=name,
+            )
+        attached._segments[0].close()
+    finally:
+        shared.close()
+
+
+# ----------------------------------------------------------------------
+# Sweep byte-identity with shared-memory workers on and off
+# ----------------------------------------------------------------------
+SWEEP_CONFIGS = [
+    {"family": "er", "n": 24},
+    {"family": "cycle", "n": 20},
+    {"family": "er", "n": 24},  # duplicate topology → one shared segment
+]
+
+
+def _sweep_samples(**kwargs):
+    result = run_sweep(
+        SWEEP_CONFIGS,
+        StabilizationRounds(variant="max_degree"),
+        repetitions=3,
+        master_seed=SEED,
+        **kwargs,
+    )
+    return [list(cell.samples) for cell in result.cells]
+
+
+@pytest.mark.parametrize("executor", ["process", "batched"])
+def test_sweep_is_byte_identical_with_shared_memory_workers(executor):
+    reference = _sweep_samples(executor="serial")
+    plain = _sweep_samples(executor=executor, jobs=2)
+    shared = _sweep_samples(executor=executor, jobs=2, shared_graphs=True)
+    assert plain == reference
+    assert shared == reference
+
+
+def test_persistent_sweep_pool_reuses_workers_byte_identically():
+    from repro.analysis.measurements import graph_for_config
+
+    reference = _sweep_samples(executor="serial")
+    graphs = [graph_for_config(config) for config in SWEEP_CONFIGS]
+    with SweepPool(jobs=2, graphs=graphs) as pool:
+        first = _sweep_samples(executor="process", pool=pool)
+        second = _sweep_samples(executor="batched", pool=pool)
+    assert first == reference
+    assert second == reference
