@@ -7,6 +7,8 @@ workflows:
   waterfall (``--watch``),
 * ``sweep``   — rounds-vs-n scaling study with growth-model fits,
 * ``recover`` — fault-injection recovery measurement,
+* ``serve``   — long-lived MIS service replaying a topology op stream
+  (see ``docs/serving.md``),
 * ``color`` / ``match`` — the MIS reductions of :mod:`repro.apps`,
 * ``figure1`` — print the paper's Figure-1 activation table,
 * ``info``    — structural statistics of a generated graph.
@@ -18,6 +20,8 @@ Examples::
     python -m repro run --family er --n 256 --metrics summary
     python -m repro sweep --family er --sizes 64,128,256,512 --reps 10
     python -m repro sweep --family er --reps 10 --metrics jsonl --jobs 2
+    python -m repro serve --workload churn-heavy --ops-count 10000 --seed 0
+    python -m repro serve --ops stream.jsonl --metrics summary
     python -m repro recover --family regular --n 200 --fault bernoulli:0.3
     python -m repro figure1 --ell-max 8
     python -m repro info --family ba --n 500
@@ -46,7 +50,7 @@ from .analysis.visualize import render_run
 from .core.engines import SingleChannelEngine, TwoChannelEngine, available_engines
 from .core.levels import probability_table
 from .core.runner import VARIANTS, compute_mis, default_round_budget, policy_for_variant
-from .devtools.seeding import resolve_rng
+from .devtools.seeding import resolve_rng, rng_from_sequence, spawn_children
 from .graphs.generators import FAMILY_NAMES, by_name
 from .graphs.properties import average_degree, connected_components, deg2_all
 from .obs import (
@@ -134,6 +138,49 @@ def build_parser() -> argparse.ArgumentParser:
                          help="ship graph structures to workers via shared "
                               "memory (parallel executors only)")
     add_metrics_args(sweep_p)
+
+    serve_p = sub.add_parser(
+        "serve", help="long-lived MIS service over a topology op stream"
+    )
+    add_graph_args(serve_p)
+    ops_src = serve_p.add_mutually_exclusive_group()
+    ops_src.add_argument(
+        "--ops", metavar="FILE", default=None,
+        help="newline-delimited JSON op stream ('-' = stdin); "
+             "format spec in docs/serving.md",
+    )
+    ops_src.add_argument(
+        "--workload", choices=("read-heavy", "churn-heavy", "burst"),
+        default=None,
+        help="generate a deterministic seeded op stream instead "
+             "(default when --ops is absent: churn-heavy)",
+    )
+    serve_p.add_argument("--ops-count", type=int, default=1000,
+                         help="ops to generate for --workload (default: 1000)")
+    serve_p.add_argument("--seed", type=int, default=0,
+                         help="seed root (workload stream + engine RNG)")
+    serve_p.add_argument(
+        "--degree-cap", type=int, default=None,
+        help="committed Δ upper bound enforced on every mutation "
+             "(default: starting max degree + 2 head-room)",
+    )
+    serve_p.add_argument("--algorithm", choices=("single", "two_channel"),
+                         default="single")
+    serve_p.add_argument("--engine", choices=("vectorized", "batched"),
+                         default="vectorized",
+                         help="resumable execution engine")
+    serve_p.add_argument("--kernel", choices=["auto", "sparse", "dense", "bitset"],
+                         default="auto",
+                         help="hear kernel (bit-identical results; perf only)")
+    serve_p.add_argument("--rebuild-per-op", action="store_true",
+                         help="baseline mode: rebuild the full derived "
+                              "structure on every mutation instead of "
+                              "patching incrementally")
+    serve_p.add_argument("--emit-ops", metavar="FILE", default=None,
+                         help="also write the replayed op stream to FILE")
+    serve_p.add_argument("--json", metavar="FILE", default=None,
+                         help="write the summary as JSON to FILE ('-' = stdout)")
+    add_metrics_args(serve_p)
 
     recover_p = sub.add_parser("recover", help="fault-injection recovery measurement")
     add_graph_args(recover_p)
@@ -360,6 +407,118 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    # Imported lazily: serving pulls in the whole mutable-topology stack
+    # that no other subcommand needs.
+    import json
+
+    from .serve import MISService, format_op, generate_ops, parse_ops
+
+    graph = by_name(args.family, args.n, seed=args.graph_seed)
+    cap = args.degree_cap
+    if cap is None:
+        # Head-room above the starting Δ so churn workloads can add
+        # edges; the committed ℓmax grows only logarithmically with it.
+        cap = max(graph.max_degree() + 2, 1)
+
+    # One seed, two independent streams (workload vs engine) — spawned
+    # unconditionally so replaying an emitted stream from --ops with the
+    # same --seed drives the engine identically.
+    workload_seq, engine_seq = spawn_children(args.seed, 2)
+
+    if args.ops is not None:
+        stream = sys.stdin if args.ops == "-" else open(args.ops, encoding="utf-8")
+        try:
+            ops = list(parse_ops(stream))
+        finally:
+            if stream is not sys.stdin:
+                stream.close()
+        source = args.ops
+    else:
+        mix = args.workload or "churn-heavy"
+        ops = generate_ops(
+            mix, args.ops_count, rng_from_sequence(workload_seq), graph,
+            degree_cap=cap,
+        )
+        source = f"{mix} x{args.ops_count} (seed {args.seed})"
+    if args.emit_ops:
+        with open(args.emit_ops, "w", encoding="utf-8") as handle:
+            for op in ops:
+                handle.write(format_op(op) + "\n")
+
+    opts = _metrics_options(args)
+    registry = sink = None
+    if opts is not None:
+        registry = MetricsRegistry()
+        if opts.sink in ("jsonl", "csv"):
+            sink = make_sink(opts.sink, opts.path)
+
+    service = MISService(
+        graph,
+        degree_cap=cap,
+        algorithm=args.algorithm,
+        engine=args.engine,
+        kernel=args.kernel,
+        seed=rng_from_sequence(engine_seq),
+        registry=registry,
+        sink=sink,
+        rebuild_per_op=args.rebuild_per_op,
+    )
+    report = service.run(ops)
+    legal = service.verify_legal()
+    summary = report.summary()
+
+    mode = "rebuild-per-op" if args.rebuild_per_op else "incremental"
+    print(
+        f"{args.family}(n={graph.num_vertices}, m={graph.num_edges}) "
+        f"cap={cap} engine={args.engine}/{args.algorithm} [{mode}]"
+    )
+    print(f"served {summary['ops']} ops from {source}: "
+          f"{summary['rejected']} rejected, "
+          f"final MIS legal: {'yes' if legal else 'NO'}")
+    lat = summary.get("latency_s")
+    if lat is not None:
+        print(
+            "per-op latency: "
+            + "  ".join(f"{k}={lat[k] * 1e6:.1f}µs" for k in ("p50", "p95", "p99"))
+        )
+    rounds = summary.get("rounds_to_restabilize")
+    if rounds is not None:
+        print(
+            "rounds to re-stabilize: "
+            + "  ".join(f"{k}={rounds[k]:.0f}" for k in ("p50", "p95", "p99", "max"))
+            + f"  total={rounds['total']:.0f}"
+        )
+    rows = [
+        [kind,
+         entry["count"],
+         f"{entry['latency_s']['p50'] * 1e6:.1f}",
+         f"{entry['latency_s']['p99'] * 1e6:.1f}",
+         f"{entry['rounds_to_restabilize']['p99']:.0f}"
+         if "rounds_to_restabilize" in entry else "-"]
+        for kind, entry in summary["by_op"].items()
+    ]
+    print()
+    print(format_table(
+        ["op", "count", "p50 µs", "p99 µs", "rounds p99"], rows,
+        title="per-op breakdown",
+    ))
+    if opts is not None:
+        if sink is not None:
+            sink.close()
+            print(f"wrote {sink.emitted} per-op records to {opts.path}")
+        print()
+        print(registry.format())
+    if args.json:
+        payload = json.dumps({"summary": summary, "legal": legal}, indent=2)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+    return 0 if legal else 1
+
+
 def _cmd_recover(args) -> int:
     from .beeping.faults import fault_from_spec
     from .beeping.network import BeepingNetwork
@@ -496,6 +655,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "run": _cmd_run,
         "sweep": _cmd_sweep,
+        "serve": _cmd_serve,
         "recover": _cmd_recover,
         "color": _cmd_color,
         "match": _cmd_match,

@@ -29,7 +29,13 @@ import numpy.typing as npt
 
 from ...devtools.seeding import SeedLike, resolve_rng
 from ...graphs.graph import Graph
-from ..kernels import HearKernel, make_kernel, structure_for
+from ..kernels import (
+    GraphStructure,
+    HearKernel,
+    make_kernel,
+    resolve_kernel_name,
+    structure_for,
+)
 from ..knowledge import EllMaxPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -112,7 +118,12 @@ class EngineBase:
         # are read-only by contract.
         self.structure = structure_for(graph)
         self.adjacency = self.structure.csr
-        self.kernel: HearKernel = make_kernel(kernel, self.structure)
+        # The *resolved* kernel name is pinned at construction so that a
+        # later ``rebind`` keeps the same kernel implementation even if
+        # the ``auto`` heuristic would now pick a different one (swapping
+        # mid-run would keep trajectories identical but perturb timing).
+        self.kernel_name = resolve_kernel_name(kernel, self.structure)
+        self.kernel: HearKernel = make_kernel(self.kernel_name, self.structure)
         self.ell_max: npt.NDArray[np.int64] = np.asarray(
             policy.ell_max, dtype=np.int64
         )
@@ -152,10 +163,145 @@ class EngineBase:
         )
 
     # ------------------------------------------------------------------
+    # Topology rebinding (the long-lived-service path)
+    # ------------------------------------------------------------------
+    def rebind(
+        self,
+        structure: GraphStructure,
+        policy: Optional[EllMaxPolicy] = None,
+    ) -> None:
+        """Swap in a new (patched) structure, carrying levels across.
+
+        This is the resumable half of the serving loop: after a topology
+        delta, the service patches the derived structure via
+        :func:`repro.core.kernels.update_structure`, rebinds the engine,
+        and calls :meth:`until_stable` — the engine re-stabilizes *from
+        its current levels* instead of restarting, which is exactly the
+        self-stabilization property the paper proves.
+
+        ``policy`` is required when the vertex-id space grew (every
+        per-vertex array changes size); otherwise the committed policy is
+        kept.  Carried levels are preserved verbatim — self-stabilization
+        makes any configuration a valid starting point — and vertices new
+        to the id space start at level 1, the engines' canonical start.
+        """
+        if policy is not None:
+            if policy.num_vertices != structure.n:
+                raise ValueError("policy size does not match structure size")
+            self.ell_max = np.asarray(policy.ell_max, dtype=np.int64)
+        elif structure.n != self.n:
+            raise ValueError(
+                "rebind across a vertex-id-space change requires a policy"
+            )
+        old_n, old_levels = self.n, self.levels
+        self.structure = structure
+        self.graph = structure.graph
+        self.n = structure.n
+        self.adjacency = structure.csr
+        self.kernel = make_kernel(self.kernel_name, structure)
+        self._floor = (
+            -self.ell_max
+            if self.uses_negative_levels
+            else np.zeros_like(self.ell_max)
+        )
+        if self.n != old_n:
+            levels = np.ones(self.n, dtype=np.int64)
+            levels[:old_n] = old_levels
+            self.levels = levels
+        # A shrunk ℓmax could strand carried levels outside the band;
+        # the uniform committed policies of the service never do, but
+        # clamp defensively so ``step`` sees admissible state.
+        np.clip(self.levels, self._floor, self.ell_max, out=self.levels)
+
+    # ------------------------------------------------------------------
     # One synchronous round — subclass responsibility
     # ------------------------------------------------------------------
     def step(self) -> StepOutput:  # pragma: no cover - interface
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Resumable run-until-legal (the other half of the serving protocol)
+    # ------------------------------------------------------------------
+    def until_stable(
+        self,
+        max_rounds: int,
+        check_every: int = 1,
+        record_series: bool = False,
+        collector: Optional["RunCollector"] = None,
+    ) -> VectorizedResult:
+        """Step from the *current* levels until the configuration is legal.
+
+        ``rounds`` convention: legality is *observed* before stepping, at
+        rounds ``0, check_every, 2·check_every, …`` — plus once more when
+        the budget runs out.  With ``check_every=1`` (the default
+        everywhere) the returned ``rounds`` is the exact number of rounds
+        executed by *this call*; with a coarser cadence it may overshoot
+        by up to ``check_every − 1`` rounds, trading accuracy for two
+        fewer sparse matvecs per skipped round.
+
+        ``record_series`` is independent of the check cadence: the
+        per-round ``S_t``/beep series are appended every round regardless
+        of ``check_every`` (recording needs ``stable_mask``, one matvec,
+        but not the full legality predicate).
+
+        ``collector`` (a :class:`repro.obs.RunCollector`) observes the
+        levels before every step and the beeps after; its legality
+        verdict — the exact :meth:`is_legal` formula — is *reused* for
+        the check so observability never evaluates legality twice.
+        Collectors read but never mutate state and draw no randomness, so
+        the trajectory with a collector attached is bit-identical to the
+        bare run.
+
+        Unlike the historical one-shot drivers this never resets state:
+        calling it again after a :meth:`rebind` (or any external level
+        perturbation) continues the same engine, which is what lets a
+        service carry levels across topology events.
+        """
+        if check_every < 1:
+            raise ValueError("check_every must be >= 1")
+        if collector is not None:
+            collector.view.adopt_engine(self)
+        beep_series: List[int] = []
+        stable_series: List[int] = []
+        executed = 0
+        while True:
+            should_check = executed % check_every == 0 or executed >= max_rounds
+            if collector is not None:
+                legal = collector.observe_structure(self.levels)
+            else:
+                legal = self.is_legal() if should_check else False
+            if should_check and legal:
+                result = VectorizedResult(
+                    stabilized=True,
+                    rounds=executed,
+                    mis=self.mis_vertices(),
+                    final_levels=self.levels.copy(),
+                    beep_series=beep_series,
+                    stable_series=stable_series,
+                )
+                break
+            if executed >= max_rounds:
+                result = VectorizedResult(
+                    stabilized=False,
+                    rounds=executed,
+                    mis=frozenset(),
+                    final_levels=self.levels.copy(),
+                    beep_series=beep_series,
+                    stable_series=stable_series,
+                )
+                break
+            if record_series:
+                stable_series.append(int(self.stable_mask().sum()))
+            out = self.step()
+            if record_series:
+                first = out[0] if isinstance(out, tuple) else out
+                beep_series.append(int(first.sum()))
+            if collector is not None:
+                collector.observe_beeps(out)
+            executed += 1
+        if collector is not None:
+            collector.finalize(result.stabilized, result.rounds)
+        return result
 
     # ------------------------------------------------------------------
     # Stability structure (paper Section 3), shared by both algorithms:
@@ -205,69 +351,15 @@ def drive(
     record_series: bool,
     collector: Optional["RunCollector"] = None,
 ) -> VectorizedResult:
-    """Shared run-until-legal loop for the level-based engines.
+    """Back-compat wrapper over :meth:`EngineBase.until_stable`.
 
-    ``rounds`` convention: legality is *observed* before stepping, at
-    rounds ``0, check_every, 2·check_every, …`` — plus once more when the
-    budget runs out.  With ``check_every=1`` (the default everywhere) the
-    returned ``rounds`` is the exact stabilization round; with a coarser
-    cadence it may overshoot by up to ``check_every − 1`` rounds, trading
-    accuracy for two fewer sparse matvecs per skipped round.
-
-    ``record_series`` is independent of the check cadence: the per-round
-    ``S_t``/beep series are appended every round regardless of
-    ``check_every`` (recording needs ``stable_mask``, one matvec, but not
-    the full legality predicate).
-
-    ``collector`` (a :class:`repro.obs.RunCollector`) observes the levels
-    before every step and the beeps after; its legality verdict — the
-    exact :meth:`EngineBase.is_legal` formula — is *reused* for the check
-    so observability never evaluates legality twice.  Collectors read but
-    never mutate state and draw no randomness, so the trajectory with a
-    collector attached is bit-identical to the bare run.
+    Historical entry point of the one-shot simulate drivers; the loop now
+    lives on the engine itself so services can resume it after a
+    :meth:`EngineBase.rebind`.  Semantics are unchanged.
     """
-    if check_every < 1:
-        raise ValueError("check_every must be >= 1")
-    if collector is not None:
-        collector.view.adopt_engine(engine)
-    beep_series: List[int] = []
-    stable_series: List[int] = []
-    executed = 0
-    while True:
-        should_check = executed % check_every == 0 or executed >= max_rounds
-        if collector is not None:
-            legal = collector.observe_structure(engine.levels)
-        else:
-            legal = engine.is_legal() if should_check else False
-        if should_check and legal:
-            result = VectorizedResult(
-                stabilized=True,
-                rounds=executed,
-                mis=engine.mis_vertices(),
-                final_levels=engine.levels.copy(),
-                beep_series=beep_series,
-                stable_series=stable_series,
-            )
-            break
-        if executed >= max_rounds:
-            result = VectorizedResult(
-                stabilized=False,
-                rounds=executed,
-                mis=frozenset(),
-                final_levels=engine.levels.copy(),
-                beep_series=beep_series,
-                stable_series=stable_series,
-            )
-            break
-        if record_series:
-            stable_series.append(int(engine.stable_mask().sum()))
-        out = engine.step()
-        if record_series:
-            first = out[0] if isinstance(out, tuple) else out
-            beep_series.append(int(first.sum()))
-        if collector is not None:
-            collector.observe_beeps(out)
-        executed += 1
-    if collector is not None:
-        collector.finalize(result.stabilized, result.rounds)
-    return result
+    return engine.until_stable(
+        max_rounds,
+        check_every=check_every,
+        record_series=record_series,
+        collector=collector,
+    )

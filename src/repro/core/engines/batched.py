@@ -33,7 +33,13 @@ import numpy.typing as npt
 
 from ...devtools.seeding import SeedSpec, as_seed_sequence, rng_from_sequence
 from ...graphs.graph import Graph
-from ..kernels import HearKernel, make_kernel, structure_for
+from ..kernels import (
+    GraphStructure,
+    HearKernel,
+    make_kernel,
+    resolve_kernel_name,
+    structure_for,
+)
 from ..knowledge import EllMaxPolicy
 from .base import MAX_EXPONENT, VectorizedResult
 
@@ -129,8 +135,13 @@ class BatchedEngine:
         self.structure = structure_for(graph)
         self.adjacency = self.structure.csr
         self._adj_t = self.structure.csr_t
+        # Pinned at construction so ``rebind`` keeps the same kernel
+        # implementation across topology deltas (see EngineBase).
+        self.kernel_name = resolve_kernel_name(
+            kernel, self.structure, self.replicas
+        )
         self.kernel: HearKernel = make_kernel(
-            kernel, self.structure, replicas=self.replicas
+            self.kernel_name, self.structure, replicas=self.replicas
         )
         self.ell_max = np.asarray(policy.ell_max, dtype=np.int64)
         self.rngs = [rng_from_sequence(s) for s in seed_sequences]
@@ -216,6 +227,84 @@ class BatchedEngine:
         table[: hi + 1] = 1.0
         table[2 * hi] = 0.0
         return table
+
+    # ------------------------------------------------------------------
+    # Topology rebinding (mirrors EngineBase.rebind, all replicas at once)
+    # ------------------------------------------------------------------
+    def rebind(
+        self,
+        structure: GraphStructure,
+        policy: Optional[EllMaxPolicy] = None,
+    ) -> None:
+        """Swap in a new (patched) structure, carrying all replica levels.
+
+        The common case — a fixed-``n`` delta, which is every serving op
+        except an id-space-growing ADD_NODE — leaves every ``(·, n)``
+        buffer shape-stable: the per-replica pre-drawn uniform blocks,
+        their cursors, and the ping-pong level buffers all stay valid, so
+        replica ``k``'s random stream continues exactly where it was (the
+        bit-identical replica contract keeps holding across the delta).
+
+        When the id space *grows* (``policy`` then required), every
+        per-vertex buffer changes shape: scratch is reallocated, carried
+        levels are extended with the canonical start level 1, and each
+        replica's unconsumed pre-drawn uniforms are discarded (the next
+        step refills blocks at the new width).  Discarding is
+        deterministic — a replay of the same op stream discards at the
+        same points — but the stream no longer matches a solo run's,
+        which is why the equivalence tests only ever rebind at fixed n.
+        """
+        if policy is not None:
+            if policy.num_vertices != structure.n:
+                raise ValueError("policy size does not match structure size")
+            new_ell = np.asarray(policy.ell_max, dtype=np.int64)
+        elif structure.n != self.n:
+            raise ValueError(
+                "rebind across a vertex-id-space change requires a policy"
+            )
+        else:
+            new_ell = self.ell_max
+        old_n = self.n
+        self.graph = structure.graph
+        self.structure = structure
+        self.n = structure.n
+        self.adjacency = structure.csr
+        self._adj_t = structure.csr_t
+        self.kernel = make_kernel(
+            self.kernel_name, structure, replicas=self.replicas
+        )
+        self.ell_max = new_ell
+        self._floor = (
+            -self.ell_max if self._single else np.zeros_like(self.ell_max)
+        )
+        self._ell_max32 = self.ell_max.astype(np.int32)
+        self._floor32 = self._floor.astype(np.int32)
+        self._neg_ell_max = -self._ell_max32
+        self._p_table = self._build_p_table()
+        self._mis_scratch = None
+        if self.n != old_n:
+            n = self.n
+            levels = np.ones((self.replicas, n), dtype=np.int32)
+            levels[:, :old_n] = self.levels
+            self.levels = levels
+            self._draws = np.empty((self.replicas, n), dtype=np.float64)
+            self._heard = np.empty((2 * self.replicas, n), dtype=bool)
+            self._stack = (
+                None
+                if self._single
+                else np.empty((2 * self.replicas, n), dtype=bool)
+            )
+            self._up = np.empty((self.replicas, n), dtype=np.int32)
+            self._down = np.empty((self.replicas, n), dtype=np.int32)
+            self._sel = np.empty((self.replicas, n), dtype=np.int32)
+            self._p_idx = np.empty((self.replicas, n), dtype=np.int32)
+            self._p_buf = np.empty((self.replicas, n), dtype=np.float64)
+            self._draw_block = max(1, 16384 // max(1, n))
+            self._blocks = np.empty(
+                (self.replicas, self._draw_block, n), dtype=np.float64
+            )
+            self._cursor = np.full(self.replicas, self._draw_block, dtype=np.intp)
+        np.clip(self.levels, self._floor32, self._ell_max32, out=self.levels)
 
     # ------------------------------------------------------------------
     # Level management (mirrors EngineBase, one row per replica)

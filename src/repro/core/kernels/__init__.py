@@ -29,8 +29,10 @@ from .structure import (
     GraphStructure,
     clear_structure_cache,
     seed_structure,
+    should_rebuild,
     structure_cache_info,
     structure_for,
+    update_structure,
 )
 
 __all__ = [
@@ -50,6 +52,8 @@ __all__ = [
     "GraphStructure",
     "structure_for",
     "seed_structure",
+    "update_structure",
+    "should_rebuild",
     "clear_structure_cache",
     "structure_cache_info",
 ]

@@ -33,7 +33,7 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
-from typing import Dict, Optional, Union
+from typing import TYPE_CHECKING, Dict, Optional, Union
 
 import numpy as np
 import numpy.typing as npt
@@ -41,12 +41,17 @@ import scipy.sparse as sp
 
 from ...graphs.graph import Graph
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...graphs.mutable import TopologyDelta
+
 __all__ = [
     "GraphStructure",
     "structure_for",
     "seed_structure",
     "clear_structure_cache",
     "structure_cache_info",
+    "update_structure",
+    "should_rebuild",
 ]
 
 
@@ -90,7 +95,13 @@ class GraphStructure:
     # ------------------------------------------------------------------
     @property
     def edge_array(self) -> npt.NDArray[np.int64]:
-        """Canonical ``(m, 2)`` int64 edge array (sorted, u < v)."""
+        """Canonical ``(m, 2)`` int64 edge array (sorted, u < v).
+
+        Present for graph-keyed structures (built lazily from the
+        Graph's edge tuple) and for incrementally patched structures
+        (:func:`update_structure` splices the array directly, so the
+        patched structure needs no Graph object at all).
+        """
         if self._edge_array is None:
             if self.graph is None:
                 raise ValueError("structure wraps a bare CSR; no edge list")
@@ -141,7 +152,7 @@ class GraphStructure:
 
     def _build_dense(self) -> npt.NDArray[np.bool_]:
         dense = np.zeros((self.n, self.n), dtype=bool)
-        if self.graph is not None:
+        if self.graph is not None or self._edge_array is not None:
             edges = self.edge_array
             if edges.size:
                 dense[edges[:, 0], edges[:, 1]] = True
@@ -266,3 +277,224 @@ def structure_cache_info() -> Dict[str, Union[int, float]]:
             "hits": _hits,
             "misses": _misses,
         }
+
+
+# ----------------------------------------------------------------------
+# Incremental structure updates (the serving hot path)
+# ----------------------------------------------------------------------
+# Cost model: patching splices only the dirty CSR rows (one contiguous
+# copy per clean gap) and flips only the touched dense cells / bitset
+# words, so its cost is O(m_copy + Σ deg(dirty)).  The per-dirty-row
+# Python bookkeeping stops paying once the delta touches a sizable slice
+# of the graph, at which point the from-scratch build — whose arrays are
+# written once, in order, by vectorized constructors — is cheaper.  The
+# two thresholds mark that crossover with a wide margin (patching a
+# quarter of all rows costs about as much as rebuilding them all); a
+# vertex-id-space *growth* always rebuilds, since every derived form
+# changes shape.
+_REBUILD_DIRTY_FRACTION = 0.25
+_REBUILD_EDGE_FRACTION = 0.25
+
+
+def should_rebuild(structure: GraphStructure, delta: "TopologyDelta") -> bool:
+    """True when the cost model prefers a from-scratch rebuild.
+
+    Exposed so tests and benchmarks can assert which path a delta takes;
+    :func:`update_structure` produces byte-identical output either way.
+    """
+    if delta.grows:
+        return True
+    n = max(structure.n, 1)
+    m = max(structure.num_edges - len(delta.removed) + len(delta.added), 1)
+    if len(delta.dirty) > _REBUILD_DIRTY_FRACTION * n:
+        return True
+    return delta.churned_edges > _REBUILD_EDGE_FRACTION * m
+
+
+def _edge_pairs(edges: tuple) -> npt.NDArray[np.int64]:
+    """Canonical edge tuples as an ``(k, 2)`` int64 array."""
+    return np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+
+
+def _patch_edge_array(
+    edges: npt.NDArray[np.int64],
+    n: int,
+    removed: npt.NDArray[np.int64],
+    added: npt.NDArray[np.int64],
+) -> npt.NDArray[np.int64]:
+    """Splice removed/added canonical edges into the sorted edge array.
+
+    Works on scalar edge keys ``u·n + v`` (canonical edges sort by key
+    exactly as they sort lexicographically), so membership and re-sort
+    are single vectorized passes.
+    """
+    keys = edges[:, 0] * n + edges[:, 1]
+    if removed.size:
+        rem_keys = removed[:, 0] * n + removed[:, 1]
+        keys = keys[np.isin(keys, rem_keys, assume_unique=True, invert=True)]
+    if added.size:
+        add_keys = added[:, 0] * n + added[:, 1]
+        keys = np.sort(np.concatenate([keys, add_keys]))
+    out = np.empty((keys.size, 2), dtype=np.int64)
+    np.floor_divide(keys, n, out=out[:, 0])
+    np.mod(keys, n, out=out[:, 1])
+    return out
+
+
+def _patch_csr(
+    csr: sp.csr_matrix, n: int, delta: "TopologyDelta"
+) -> sp.csr_matrix:
+    """Rebuild only the dirty CSR rows; clean row runs are copied whole.
+
+    The output is entry- and dtype-identical to a fresh canonical build:
+    per-row neighbor lists arrive sorted from the delta, the data vector
+    is all int32 ones, and the index arrays inherit the source dtypes.
+    """
+    indptr, indices = csr.indptr, csr.indices
+    new_counts = np.diff(indptr)
+    for v in delta.dirty:
+        new_counts[v] = len(delta.neighbors[v])
+    new_indptr = np.empty(n + 1, dtype=indptr.dtype)
+    new_indptr[0] = 0
+    np.cumsum(new_counts, out=new_indptr[1:])
+    total = int(new_indptr[n])
+    new_indices = np.empty(total, dtype=indices.dtype)
+    prev = 0  # first row whose indices have not been copied yet
+    for v in delta.dirty:
+        if prev < v:
+            new_indices[new_indptr[prev] : new_indptr[v]] = (
+                indices[indptr[prev] : indptr[v]]
+            )
+        row = delta.neighbors[v]
+        if row:
+            new_indices[new_indptr[v] : new_indptr[v + 1]] = row
+        prev = v + 1
+    if prev < n:
+        new_indices[new_indptr[prev] : new_indptr[n]] = (
+            indices[indptr[prev] : indptr[n]]
+        )
+    data = np.ones(total, dtype=csr.data.dtype)
+    return sp.csr_matrix((data, new_indices, new_indptr), shape=(n, n))
+
+
+def _patch_dense(
+    dense: npt.NDArray[np.bool_],
+    removed: npt.NDArray[np.int64],
+    added: npt.NDArray[np.int64],
+) -> npt.NDArray[np.bool_]:
+    """Flip only the churned cells (both triangles) of a dense copy."""
+    out = dense.copy()
+    if removed.size:
+        out[removed[:, 0], removed[:, 1]] = False
+        out[removed[:, 1], removed[:, 0]] = False
+    if added.size:
+        out[added[:, 0], added[:, 1]] = True
+        out[added[:, 1], added[:, 0]] = True
+    return out
+
+
+def _packed_flip(
+    words: npt.NDArray[np.uint64],
+    pairs: npt.NDArray[np.int64],
+    set_bits: bool,
+) -> None:
+    """Set/clear adjacency bits (both orientations) in a packed copy.
+
+    Bit ``v`` of row ``u`` lives in word ``v >> 6`` at in-word position
+    ``v & 63`` (the little-endian layout :attr:`GraphStructure.packed`
+    documents).  ``.at`` ufuncs apply unbuffered, so several flips
+    landing in the same word all take effect.
+    """
+    both = np.concatenate([pairs, pairs[:, ::-1]])
+    rows = both[:, 0]
+    cols = both[:, 1]
+    masks = np.left_shift(np.uint64(1), (cols & 63).astype(np.uint64))
+    if set_bits:
+        np.bitwise_or.at(words, (rows, cols >> 6), masks)
+    else:
+        np.bitwise_and.at(words, (rows, cols >> 6), np.invert(masks))
+
+
+def _patch_packed(
+    packed: npt.NDArray[np.uint64],
+    removed: npt.NDArray[np.int64],
+    added: npt.NDArray[np.int64],
+) -> npt.NDArray[np.uint64]:
+    out = packed.copy()
+    if removed.size:
+        _packed_flip(out, removed, set_bits=False)
+    if added.size:
+        _packed_flip(out, added, set_bits=True)
+    return out
+
+
+def update_structure(
+    structure: GraphStructure,
+    delta: "TopologyDelta",
+    graph: Optional[Graph] = None,
+) -> GraphStructure:
+    """A new :class:`GraphStructure` with ``delta`` applied to ``structure``.
+
+    The input structure is never mutated (shared structures are
+    read-only by contract); the returned structure holds fresh arrays
+    that are **byte-identical** to a from-scratch ``structure_for`` on
+    the post-delta graph — asserted across every derived form and delta
+    shape by ``tests/test_incremental_structure.py``.
+
+    Only the forms the source structure had already materialized are
+    patched; the rest stay lazy and build from the (always-patched)
+    edge array on first use, exactly as a fresh structure would.  When
+    :func:`should_rebuild` prefers a from-scratch build (large delta,
+    or a vertex-id-space growth that changes every array shape), the
+    patch is skipped and the result comes from the shared cache.
+
+    Parameters
+    ----------
+    structure:
+        The pre-delta structure (graph-keyed or previously patched;
+        bare-CSR wrappers are rejected).
+    delta:
+        A :class:`repro.graphs.mutable.TopologyDelta` — produced by a
+        :class:`~repro.graphs.mutable.MutableTopology` op or by
+        :func:`~repro.graphs.mutable.diff_graphs`.
+    graph:
+        Optional post-delta :class:`Graph`.  When given, the result is
+        graph-keyed (and therefore cacheable); the serving hot path
+        omits it to skip the O(n + m) Graph construction entirely.
+    """
+    if structure.graph is None and structure._edge_array is None:
+        raise ValueError("cannot patch a structure wrapping a bare CSR")
+    if graph is not None and graph.num_vertices != delta.new_n:
+        raise ValueError(
+            f"graph has {graph.num_vertices} vertices, delta says {delta.new_n}"
+        )
+
+    if should_rebuild(structure, delta):
+        if graph is None:
+            edges = _patch_edge_array(
+                # Grown id spaces only ever *add* vertices, so old keys
+                # decode identically under the new modulus.
+                structure.edge_array,
+                max(delta.new_n, 1),
+                _edge_pairs(delta.removed),
+                _edge_pairs(delta.added),
+            )
+            graph = Graph(delta.new_n, [(int(u), int(v)) for u, v in edges])
+        return structure_for(graph)
+
+    removed = _edge_pairs(delta.removed)
+    added = _edge_pairs(delta.added)
+    n = delta.new_n
+    patched = GraphStructure(graph)
+    patched.n = n
+    patched.num_edges = structure.num_edges - len(delta.removed) + len(delta.added)
+    patched._edge_array = _patch_edge_array(
+        structure.edge_array, max(n, 1), removed, added
+    )
+    if structure._csr is not None:
+        patched._csr = _patch_csr(structure._csr, n, delta)
+    if structure._dense is not None:
+        patched._dense = _patch_dense(structure._dense, removed, added)
+    if structure._packed is not None:
+        patched._packed = _patch_packed(structure._packed, removed, added)
+    return patched

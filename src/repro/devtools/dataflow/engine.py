@@ -116,12 +116,34 @@ _SPARSE_CTORS = frozenset({
     "bsr_matrix", "dia_matrix", "csr_array", "csc_array", "coo_array",
 })
 
+#: RPR641 — the serving stack's two write paths and their private state.
+#: Topology internals may only be touched by ``repro.graphs.mutable``
+#: (MutableTopology validates the degree cap and emits the
+#: TopologyDelta every downstream patch consumes); the derived-structure
+#: forms may only be patched by ``repro.core.kernels``
+#: (``update_structure`` keeps them byte-identical to a rebuild).
+_TOPOLOGY_HOMES = ("repro.graphs.mutable",)
+_TOPOLOGY_INTERNALS = frozenset({"_adj", "_live", "_free"})
+_STRUCTURE_PATCH_HOMES = ("repro.core.kernels",)
+_STRUCTURE_FORM_ATTRS = frozenset({"_csr", "_dense", "_packed", "_edge_array"})
+_CONTAINER_MUTATORS = frozenset({
+    "add", "append", "clear", "discard", "extend", "fill", "insert",
+    "pop", "put", "remove", "resize", "update",
+})
+_HEAP_FUNCS = frozenset({
+    "heapq.heappush", "heapq.heappop", "heapq.heapreplace", "heapq.heapify",
+})
 
-def _structure_home(module_name: str) -> bool:
+
+def _module_in(module_name: str, homes: Tuple[str, ...]) -> bool:
     return any(
         module_name == home or module_name.startswith(home + ".")
-        for home in _STRUCTURE_HOMES
+        for home in homes
     )
+
+
+def _structure_home(module_name: str) -> bool:
+    return _module_in(module_name, _STRUCTURE_HOMES)
 
 
 def _marker(i: int) -> str:
@@ -209,6 +231,7 @@ class DataflowAnalyzer:
         for name in sorted(self.project.modules):
             module = self.project.modules[name]
             self._check_structure_bypass(module)
+            self._check_topology_encapsulation(module)
             _FunctionWalker(self, module, None).walk_module(module.tree)
             for fn in module.functions.values():
                 self.summary(fn)
@@ -251,6 +274,88 @@ class DataflowAnalyzer:
                     "directly)",
                     module.name,
                 )
+
+    def _check_topology_encapsulation(self, module: ModuleInfo) -> None:
+        """RPR641: topology/structure internals written outside their homes.
+
+        A one-pass syntactic sweep, like RPR631.  The serving stack's
+        correctness rests on two funnels: every topology change flows
+        through :class:`repro.graphs.mutable.MutableTopology` (which
+        enforces the degree cap and emits the delta), and every
+        derived-structure patch flows through
+        ``repro.core.kernels.update_structure`` (which keeps the patched
+        forms byte-identical to a rebuild).  A store into — or mutating
+        call on — their private state anywhere else silently
+        desynchronizes topology, structure, and engine levels.
+        """
+        topo_home = _module_in(module.name, _TOPOLOGY_HOMES)
+        struct_home = _module_in(module.name, _STRUCTURE_PATCH_HOMES)
+        if topo_home and struct_home:  # pragma: no cover - no such module
+            return
+
+        def internal_in(node: ast.AST, names: FrozenSet[str]) -> Optional[str]:
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Attribute) and sub.attr in names:
+                    return sub.attr
+            return None
+
+        def flag_topology(node: ast.AST, attr: str, how: str) -> None:
+            self.emit(
+                module, "RPR641", node,
+                f"{how} MutableTopology internal .{attr} outside "
+                "repro.graphs.mutable bypasses degree-cap validation and "
+                "produces no TopologyDelta; mutate via the "
+                "add_node/remove_node/add_edge/remove_edge op surface",
+                module.name,
+            )
+
+        def flag_structure(node: ast.AST, attr: str, how: str) -> None:
+            self.emit(
+                module, "RPR641", node,
+                f"{how} derived-structure form .{attr} outside "
+                "repro.core.kernels desynchronizes the shared "
+                "CSR/dense/bitset forms; patch via "
+                "repro.core.kernels.update_structure",
+                module.name,
+            )
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if not topo_home:
+                        attr = internal_in(target, _TOPOLOGY_INTERNALS)
+                        if attr is not None:
+                            flag_topology(node, attr, "store into")
+                            continue
+                    if not struct_home:
+                        attr = internal_in(target, _STRUCTURE_FORM_ATTRS)
+                        if attr is not None:
+                            flag_structure(node, attr, "store into")
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _CONTAINER_MUTATORS
+                ):
+                    if not topo_home:
+                        attr = internal_in(func.value, _TOPOLOGY_INTERNALS)
+                        if attr is not None:
+                            flag_topology(node, attr, "mutating call on")
+                            continue
+                    if not struct_home:
+                        attr = internal_in(func.value, _STRUCTURE_FORM_ATTRS)
+                        if attr is not None:
+                            flag_structure(node, attr, "mutating call on")
+                elif not topo_home and _dotted(func) in _HEAP_FUNCS:
+                    for arg in node.args:
+                        attr = internal_in(arg, _TOPOLOGY_INTERNALS)
+                        if attr is not None:
+                            flag_topology(node, attr, "heap mutation of")
+                            break
 
     def summary(self, fn: FunctionInfo) -> Summary:
         if fn.qualname in self._summaries:

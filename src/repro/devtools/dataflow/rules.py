@@ -108,6 +108,24 @@ DATAFLOW_RULES: Tuple[DataflowRule, ...] = (
             "repro.graphs.io may construct the matrices themselves."
         ),
     ),
+    DataflowRule(
+        rule_id="RPR641",
+        title="topology or structure internals mutated outside their homes",
+        rationale=(
+            "The serving stack funnels every topology change through "
+            "repro.graphs.mutable.MutableTopology (which enforces the "
+            "degree cap and emits the TopologyDelta the incremental "
+            "patching consumes) and every derived-structure patch "
+            "through repro.core.kernels.update_structure (which keeps "
+            "the patched CSR/dense/bitset forms byte-identical to a "
+            "rebuild).  Writing MutableTopology internals (._adj, "
+            "._live, ._free) or GraphStructure form slots (._csr, "
+            "._dense, ._packed, ._edge_array) anywhere else silently "
+            "desynchronizes topology, structure, and engine levels.  "
+            "Use the add_node/remove_node/add_edge/remove_edge op "
+            "surface and update_structure instead."
+        ),
+    ),
 )
 
 

@@ -1,6 +1,7 @@
 """Graph substrate: topology type, generators, properties, MIS oracles, I/O."""
 
 from .graph import Graph
+from .mutable import MutableTopology, TopologyDelta, TopologyError, diff_graphs
 from . import generators
 from .generators import by_name as graph_by_name, FAMILY_NAMES
 from .properties import (
@@ -40,6 +41,10 @@ from .io import (
 
 __all__ = [
     "Graph",
+    "MutableTopology",
+    "TopologyDelta",
+    "TopologyError",
+    "diff_graphs",
     "generators",
     "graph_by_name",
     "FAMILY_NAMES",

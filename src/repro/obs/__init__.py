@@ -14,7 +14,7 @@ from .harness import (
     collect_sweep_metrics,
     collector_for_backend,
 )
-from .profiling import PhaseProfiler, peak_rss_bytes
+from .profiling import PhaseProfiler, peak_rss_bytes, wall_clock
 from .registry import Counter, Gauge, Histogram, MetricsRegistry
 from .sinks import (
     SINK_KINDS,
@@ -46,4 +46,5 @@ __all__ = [
     "collector_for_backend",
     "make_sink",
     "peak_rss_bytes",
+    "wall_clock",
 ]

@@ -18,7 +18,19 @@ import time
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional
 
-__all__ = ["PhaseProfiler", "peak_rss_bytes"]
+__all__ = ["PhaseProfiler", "peak_rss_bytes", "wall_clock"]
+
+
+def wall_clock() -> Callable[[], float]:
+    """The blessed wall-clock callable (seconds, monotonic).
+
+    Code that needs raw point-in-time reads (e.g. the serving stack's
+    per-op latency, where a :class:`PhaseProfiler` phase per op would
+    aggregate away the percentiles) fetches its clock here instead of
+    touching :mod:`time` directly, keeping the RPR201/RPR501 timer home
+    intact and the clock injectable in tests.
+    """
+    return time.perf_counter
 
 
 def peak_rss_bytes() -> Optional[int]:

@@ -1,0 +1,132 @@
+"""The serving op format: six newline-delimited JSON operations.
+
+One op per line, each a JSON object whose ``"op"`` field names the
+operation (the format specification lives in ``docs/serving.md``):
+
+=============  ====================  =========================================
+op             fields                meaning
+=============  ====================  =========================================
+``ADD_NODE``   —                     attach a vertex (id assigned by the
+                                     service: lowest tombstoned id, else a
+                                     fresh one)
+``DEL_NODE``   ``v``                 detach vertex ``v`` (edges stripped, id
+                                     tombstoned)
+``ADD_EDGE``   ``u``, ``v``          insert edge ``{u, v}`` (rejected if it
+                                     would break the degree cap)
+``DEL_EDGE``   ``u``, ``v``          delete edge ``{u, v}``
+``READ_NBRS``  ``v``                 read ``v``'s sorted neighbor list
+``QUERY_MIS``  —                     read the currently served MIS
+=============  ====================  =========================================
+
+Unknown fields are rejected (not ignored): a stream written for a future
+op revision fails loudly instead of silently serving wrong answers.
+Parsing is strict but *pure* — semantic failures (dead vertex, cap
+violation, duplicate edge) are op *rejections* reported by the service,
+not parse errors.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+__all__ = [
+    "MUTATION_OPS",
+    "OP_NAMES",
+    "READ_OPS",
+    "Op",
+    "OpError",
+    "format_op",
+    "parse_op",
+    "parse_ops",
+]
+
+#: Topology-mutating operations (the ones that can trigger restabilization).
+MUTATION_OPS: Tuple[str, ...] = ("ADD_NODE", "DEL_NODE", "ADD_EDGE", "DEL_EDGE")
+#: Read-only operations (never perturb engine state).
+READ_OPS: Tuple[str, ...] = ("READ_NBRS", "QUERY_MIS")
+#: Every op, in spec order.
+OP_NAMES: Tuple[str, ...] = MUTATION_OPS + READ_OPS
+
+#: Required JSON fields per op (beyond ``"op"`` itself).
+_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "ADD_NODE": (),
+    "DEL_NODE": ("v",),
+    "ADD_EDGE": ("u", "v"),
+    "DEL_EDGE": ("u", "v"),
+    "READ_NBRS": ("v",),
+    "QUERY_MIS": (),
+}
+
+
+class OpError(ValueError):
+    """A malformed op line (bad JSON, unknown op, wrong fields)."""
+
+
+@dataclass(frozen=True)
+class Op:
+    """One parsed serving operation."""
+
+    kind: str
+    u: Optional[int] = None
+    v: Optional[int] = None
+
+    @property
+    def is_mutation(self) -> bool:
+        return self.kind in MUTATION_OPS
+
+    def to_json(self) -> str:
+        """The canonical one-line JSON encoding of this op."""
+        record: Dict[str, int] = {}
+        fields = _FIELDS[self.kind]
+        if "u" in fields:
+            record["u"] = int(self.u)  # type: ignore[arg-type]
+        if "v" in fields:
+            record["v"] = int(self.v)  # type: ignore[arg-type]
+        return json.dumps({"op": self.kind, **record}, sort_keys=True)
+
+
+def parse_op(line: str) -> Op:
+    """Parse one newline-delimited-JSON op line (strict)."""
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise OpError(f"op line is not valid JSON: {line!r}") from exc
+    if not isinstance(record, dict):
+        raise OpError(f"op line must be a JSON object, got {line!r}")
+    kind = record.get("op")
+    if kind not in _FIELDS:
+        raise OpError(
+            f"unknown op {kind!r}; expected one of {', '.join(OP_NAMES)}"
+        )
+    fields = _FIELDS[kind]
+    extra = set(record) - {"op", *fields}
+    if extra:
+        raise OpError(f"op {kind} has unexpected fields {sorted(extra)}")
+    values: Dict[str, int] = {}
+    for name in fields:
+        if name not in record:
+            raise OpError(f"op {kind} is missing field {name!r}")
+        value = record[name]
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+            raise OpError(
+                f"op {kind} field {name!r} must be a non-negative integer, "
+                f"got {value!r}"
+            )
+        values[name] = value
+    return Op(kind=kind, u=values.get("u"), v=values.get("v"))
+
+
+def parse_ops(lines: Iterable[str]) -> Iterator[Op]:
+    """Parse an op stream, skipping blank lines and ``#`` comments."""
+    for line in lines:
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        yield parse_op(stripped)
+
+
+def format_op(op: Op) -> str:
+    """Alias of :meth:`Op.to_json` (functional spelling for streams)."""
+    return op.to_json()

@@ -1,0 +1,222 @@
+"""Deterministic seeded op-stream generation for the MIS service.
+
+A workload is a stream of :class:`~repro.serve.ops.Op` drawn from a
+named *mix* against a shadow copy of the topology, so every emitted op
+is valid at the moment it will be applied (the service starts from the
+same graph and applies ops in order).  Generation consumes exactly one
+RNG resolved from ``seed``, so the same ``(mix, count, seed, graph,
+degree_cap)`` always yields the byte-identical stream — the property the
+deterministic-replay tests and the `serve-smoke` CI job rely on.
+
+Mixes
+-----
+``read-heavy``
+    80 % reads (mostly ``READ_NBRS``), 20 % topology churn — a steady
+    service answering queries over a slowly drifting network.
+``churn-heavy``
+    80 % topology churn (edge ops dominate, node ops at a quarter of the
+    rate), 20 % reads — the adversarial regime the self-stabilization
+    claim is about.
+``burst``
+    Alternating phases: short pure-churn bursts (8–31 ops) followed by
+    longer pure-read runs (32–127 ops) — models a network that fails in
+    episodes and is queried in between.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..devtools.seeding import SeedLike, resolve_rng
+from ..graphs.graph import Graph
+from ..graphs.mutable import MutableTopology, TopologyError
+from .ops import Op
+
+__all__ = ["WORKLOAD_MIXES", "generate_ops"]
+
+#: Op-kind weights per named mix (burst switches between the two phases).
+_CHURN_WEIGHTS: Dict[str, float] = {
+    "ADD_EDGE": 0.30,
+    "DEL_EDGE": 0.30,
+    "ADD_NODE": 0.075,
+    "DEL_NODE": 0.075,
+    "READ_NBRS": 0.15,
+    "QUERY_MIS": 0.10,
+}
+_READ_WEIGHTS: Dict[str, float] = {
+    "ADD_EDGE": 0.075,
+    "DEL_EDGE": 0.075,
+    "ADD_NODE": 0.025,
+    "DEL_NODE": 0.025,
+    "READ_NBRS": 0.60,
+    "QUERY_MIS": 0.20,
+}
+
+WORKLOAD_MIXES: Tuple[str, ...] = ("read-heavy", "churn-heavy", "burst")
+
+#: Rejection-sampling budget before falling back deterministically.
+_SAMPLE_TRIES = 64
+
+
+class _ShadowState:
+    """The generator's shadow topology plus O(1) uniform edge sampling.
+
+    The edge list is kept alongside the :class:`MutableTopology` so
+    ``DEL_EDGE`` targets are drawn in O(1) (swap-pop) instead of
+    re-materializing ``edges()`` per op.  List order depends only on the
+    op history, so sampling stays deterministic.
+    """
+
+    def __init__(self, graph: Graph, degree_cap: Optional[int]):
+        self.topo = MutableTopology(graph, degree_cap=degree_cap)
+        self.edge_list: List[Tuple[int, int]] = list(graph.edges)
+        self.edge_index: Dict[Tuple[int, int], int] = {
+            e: i for i, e in enumerate(self.edge_list)
+        }
+
+    def _record_add(self, u: int, v: int) -> None:
+        edge = (u, v) if u < v else (v, u)
+        self.edge_index[edge] = len(self.edge_list)
+        self.edge_list.append(edge)
+
+    def _record_del(self, u: int, v: int) -> None:
+        edge = (u, v) if u < v else (v, u)
+        i = self.edge_index.pop(edge)
+        last = self.edge_list.pop()
+        if last != edge:
+            self.edge_list[i] = last
+            self.edge_index[last] = i
+
+    def random_live(self, rng: np.random.Generator) -> Optional[int]:
+        topo = self.topo
+        if topo.num_live == 0:
+            return None
+        for _ in range(_SAMPLE_TRIES):
+            v = int(rng.integers(0, topo.num_vertices))
+            if topo.is_live(v):
+                return v
+        return topo.live_vertices()[0]
+
+    def apply(self, op: Op) -> None:
+        topo = self.topo
+        if op.kind == "ADD_NODE":
+            topo.add_node()
+        elif op.kind == "DEL_NODE":
+            assert op.v is not None
+            for w in topo.neighbors(op.v):
+                self._record_del(op.v, w)
+            topo.remove_node(op.v)
+        elif op.kind == "ADD_EDGE":
+            assert op.u is not None and op.v is not None
+            topo.add_edge(op.u, op.v)
+            self._record_add(op.u, op.v)
+        elif op.kind == "DEL_EDGE":
+            assert op.u is not None and op.v is not None
+            topo.remove_edge(op.u, op.v)
+            self._record_del(op.u, op.v)
+
+
+def _realize(
+    kind: str, state: _ShadowState, rng: np.random.Generator
+) -> Optional[Op]:
+    """Turn a drawn op *kind* into a concrete valid op (or ``None``).
+
+    ``None`` means the kind is not realizable right now (no edge left to
+    delete, graph saturated at the cap, no live vertex) — the caller
+    falls through to the next kind in a deterministic preference order.
+    """
+    topo = state.topo
+    if kind == "QUERY_MIS":
+        return Op("QUERY_MIS")
+    if kind == "ADD_NODE":
+        return Op("ADD_NODE")
+    if kind == "READ_NBRS":
+        v = state.random_live(rng)
+        return None if v is None else Op("READ_NBRS", v=v)
+    if kind == "DEL_NODE":
+        # Keep at least two live vertices so edge ops stay realizable.
+        if topo.num_live <= 2:
+            return None
+        v = state.random_live(rng)
+        return None if v is None else Op("DEL_NODE", v=v)
+    if kind == "DEL_EDGE":
+        if not state.edge_list:
+            return None
+        u, v = state.edge_list[int(rng.integers(0, len(state.edge_list)))]
+        return Op("DEL_EDGE", u=u, v=v)
+    # ADD_EDGE: rejection-sample a live non-adjacent pair under the cap.
+    cap = topo.degree_cap
+    for _ in range(_SAMPLE_TRIES):
+        u = int(rng.integers(0, topo.num_vertices))
+        v = int(rng.integers(0, topo.num_vertices))
+        if u == v or not (topo.is_live(u) and topo.is_live(v)):
+            continue
+        if topo.has_edge(u, v):
+            continue
+        if cap is not None and (topo.degree(u) >= cap or topo.degree(v) >= cap):
+            continue
+        return Op("ADD_EDGE", u=u, v=v)
+    return None
+
+
+def generate_ops(
+    mix: str,
+    count: int,
+    seed: SeedLike,
+    graph: Graph,
+    degree_cap: Optional[int] = None,
+) -> List[Op]:
+    """The deterministic op stream for ``mix`` against ``graph``.
+
+    Every returned op is valid when applied in order starting from
+    ``graph`` (under ``degree_cap``), so a service replaying the stream
+    rejects nothing.  The stream depends only on the five arguments.
+    """
+    if mix not in WORKLOAD_MIXES:
+        raise ValueError(
+            f"unknown workload mix {mix!r}; choose one of {WORKLOAD_MIXES}"
+        )
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    rng = resolve_rng(seed)
+    state = _ShadowState(graph, degree_cap)
+
+    kinds = list(_CHURN_WEIGHTS)
+    churn_p = np.asarray([_CHURN_WEIGHTS[k] for k in kinds])
+    read_p = np.asarray([_READ_WEIGHTS[k] for k in kinds])
+    churn_p = churn_p / churn_p.sum()
+    read_p = read_p / read_p.sum()
+
+    burst_left = 0  # ops remaining in the current burst phase
+    burst_churning = False
+    ops: List[Op] = []
+    while len(ops) < count:
+        if mix == "read-heavy":
+            weights = read_p
+        elif mix == "churn-heavy":
+            weights = churn_p
+        else:  # burst
+            if burst_left == 0:
+                burst_churning = not burst_churning
+                burst_left = int(
+                    rng.integers(8, 32) if burst_churning else rng.integers(32, 128)
+                )
+            weights = churn_p if burst_churning else read_p
+            burst_left -= 1
+        kind = kinds[int(rng.choice(len(kinds), p=weights))]
+        # Deterministic fallback chain: the drawn kind first, then the
+        # others in fixed order, so some op is always emitted.
+        op = None
+        for candidate in (kind, *(k for k in kinds if k != kind)):
+            op = _realize(candidate, state, rng)
+            if op is not None:
+                break
+        assert op is not None  # QUERY_MIS is always realizable
+        try:
+            state.apply(op)
+        except TopologyError:  # pragma: no cover - _realize guarantees validity
+            raise AssertionError(f"generated invalid op {op}") from None
+        ops.append(op)
+    return ops

@@ -1,0 +1,18 @@
+"""RPR641 (clean): mutations flow through the two blessed funnels."""
+
+from repro.core.kernels import update_structure
+
+
+def add_edge(topo, u, v):
+    # The op surface validates the cap and returns the delta.
+    return topo.add_edge(u, v)
+
+
+def tombstone(topo, v):
+    return topo.remove_node(v)
+
+
+def patch(structure, delta):
+    # Reads of the public forms are fine; patching goes through kernels.
+    _ = structure.csr
+    return update_structure(structure, delta)

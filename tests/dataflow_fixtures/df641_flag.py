@@ -1,0 +1,7 @@
+"""RPR641 (flag): topology internals mutated outside MutableTopology."""
+
+
+def sneak_edge(topo, u, v):
+    # Bypasses the degree cap and emits no TopologyDelta: the engine
+    # and the derived structure never hear about this edge.
+    topo._adj[u].add(v)

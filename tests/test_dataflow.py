@@ -34,6 +34,7 @@ FIXTURES = REPO_ROOT / "tests" / "dataflow_fixtures"
 
 ALL_RULE_IDS = (
     "RPR601", "RPR602", "RPR611", "RPR612", "RPR621", "RPR622", "RPR631",
+    "RPR641",
 )
 
 
