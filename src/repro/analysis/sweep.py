@@ -90,12 +90,26 @@ __all__ = [
     "SweepCell",
     "SweepPool",
     "SweepResult",
+    "SweepWorkerError",
     "run_sweep",
     "spawn_sweep_seeds",
     "supports_batch",
     "supports_observation",
     "EXECUTORS",
 ]
+
+
+class SweepWorkerError(RuntimeError):
+    """A pool worker died mid-sweep (crash, OOM kill, ``os._exit``).
+
+    Raised in the parent in place of the bare
+    ``concurrent.futures.process.BrokenProcessPool`` so the error names
+    the sweep layer and the cleanup guarantee: the owning
+    :class:`SweepPool`/``run_sweep`` call still shuts the pool down and
+    unlinks every shared segment (the ``finally`` paths RPR701/RPR704
+    enforce statically and the ``--sanitize`` crash probe exercises at
+    runtime).
+    """
 
 #: A measurement: (config, rng) → float (e.g. stabilization rounds).
 #: Batch-capable measurements additionally expose
@@ -218,11 +232,19 @@ class SweepPool:
         return self._pool
 
     def close(self) -> None:
-        """Shut the pool down, then unlink the shared segments."""
-        self._pool.shutdown(wait=True)
-        if self._shared is not None:
-            self._shared.close()
-            self._shared = None
+        """Shut the pool down, then unlink the shared segments.
+
+        Idempotent, and the segments are released even when the
+        shutdown itself raises (e.g. a worker crashed mid-task): the
+        pool-before-segments ordering only matters while workers are
+        alive.
+        """
+        try:
+            self._pool.shutdown(wait=True)
+        finally:
+            if self._shared is not None:
+                self._shared.close()
+                self._shared = None
 
     def __enter__(self) -> "SweepPool":
         return self
@@ -519,6 +541,20 @@ def _run_cells_serial(
     ]
 
 
+def _result(future: "Future[Any]") -> Any:
+    """Gather one worker result, naming worker death for the caller."""
+    from concurrent.futures.process import BrokenProcessPool
+
+    try:
+        return future.result()
+    except BrokenProcessPool as exc:
+        raise SweepWorkerError(
+            "a sweep worker process died mid-task; the pool is broken "
+            "(its remaining tasks are lost) but owned pools and shared "
+            "segments are still cleaned up by the enclosing finally"
+        ) from exc
+
+
 @contextmanager
 def _pool_for(
     jobs: int, existing: Optional[ProcessPoolExecutor]
@@ -551,7 +587,7 @@ def _run_cells_process(
                 ]
             )
         return [
-            [x for f in config_futures for x in f.result()]
+            [x for f in config_futures for x in _result(f)]
             for config_futures in futures
         ]
 
@@ -569,7 +605,7 @@ def _run_cells_batched_parallel(
             pool.submit(_measure_batch_block, measure, config, children)
             for config, children in zip(configs, seeds)
         ]
-        return [f.result() for f in futures]
+        return [_result(f) for f in futures]
 
 
 # ----------------------------------------------------------------------
@@ -629,7 +665,7 @@ def _run_cells_process_observed(
         for config_futures in futures:
             samples: List[float] = []
             for future in config_futures:
-                chunk_samples, payload = future.result()
+                chunk_samples, payload = _result(future)
                 samples.extend(chunk_samples)
                 payloads.append(payload)
             per_config.append(samples)
@@ -649,5 +685,5 @@ def _run_cells_batched_parallel_observed(
             pool.submit(_observed_batch_block, measure, config, children, spec)
             for config, children in zip(configs, seeds)
         ]
-        results = [f.result() for f in futures]
+        results = [_result(f) for f in futures]
     return [r[0] for r in results], [r[1] for r in results]

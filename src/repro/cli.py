@@ -218,7 +218,8 @@ def build_parser() -> argparse.ArgumentParser:
     check_p = sub.add_parser(
         "check",
         help="determinism & contract gate (ruff + mypy + repro-lint + "
-        "repro-dataflow + engine-contract [+ sanitizers])",
+        "repro-dataflow + repro-concurrency + engine-contract "
+        "[+ sanitizers])",
     )
     check_p.add_argument(
         "paths", nargs="*", help="paths for the custom linter (default: src)"
@@ -238,12 +239,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--sanitize",
         action="store_true",
         help="also run the runtime sanitizers (errstate traps, frozen "
-        "shared arrays, RNG draw/seed-tree audits)",
+        "shared arrays, RNG draw/seed-tree audits, shm leak audit, "
+        "pool crash recovery)",
     )
     check_p.add_argument(
         "--baseline",
         metavar="FILE",
-        help="JSON baseline of accepted dataflow findings to suppress",
+        help="JSON baseline of accepted dataflow/concurrency findings "
+        "to suppress",
     )
     check_p.add_argument(
         "--sarif",

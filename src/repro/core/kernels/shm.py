@@ -8,18 +8,28 @@ packed bitset) into one ``multiprocessing.shared_memory`` segment per
 graph, workers attach at pool-initializer time and seed their local
 structure cache with zero-copy views onto the segment.
 
-Lifecycle contract (see ``docs/performance.md``):
+Lifecycle contract — statically enforced by the RPR701–RPR705 rules of
+``repro check`` (see the "concurrency & lifecycle contract" section of
+``docs/performance.md`` and the catalogue in ``docs/linting.md``):
 
 * the parent owns the segments — :class:`SharedStructureSet` creates
   them and must be closed (``close()``/context manager) *after* the pool
-  shuts down, which both closes and unlinks every segment;
+  shuts down, which both closes and unlinks every segment (RPR701);
+  ``close()`` is idempotent, and a ``weakref.finalize`` guard unlinks
+  the segments at garbage-collection/interpreter-exit time even when a
+  sweep raises between export and ``close()``;
 * workers only ever attach; attached views are marked read-only so a
-  stray in-place write (RPR621's failure class) raises instead of
-  corrupting every sibling worker;
+  stray in-place write (RPR702, RPR621's failure class across the
+  process boundary) raises instead of corrupting every sibling worker;
 * on Python < 3.13 the attach side immediately unregisters the segment
   from the ``resource_tracker`` — the parent is the single owner, and
   per-worker tracking would unlink segments early and spam warnings at
   interpreter exit.
+
+The module also keeps a process-local audit of exported-but-not-yet-
+unlinked segment names (:func:`leaked_segments`); the runtime leak
+audit in ``repro check --sanitize`` / ``REPRO_SANITIZE=1`` asserts it
+is empty at end of run.
 
 Everything in the manifest is tiny and picklable; the arrays themselves
 never cross the pickle boundary.
@@ -28,9 +38,10 @@ never cross the pickle boundary.
 from __future__ import annotations
 
 import sys
+import weakref
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -43,7 +54,40 @@ __all__ = [
     "export_structures",
     "attach_structure",
     "seed_worker_structures",
+    "leaked_segments",
+    "reset_segment_audit",
 ]
+
+#: Names of segments this process exported and has not yet unlinked.
+#: The ``--sanitize`` leak audit asserts this is empty at end of run.
+_LIVE_EXPORTS: Set[str] = set()
+
+
+def leaked_segments() -> List[str]:
+    """Exported segment names not yet unlinked (sorted, for audits)."""
+    return sorted(_LIVE_EXPORTS)
+
+
+def reset_segment_audit() -> None:
+    """Forget all audited exports (test isolation only)."""
+    _LIVE_EXPORTS.clear()
+
+
+def _release_segments(segments: List[shared_memory.SharedMemory]) -> None:
+    """Close+unlink each segment exactly once.
+
+    Shared by :meth:`SharedStructureSet.close` and the ``weakref.
+    finalize`` guard; draining the list in place is what makes the
+    combination idempotent.
+    """
+    while segments:
+        segment = segments.pop()
+        try:
+            segment.close()
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+        _LIVE_EXPORTS.discard(segment.name)
 
 #: (field name, dtype string) layout of one exported structure, in
 #: segment order.  Shapes are derived from ``n``/``m``/``words``.
@@ -99,17 +143,22 @@ class SharedStructureSet:
             manifest, segment = _export_one(structure)
             self.manifests.append(manifest)
             self._segments.append(segment)
+            _LIVE_EXPORTS.add(segment.name)
+        # Unlinks the segments when this set is garbage-collected or the
+        # interpreter exits (finalize hooks atexit), so an exception
+        # between export and close() cannot strand /dev/shm bytes.
+        self._finalizer = weakref.finalize(
+            self, _release_segments, self._segments
+        )
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Close and unlink every segment (call after pool shutdown)."""
-        for segment in self._segments:
-            try:
-                segment.close()
-                segment.unlink()
-            except FileNotFoundError:  # pragma: no cover - double close
-                pass
-        self._segments = []
+        """Close and unlink every segment (call after pool shutdown).
+
+        Idempotent: the first call (or the finalize guard, whichever
+        runs first) releases the segments; later calls are no-ops.
+        """
+        self._finalizer()
         self.manifests = []
 
     def __enter__(self) -> "SharedStructureSet":

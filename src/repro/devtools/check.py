@@ -12,11 +12,17 @@ Runs, in order:
    dtype flow, alias/mutation, executor payloads.  Accepts a
    ``--baseline`` suppression file; wall time is profiled and reported
    in the JSON payload.
-5. **engine-contract** — the runtime registry sweep from
+5. **repro-concurrency** — the process-lifecycle RPR7xx analysis
+   (:mod:`repro.devtools.concurrency`): shared-memory segment
+   lifecycles, pool shutdown discipline, fork-captured module state,
+   attached-view mutation, service-state ownership.  Shares the
+   ``--baseline``/SARIF plumbing with the dataflow phase.
+6. **engine-contract** — the runtime registry sweep from
    :mod:`repro.devtools.contract`.
-6. **sanitizers** (only with ``--sanitize``) — the runtime traps in
+7. **sanitizers** (only with ``--sanitize``) — the runtime traps in
    :mod:`repro.devtools.sanitize`: errstate + frozen shared arrays over
-   the engine fixtures, RNG draw audits, seed-tree audits.
+   the engine fixtures, RNG draw audits, seed-tree audits, the
+   shared-memory leak audit, and the pool worker-crash recovery probe.
 
 ``--sarif out.sarif`` additionally writes every RPR finding as SARIF
 2.1.0 for code-scanning upload.
@@ -50,6 +56,8 @@ STRICT_MYPY_TARGETS = (
     "src/repro/graphs",
     "src/repro/analysis",
     "src/repro/obs",
+    "src/repro/devtools/sanitize.py",
+    "src/repro/devtools/concurrency",
 )
 
 #: Paths swept by ruff when available.
@@ -184,6 +192,55 @@ def _check_dataflow(
     )
 
 
+def _check_concurrency(
+    paths: Sequence[str], baseline: Optional[str] = None
+) -> ToolResult:
+    """The process-lifecycle RPR7xx analysis, with profiled wall time."""
+    from ..obs.profiling import PhaseProfiler
+    from .concurrency import analyze_paths
+    from .dataflow.baseline import BaselineError, apply_baseline, load_baseline
+
+    profiler = PhaseProfiler()
+    with profiler.phase("concurrency"):
+        report = analyze_paths(paths)
+    violations = report.violations
+    suppressed = 0
+    if baseline is not None:
+        try:
+            fingerprints = load_baseline(baseline)
+        except BaselineError as exc:
+            return ToolResult(
+                name="repro-concurrency", status="failed", detail=str(exc)
+            )
+        kept = apply_baseline(violations, fingerprints)
+        suppressed = len(violations) - len(kept)
+        violations = kept
+    elapsed = profiler.phases["concurrency"]["wall_s"]
+    data: Dict[str, Any] = {
+        "elapsed_s": round(elapsed, 4),
+        "modules": report.modules_analyzed,
+        "functions": report.functions_analyzed,
+        "suppressed_by_baseline": suppressed,
+    }
+    status = "passed" if not (violations or report.errors) else "failed"
+    detail = (
+        f"{len(violations)} finding(s) across {report.modules_analyzed} "
+        f"module(s) in {elapsed:.2f}s"
+    )
+    if report.errors:
+        detail += f"; {len(report.errors)} parse error(s)"
+        data["parse_errors"] = report.errors
+    if suppressed:
+        detail += f" ({suppressed} baselined)"
+    return ToolResult(
+        name="repro-concurrency",
+        status=status,
+        detail=detail,
+        violations=[v.to_json() for v in violations],
+        data=data,
+    )
+
+
 def _check_sanitize() -> ToolResult:
     """The runtime sanitizer suite (``--sanitize``)."""
     from .sanitize import run_sanitizers
@@ -241,6 +298,7 @@ def run_check(
         results.append(_check_mypy())
     results.append(_check_repro_lint(lint_targets))
     results.append(_check_dataflow(lint_targets, baseline=baseline))
+    results.append(_check_concurrency(lint_targets, baseline=baseline))
     if not skip_contract:
         results.append(_check_contract())
     if sanitize:
@@ -283,7 +341,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro check",
         description="determinism & contract gate (ruff + mypy + repro-lint "
-        "+ repro-dataflow + engine-contract [+ sanitizers])",
+        "+ repro-dataflow + repro-concurrency + engine-contract "
+        "[+ sanitizers])",
     )
     parser.add_argument(
         "paths",
@@ -305,12 +364,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--sanitize",
         action="store_true",
         help="also run the runtime sanitizers (errstate traps, frozen "
-        "shared arrays, RNG draw/seed-tree audits)",
+        "shared arrays, RNG draw/seed-tree audits, shm leak audit, "
+        "pool crash recovery)",
     )
     parser.add_argument(
         "--baseline",
         metavar="FILE",
-        help="JSON baseline of accepted dataflow findings to suppress",
+        help="JSON baseline of accepted dataflow/concurrency findings "
+        "to suppress",
     )
     parser.add_argument(
         "--sarif",

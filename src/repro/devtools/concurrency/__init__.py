@@ -1,0 +1,85 @@
+"""Concurrency & process-lifecycle analysis (the RPR7xx rules).
+
+The third analysis layer of ``repro check``: where the per-line linter
+sees one file and the RPR6xx dataflow engine sees one process, this
+package reasons about what crosses the *process* boundary — shared-
+memory segment lifecycles, pool shutdown discipline, fork-captured
+module state, attached-view mutation, and service-state ownership.
+
+Public entry points mirror :mod:`repro.devtools.dataflow`:
+
+* :func:`analyze_paths` — parse + analyze files/directories on disk
+  (what ``repro check`` calls),
+* :func:`analyze_sources` — analyze in-memory ``{module: source}``
+  blobs (what the tests use),
+* :func:`concurrency_catalogue` — the RPR7xx rule metadata.
+
+Findings are :class:`~repro.devtools.dataflow.engine.DataflowViolation`
+records, so the existing baseline (``--baseline``) and SARIF
+(``--sarif``) plumbing applies unchanged, and the same pragmas are
+honored: ``# repro: allow[RPR7xx]`` per line,
+``# repro: allow-file[RPR7xx]`` per file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..dataflow import _filter_pragmas
+from ..dataflow.engine import DataflowViolation
+from ..dataflow.model import Project, build_project, build_project_from_sources
+from .engine import ConcurrencyAnalyzer
+from .rules import CONCURRENCY_RULES, ConcurrencyRule, concurrency_catalogue
+
+__all__ = [
+    "ConcurrencyReport",
+    "ConcurrencyRule",
+    "CONCURRENCY_RULES",
+    "ConcurrencyAnalyzer",
+    "analyze_paths",
+    "analyze_project",
+    "analyze_sources",
+    "concurrency_catalogue",
+]
+
+
+@dataclass
+class ConcurrencyReport:
+    """The outcome of one whole-program lifecycle analysis run."""
+
+    violations: List[DataflowViolation] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+    modules_analyzed: int = 0
+    functions_analyzed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.errors
+
+
+def analyze_project(
+    project: Project, errors: Optional[List[str]] = None
+) -> ConcurrencyReport:
+    analyzer = ConcurrencyAnalyzer(project)
+    violations = analyzer.run()
+    return ConcurrencyReport(
+        violations=_filter_pragmas(project, violations),
+        errors=list(errors or []),
+        modules_analyzed=len(project.modules),
+        functions_analyzed=analyzer.functions_analyzed,
+    )
+
+
+def analyze_paths(
+    paths: Sequence[str], root: Optional[Path] = None
+) -> ConcurrencyReport:
+    """Run the lifecycle analysis over files/directories on disk."""
+    project, errors = build_project(paths, root=root)
+    return analyze_project(project, errors)
+
+
+def analyze_sources(sources: Dict[str, str]) -> ConcurrencyReport:
+    """Run the analysis over in-memory sources (used by the test suite)."""
+    return analyze_project(build_project_from_sources(sources))

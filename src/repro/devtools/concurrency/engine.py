@@ -1,0 +1,1285 @@
+"""The interprocedural process-lifecycle interpreter behind RPR701–705.
+
+Where the RPR6xx engine tracks *values* (seed provenance, dtypes,
+aliases), this engine tracks *resources with a lifecycle* across call
+hops: shared-memory segments, `SharedStructureSet`s, process pools, a
+`MISService`'s private state, plus two value lattices that cross the
+process boundary (``attached`` arrays, ``service``/``service.topology``
+handles).
+
+The analysis is summary-based, like the dataflow engine: every function
+is analyzed once with symbolic parameter markers (``p:0`` …).  A
+summary records
+
+* whether the function **returns a fresh resource** (``fresh:pool`` …)
+  — so a caller of a factory two hops away owns the close obligation,
+* which parameters it **closes / unlinks / shuts down** — so a
+  ``cleanup(segment)`` helper discharges the obligation at its call
+  site, and
+* which parameters reach a **sink** (an in-place mutation, a
+  ``submit``, a topology mutator) — so passing an attached view or a
+  closed pool into a helper chain is flagged at the concrete call site.
+
+Lifecycle checking is a *must* analysis: branches merge with AND on
+``closed``/``unlinked`` and OR on ``escaped``; a resource that escapes
+the function (returned, stored on an attribute, put in a container,
+handed to an unknown callee) transfers its obligation to the owner and
+is never flagged locally — that keeps the engine quiet on ownership
+patterns like ``self._pool = ProcessPoolExecutor(...)``.  A bare
+``if x is not None: x.close()`` guard counts as closing on both merged
+paths (the idiomatic owned-resource finally block).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..dataflow.engine import DataflowViolation
+from ..dataflow.model import FunctionInfo, ModuleInfo, Project
+
+__all__ = ["ConcurrencyAnalyzer", "CSummary"]
+
+Tags = FrozenSet[str]
+EMPTY: Tags = frozenset()
+
+# ----------------------------------------------------------------------
+# Vocabulary
+# ----------------------------------------------------------------------
+ATTACHED = "attached"  #: read-only cross-process array / structure view
+SERVICE = "service"  #: a MISService instance
+SERVICE_TOPO = "service.topology"  #: the topology obtained from a service
+TOPO_OF_MARKER = "topo.read"  #: ``.topology`` read off a parameter marker
+
+#: Resource kinds and what discharging each obligation requires.
+SEGMENT = "segment"  #: raw shared_memory.SharedMemory — close + unlink
+SHMSET = "shmset"  #: SharedStructureSet — close (unlinks internally)
+POOL = "pool"  #: ProcessPoolExecutor / SweepPool — shutdown/close
+
+_FRESH_PREFIX = "fresh:"
+_RES_PREFIX = "res:"
+
+#: Resolved-callee suffixes recognized as producers.
+_ATTACH_PRODUCERS = ("attach_structure",)
+_SHMSET_PRODUCERS = ("export_structures", "SharedStructureSet")
+_POOL_PRODUCERS = ("ProcessPoolExecutor", "SweepPool")
+_SERVICE_PRODUCERS = ("MISService",)
+_SEGMENT_CLASS = "SharedMemory"
+_AS_COMPLETED = "as_completed"
+
+#: Module-level bindings that become fork hazards (RPR703).
+_RNG_PRODUCER_SUFFIXES = (
+    "default_rng", "Generator", "resolve_rng", "rng_from_sequence",
+    "RandomState",
+)
+_CACHE_CTORS = ("dict", "list", "set", "OrderedDict", "defaultdict", "deque")
+
+_CLOSE_METHODS = frozenset({"close"})
+_UNLINK_METHODS = frozenset({"unlink"})
+_SHUTDOWN_METHODS = frozenset({"shutdown"})
+_SUBMIT_METHODS = frozenset({"submit", "map"})
+_TOPO_MUTATORS = frozenset({
+    "add_node", "remove_node", "add_edge", "remove_edge",
+})
+_INPLACE_METHODS = frozenset({
+    "fill", "sort", "partition", "put", "setdiag", "eliminate_zeros",
+    "sum_duplicates", "resize", "setfield", "itemset",
+})
+_VIEW_METHODS = frozenset({"transpose", "reshape", "ravel", "squeeze"})
+_VIEW_ATTRS = frozenset({
+    "T", "data", "indices", "indptr", "base", "flat", "real", "imag",
+    "csr", "dense", "packed", "edge_array", "buf",
+})
+_CONTAINER_MUTATORS = frozenset({
+    "append", "add", "clear", "discard", "extend", "insert", "pop",
+    "popitem", "remove", "setdefault", "update",
+})
+
+#: Modules allowed to touch service/topology state directly.
+_SERVICE_HOMES = ("repro.serve",)
+
+#: What each resource kind must see before function exit.
+_REQUIRED: Dict[str, Tuple[str, ...]] = {
+    SEGMENT: ("close", "unlink"),
+    SHMSET: ("close",),
+    POOL: ("shutdown",),
+}
+
+_FORK_SCAN_DEPTH = 4
+
+
+def _dotted(node: ast.AST) -> str:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _marker(i: int) -> str:
+    return f"p:{i}"
+
+
+def _markers(tags: Tags) -> List[int]:
+    return [int(t[2:]) for t in tags if t.startswith("p:")]
+
+
+def _res_ids(tags: Tags) -> List[str]:
+    return [t[len(_RES_PREFIX):] for t in tags if t.startswith(_RES_PREFIX)]
+
+
+def _in_service_home(module_name: str) -> bool:
+    return any(
+        module_name == home or module_name.startswith(home + ".")
+        for home in _SERVICE_HOMES
+    )
+
+
+def _endswith_any(qualified: str, suffixes: Sequence[str]) -> Optional[str]:
+    tail = qualified.rsplit(".", 1)[-1]
+    for suffix in suffixes:
+        if tail == suffix:
+            return suffix
+    return None
+
+
+@dataclass(frozen=True)
+class CSinkHit:
+    """A sink one parameter of a function reaches (transitively)."""
+
+    kind: str  # "mutate" | "submit" | "topo" | "attr-store"
+    detail: str
+    line: int
+
+
+@dataclass
+class CSummary:
+    """What a caller needs to know about a callee."""
+
+    ret: Tags = EMPTY  #: may carry ``fresh:<kind>`` / ATTACHED / SERVICE
+    param_effects: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    param_sinks: Dict[int, Tuple[CSinkHit, ...]] = field(default_factory=dict)
+
+
+_EMPTY_SUMMARY = CSummary()
+
+
+@dataclass
+class _Resource:
+    """One tracked resource creation site (function-local identity)."""
+
+    rid: str
+    kind: str
+    line: int
+    col: int
+    detail: str
+
+
+@dataclass
+class _ResState:
+    """Per-path lifecycle state of one resource."""
+
+    done: FrozenSet[str] = EMPTY  #: subset of {"close","unlink","shutdown"}
+    escaped: bool = False
+    #: Context-managed: release is guaranteed at block exit, but the
+    #: resource stays *live* inside the block (submits are fine, and
+    #: releasing sibling segments under it is still use-after-unlink).
+    managed: bool = False
+
+    def copy(self) -> "_ResState":
+        return _ResState(
+            done=self.done, escaped=self.escaped, managed=self.managed
+        )
+
+
+@dataclass
+class _State:
+    """Mutable per-path analysis state."""
+
+    env: Dict[str, Tags] = field(default_factory=dict)
+    res: Dict[str, _ResState] = field(default_factory=dict)
+    #: dotted names (incl. ``self._pool``) seen ``.close()``/``.shutdown()``.
+    closed_names: Set[str] = field(default_factory=set)
+
+    def copy(self) -> "_State":
+        return _State(
+            env=dict(self.env),
+            res={rid: st.copy() for rid, st in self.res.items()},
+            closed_names=set(self.closed_names),
+        )
+
+    def merge(self, other: "_State") -> None:
+        for key, tags in other.env.items():
+            self.env[key] = self.env.get(key, EMPTY) | tags
+        for rid, theirs in other.res.items():
+            mine = self.res.get(rid)
+            if mine is None:
+                # Created on the other branch only: keep its state as-is.
+                self.res[rid] = theirs.copy()
+            else:
+                mine.done = mine.done & theirs.done  # must-analysis: AND
+                mine.escaped = mine.escaped or theirs.escaped
+                mine.managed = mine.managed or theirs.managed
+        self.closed_names |= other.closed_names
+
+
+class ConcurrencyAnalyzer:
+    """Runs the lifecycle interpretation over a :class:`Project`."""
+
+    def __init__(self, project: Project):
+        self.project = project
+        self.violations: List[DataflowViolation] = []
+        self._seen: Set[Tuple[str, str, int, int, str]] = set()
+        self._summaries: Dict[str, CSummary] = {}
+        self._in_progress: Set[str] = set()
+        self._module_hazards: Dict[str, Dict[str, Tuple[str, str]]] = {}
+        self._fork_reads: Dict[str, Tuple[Tuple[str, str], ...]] = {}
+        self.functions_analyzed = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> List[DataflowViolation]:
+        for qualname in sorted(self.project.functions):
+            self.summary(self.project.functions[qualname])
+        self.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+        return self.violations
+
+    def summary(self, fn: FunctionInfo) -> CSummary:
+        if fn.qualname in self._summaries:
+            return self._summaries[fn.qualname]
+        if fn.qualname in self._in_progress:
+            return _EMPTY_SUMMARY  # recursion: under-approximate
+        self._in_progress.add(fn.qualname)
+        try:
+            walker = _FunctionWalker(self, fn)
+            result = walker.analyze()
+            self._summaries[fn.qualname] = result
+            self.functions_analyzed += 1
+            return result
+        finally:
+            self._in_progress.discard(fn.qualname)
+
+    def emit(
+        self,
+        rule: str,
+        message: str,
+        module: ModuleInfo,
+        line: int,
+        col: int,
+        symbol: str,
+    ) -> None:
+        key = (rule, module.path, line, col, symbol)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.violations.append(
+            DataflowViolation(
+                rule=rule,
+                message=message,
+                path=module.path,
+                line=line,
+                col=col,
+                symbol=symbol,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # RPR703 support: module-level fork hazards and worker-callable scans
+    # ------------------------------------------------------------------
+    def module_hazards(self, module: ModuleInfo) -> Dict[str, Tuple[str, str]]:
+        """``name -> (kind, detail)`` for hazardous module-level bindings."""
+        cached = self._module_hazards.get(module.name)
+        if cached is not None:
+            return cached
+        hazards: Dict[str, Tuple[str, str]] = {}
+        for node in module.tree.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            if value is None:
+                continue
+            found = self._hazard_of(module, value)
+            if found is None:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    hazards[target.id] = found
+        self._module_hazards[module.name] = hazards
+        return hazards
+
+    def _hazard_of(
+        self, module: ModuleInfo, value: ast.expr
+    ) -> Optional[Tuple[str, str]]:
+        if isinstance(value, (ast.Dict, ast.List, ast.Set)):
+            return ("cache", "a module-level mutable container")
+        if not isinstance(value, ast.Call):
+            return None
+        dotted = _dotted(value.func)
+        if not dotted:
+            return None
+        resolved = self.project.resolve(module, dotted)
+        tail = resolved.rsplit(".", 1)[-1]
+        if tail in _RNG_PRODUCER_SUFFIXES:
+            return ("rng", f"a module-level RNG ({dotted})")
+        if tail == _SEGMENT_CLASS:
+            return ("segment", f"a module-level shared-memory segment ({dotted})")
+        if tail in _CACHE_CTORS:
+            return ("cache", f"a module-level mutable container ({dotted})")
+        return None
+
+    def fork_reads(
+        self, fn: FunctionInfo, depth: int = _FORK_SCAN_DEPTH
+    ) -> Tuple[Tuple[str, str], ...]:
+        """``(name, detail)`` fork hazards a worker callable captures.
+
+        RNG/segment reads are chased transitively through project-local
+        callees; cache *mutations* count only in the callable's own body
+        (worker initializers legitimately seed their per-process caches
+        through helpers like ``seed_structure``).
+        """
+        cached = self._fork_reads.get(fn.qualname)
+        if cached is not None:
+            return cached
+        self._fork_reads[fn.qualname] = ()  # cut recursion
+        module = self.project.modules.get(fn.module)
+        if module is None:
+            return ()
+        hazards = self.module_hazards(module)
+        local_names = set(fn.params)
+        hits: List[Tuple[str, str]] = []
+        body = getattr(fn.node, "body", [])
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                    local_names.add(node.id)
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                    hazard = hazards.get(node.id)
+                    if hazard is None or node.id in local_names:
+                        continue
+                    kind, detail = hazard
+                    if kind in ("rng", "segment"):
+                        hits.append((node.id, detail))
+                    elif self._mutates_name(body, node.id):
+                        hits.append((node.id, detail + " it mutates"))
+                elif isinstance(node, ast.Call) and depth > 0:
+                    dotted = _dotted(node.func)
+                    if not dotted or dotted.split(".")[0] in local_names:
+                        continue
+                    resolved = self.project.resolve(module, dotted)
+                    callee = self.project.lookup_function(resolved)
+                    if callee is not None and callee.qualname != fn.qualname:
+                        for name, detail in self.fork_reads(callee, depth - 1):
+                            if "container" not in detail:
+                                hits.append((name, detail + f" via {callee.name}()"))
+        deduped = tuple(dict.fromkeys(hits))
+        self._fork_reads[fn.qualname] = deduped
+        return deduped
+
+    @staticmethod
+    def _mutates_name(body: Sequence[ast.stmt], name: str) -> bool:
+        """Direct mutation of module-level ``name`` inside ``body``."""
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                    base = node.func.value
+                    if (
+                        isinstance(base, ast.Name)
+                        and base.id == name
+                        and node.func.attr in _CONTAINER_MUTATORS
+                    ):
+                        return True
+                elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        if (
+                            isinstance(target, ast.Subscript)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == name
+                        ):
+                            return True
+        return False
+
+
+class _FunctionWalker:
+    """Abstract interpretation of one function body."""
+
+    def __init__(self, analyzer: ConcurrencyAnalyzer, fn: FunctionInfo):
+        self.analyzer = analyzer
+        self.project = analyzer.project
+        self.fn = fn
+        self.module = analyzer.project.modules[fn.module]
+        self.state = _State()
+        self.resources: Dict[str, _Resource] = {}
+        self.exits: List[Dict[str, _ResState]] = []
+        self.ret_tags: Tags = EMPTY
+        self.param_effects: Dict[int, Set[str]] = {}
+        self.param_sinks: Dict[int, List[CSinkHit]] = {}
+        #: Pending return-states awaiting an enclosing ``finally`` body.
+        self._finally_stack: List[List[_State]] = []
+        self._res_counter = 0
+        for index, name in enumerate(fn.params):
+            tags = frozenset({_marker(index)})
+            if name in ("service", "svc"):
+                tags |= frozenset({SERVICE})
+            self.state.env[name] = tags
+
+    # ------------------------------------------------------------------
+    def analyze(self) -> CSummary:
+        body = list(getattr(self.fn.node, "body", []))
+        terminated = self._walk_body(body, self.state)
+        if not terminated:
+            self._snapshot_exit(self.state)
+        self._check_leaks()
+        return CSummary(
+            ret=self.ret_tags,
+            param_effects={
+                i: frozenset(effects)
+                for i, effects in self.param_effects.items()
+            },
+            param_sinks={
+                i: tuple(hits) for i, hits in self.param_sinks.items()
+            },
+        )
+
+    def _snapshot_exit(self, state: _State) -> None:
+        self.exits.append({rid: st.copy() for rid, st in state.res.items()})
+
+    def _check_leaks(self) -> None:
+        for rid, resource in self.resources.items():
+            rule = "RPR704" if resource.kind == POOL else "RPR701"
+            required = _REQUIRED[resource.kind]
+            for exit_state in self.exits:
+                st = exit_state.get(rid)
+                if st is None or st.escaped or st.managed:
+                    continue
+                missing = [op for op in required if op not in st.done]
+                if not missing:
+                    continue
+                if resource.kind == POOL:
+                    message = (
+                        f"{resource.detail} is not shut down on every "
+                        "path — use a context manager or call "
+                        "shutdown()/close() on all exits"
+                    )
+                else:
+                    message = (
+                        f"{resource.detail} is missing "
+                        f"{'+'.join(missing)} on some path — leaked "
+                        "shared memory persists until interpreter exit"
+                    )
+                self.analyzer.emit(
+                    rule, message, self.module,
+                    resource.line, resource.col, self.fn.qualname,
+                )
+                break  # one finding per creation site
+
+    # ------------------------------------------------------------------
+    # Statement walking
+    # ------------------------------------------------------------------
+    def _walk_body(self, body: Sequence[ast.stmt], state: _State) -> bool:
+        for stmt in body:
+            if self._walk_stmt(stmt, state):
+                return True
+        return False
+
+    def _walk_stmt(self, stmt: ast.stmt, state: _State) -> bool:
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                tags = self.eval(stmt.value, state)
+                self._escape(tags, state)
+                ret = set(t for t in tags if not t.startswith(_RES_PREFIX))
+                for rid in _res_ids(tags):
+                    resource = self.resources.get(rid)
+                    if resource is not None:
+                        ret.add(_FRESH_PREFIX + resource.kind)
+                self.ret_tags |= frozenset(ret)
+            if self._finally_stack:
+                # An enclosing finally still runs before this exit.
+                self._finally_stack[-1].append(state.copy())
+            else:
+                self._snapshot_exit(state)
+            return True
+        if isinstance(stmt, ast.Raise):
+            # Exception paths carry no close obligation here; the
+            # runtime finalize guard (SharedStructureSet) covers them.
+            return True
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            self._walk_assign(stmt, state)
+            return False
+        if isinstance(stmt, ast.Expr):
+            self.eval(stmt.value, state)
+            return False
+        if isinstance(stmt, ast.If):
+            return self._walk_branches(stmt, state)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._walk_for(stmt, state)
+            return False
+        if isinstance(stmt, ast.While):
+            self.eval(stmt.test, state)
+            self._walk_body(stmt.body, state)
+            self._walk_body(stmt.orelse, state)
+            return False
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._walk_with(stmt, state)
+        if isinstance(stmt, ast.Try):
+            return self._walk_try(stmt, state)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return False
+        if isinstance(stmt, ast.Delete):
+            return False
+        if isinstance(stmt, (ast.Import, ast.ImportFrom, ast.Global,
+                             ast.Nonlocal, ast.Pass, ast.Break,
+                             ast.Continue, ast.Assert)):
+            if isinstance(stmt, ast.Assert):
+                self.eval(stmt.test, state)
+            return False
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self.eval(child, state)
+        return False
+
+    def _walk_branches(self, stmt: ast.If, state: _State) -> bool:
+        self.eval(stmt.test, state)
+        if not stmt.orelse and self._is_presence_guard(stmt.test):
+            # ``if x is not None: x.close()`` — the owned-resource
+            # finally idiom: treat the guarded close as unconditional.
+            return self._walk_body(stmt.body, state)
+        then_state = state.copy()
+        then_done = self._walk_body(stmt.body, then_state)
+        else_state = state.copy()
+        else_done = self._walk_body(stmt.orelse, else_state)
+        if then_done and else_done:
+            return True
+        if then_done:
+            state.env = else_state.env
+            state.res = else_state.res
+            state.closed_names = else_state.closed_names
+            return False
+        if else_done:
+            state.env = then_state.env
+            state.res = then_state.res
+            state.closed_names = then_state.closed_names
+            return False
+        state.env = then_state.env
+        state.res = then_state.res
+        state.closed_names = then_state.closed_names
+        state.merge(else_state)
+        return False
+
+    @staticmethod
+    def _is_presence_guard(test: ast.expr) -> bool:
+        if isinstance(test, ast.Name):
+            return True
+        if isinstance(test, ast.Compare) and len(test.ops) == 1:
+            op = test.ops[0]
+            if isinstance(op, (ast.IsNot, ast.NotEq)):
+                left, right = test.left, test.comparators[0]
+                none_side = (
+                    isinstance(right, ast.Constant) and right.value is None
+                ) or (isinstance(left, ast.Constant) and left.value is None)
+                return none_side
+        return False
+
+    def _walk_for(self, stmt: "ast.For | ast.AsyncFor", state: _State) -> None:
+        iter_tags = self.eval(stmt.iter, state)
+        self._check_unordered_merge(stmt, state)
+        element = frozenset(
+            t for t in iter_tags if t == ATTACHED or t.startswith("p:")
+        )
+        self._bind_target(stmt.target, element, state)
+        self._walk_body(stmt.body, state)
+        self._walk_body(stmt.orelse, state)
+
+    def _check_unordered_merge(
+        self, stmt: "ast.For | ast.AsyncFor", state: _State
+    ) -> None:
+        """RPR704: ``for f in as_completed(...)`` feeding list.append."""
+        if not isinstance(stmt.iter, ast.Call):
+            return
+        dotted = _dotted(stmt.iter.func)
+        if not dotted:
+            return
+        resolved = self.project.resolve(self.module, dotted)
+        if _endswith_any(resolved, (_AS_COMPLETED,)) is None:
+            return
+        if not isinstance(stmt.target, ast.Name):
+            return
+        future = stmt.target.id
+        for node in ast.walk(ast.Module(body=list(stmt.body), type_ignores=[])):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("append", "extend")
+            ):
+                continue
+            for arg in node.args:
+                for sub in ast.walk(arg):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr == "result"
+                        and isinstance(sub.func.value, ast.Name)
+                        and sub.func.value.id == future
+                    ):
+                        self.analyzer.emit(
+                            "RPR704",
+                            "as_completed() yields futures in completion "
+                            "order — appending results positionally makes "
+                            "sample order scheduler-dependent; index the "
+                            "output by the future's submission slot "
+                            "instead",
+                            self.module,
+                            stmt.lineno,
+                            stmt.col_offset,
+                            self.fn.qualname,
+                        )
+                        return
+
+    def _walk_with(self, stmt: "ast.With | ast.AsyncWith", state: _State) -> bool:
+        managed: List[str] = []
+        for item in stmt.items:
+            tags = self.eval(item.context_expr, state)
+            # A context-managed resource is released by the protocol —
+            # at block *exit*; inside the block it is still live.
+            for rid in _res_ids(tags):
+                st = state.res.get(rid)
+                if st is not None:
+                    st.managed = True
+                    managed.append(rid)
+            if item.optional_vars is not None:
+                self._bind_target(item.optional_vars, tags, state)
+        terminated = self._walk_body(stmt.body, state)
+        for rid in managed:
+            st = state.res.get(rid)
+            if st is not None:
+                st.done = st.done | frozenset(
+                    _REQUIRED[self.resources[rid].kind]
+                )
+        return terminated
+
+    def _walk_try(self, stmt: ast.Try, state: _State) -> bool:
+        if stmt.finalbody:
+            self._finally_stack.append([])
+        terminated = self._walk_body(stmt.body, state)
+        for handler in stmt.handlers:
+            handler_state = state.copy()
+            self._walk_body(handler.body, handler_state)
+            state.merge(handler_state)
+        if not terminated:
+            self._walk_body(stmt.orelse, state)
+        if not stmt.finalbody:
+            return terminated
+        pending = self._finally_stack.pop()
+        finished = self._walk_body(stmt.finalbody, state)
+        for return_state in pending:
+            # Re-run the finally effects on each deferred return path,
+            # then route it to the next enclosing finally (or the exit).
+            self._walk_body(stmt.finalbody, return_state)
+            if self._finally_stack:
+                self._finally_stack[-1].append(return_state)
+            else:
+                self._snapshot_exit(return_state)
+        return finished or terminated
+
+    # ------------------------------------------------------------------
+    # Assignments
+    # ------------------------------------------------------------------
+    def _walk_assign(
+        self,
+        stmt: "ast.Assign | ast.AnnAssign | ast.AugAssign",
+        state: _State,
+    ) -> None:
+        if isinstance(stmt, ast.AugAssign):
+            value_tags = self.eval(stmt.value, state)
+            self._flag_mutation_target(stmt.target, state, "augmented assignment")
+            self._escape(value_tags, state)
+            return
+        value = stmt.value
+        tags = self.eval(value, state) if value is not None else EMPTY
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        for target in targets:
+            self._bind_target(target, tags, state)
+
+    def _bind_target(self, target: ast.expr, tags: Tags, state: _State) -> None:
+        if isinstance(target, ast.Name):
+            state.env[target.id] = tags
+            state.closed_names.discard(target.id)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            element = frozenset(
+                t for t in tags if not t.startswith(_FRESH_PREFIX)
+            )
+            for elt in target.elts:
+                self._bind_target(elt, element, state)
+            return
+        if isinstance(target, ast.Attribute):
+            base_tags = self.eval(target.value, state)
+            self._check_service_attr_store(target, base_tags)
+            self._escape(tags, state)
+            dotted = _dotted(target)
+            if dotted:
+                state.env[dotted] = tags
+                state.closed_names.discard(dotted)
+            return
+        if isinstance(target, ast.Subscript):
+            base_tags = self.eval(target.value, state)
+            if ATTACHED in base_tags:
+                self._flag_rpr702(target.lineno, target.col_offset, "store")
+            for index in _markers(base_tags):
+                self._record_sink(
+                    index, CSinkHit("mutate", "subscript store", target.lineno)
+                )
+            self._escape(tags, state)
+            return
+        self._escape(tags, state)
+
+    def _check_service_attr_store(
+        self, target: ast.Attribute, base_tags: Tags
+    ) -> None:
+        if _in_service_home(self.module.name):
+            return
+        if SERVICE in base_tags:
+            self.analyzer.emit(
+                "RPR705",
+                f"service attribute '{target.attr}' written outside the "
+                "op loop — route state changes through "
+                "service.apply()/run()",
+                self.module,
+                target.lineno,
+                target.col_offset,
+                self.fn.qualname,
+            )
+        for index in _markers(base_tags):
+            self._record_sink(
+                index,
+                CSinkHit("attr-store", f"attribute '{target.attr}'",
+                         target.lineno),
+            )
+
+    def _flag_mutation_target(
+        self, target: ast.expr, state: _State, how: str
+    ) -> None:
+        if isinstance(target, ast.Name):
+            tags = state.env.get(target.id, EMPTY)
+        elif isinstance(target, (ast.Subscript, ast.Attribute)):
+            tags = self.eval(target.value, state)
+        else:
+            tags = EMPTY
+        if ATTACHED in tags:
+            self._flag_rpr702(target.lineno, target.col_offset, how)
+        for index in _markers(tags):
+            self._record_sink(index, CSinkHit("mutate", how, target.lineno))
+
+    def _flag_rpr702(self, line: int, col: int, how: str) -> None:
+        self.analyzer.emit(
+            "RPR702",
+            f"in-place {how} on an array attached from a shared-memory "
+            "manifest — attached views are read-only and mapped by every "
+            "sibling worker; copy before writing",
+            self.module, line, col, self.fn.qualname,
+        )
+
+    def _record_sink(self, index: int, hit: CSinkHit) -> None:
+        self.param_sinks.setdefault(index, []).append(hit)
+
+    def _record_effect(self, index: int, effect: str) -> None:
+        self.param_effects.setdefault(index, set()).add(effect)
+
+    def _escape(self, tags: Tags, state: _State) -> None:
+        for rid in _res_ids(tags):
+            st = state.res.get(rid)
+            if st is not None:
+                st.escaped = True
+
+    # ------------------------------------------------------------------
+    # Expression evaluation
+    # ------------------------------------------------------------------
+    def eval(self, node: ast.expr, state: _State) -> Tags:
+        if isinstance(node, ast.Name):
+            return state.env.get(node.id, EMPTY)
+        if isinstance(node, ast.Constant):
+            return EMPTY
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, state)
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node, state)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            out: Tags = EMPTY
+            for elt in node.elts:
+                out |= self.eval(elt, state)
+            return out
+        if isinstance(node, ast.Dict):
+            out = EMPTY
+            for key in node.keys:
+                if key is not None:
+                    out |= self.eval(key, state)
+            for value in node.values:
+                out |= self.eval(value, state)
+            return out
+        if isinstance(node, ast.Subscript):
+            base = self.eval(node.value, state)
+            self.eval(node.slice, state)
+            return frozenset(
+                t for t in base
+                if t == ATTACHED or t.startswith("p:") or t == SERVICE_TOPO
+            )
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value, state)
+        if isinstance(node, ast.Await):
+            return self.eval(node.value, state)
+        if isinstance(node, ast.NamedExpr):
+            tags = self.eval(node.value, state)
+            self._bind_target(node.target, tags, state)
+            return tags
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test, state)
+            return self.eval(node.body, state) | self.eval(node.orelse, state)
+        if isinstance(node, ast.BoolOp):
+            out = EMPTY
+            for value in node.values:
+                out |= self.eval(value, state)
+            return out
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            for gen in node.generators:
+                iter_tags = self.eval(gen.iter, state)
+                element = frozenset(
+                    t for t in iter_tags
+                    if t == ATTACHED or t.startswith("p:")
+                )
+                self._bind_target(gen.target, element, state)
+                for cond in gen.ifs:
+                    self.eval(cond, state)
+            if isinstance(node, ast.DictComp):
+                self.eval(node.key, state)
+                self.eval(node.value, state)
+            else:
+                self.eval(node.elt, state)
+            return EMPTY
+        if isinstance(node, (ast.BinOp, ast.UnaryOp, ast.Compare,
+                             ast.JoinedStr, ast.FormattedValue,
+                             ast.Lambda, ast.Slice)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self.eval(child, state)
+            return EMPTY
+        return EMPTY
+
+    def _eval_attribute(self, node: ast.Attribute, state: _State) -> Tags:
+        dotted = _dotted(node)
+        if dotted and dotted in state.env:
+            return state.env[dotted]
+        base = self.eval(node.value, state)
+        out: Set[str] = set(t for t in base if t.startswith("p:"))
+        if ATTACHED in base and (
+            node.attr in _VIEW_ATTRS or node.attr.startswith("_")
+        ):
+            out.add(ATTACHED)
+        elif ATTACHED in base and node.attr not in ("copy",):
+            out.add(ATTACHED)
+        if node.attr == "topology":
+            if SERVICE in base:
+                out.add(SERVICE_TOPO)
+            if any(t.startswith("p:") for t in base):
+                out.add(TOPO_OF_MARKER)
+        elif SERVICE_TOPO in base:
+            out.add(SERVICE_TOPO)
+        elif TOPO_OF_MARKER in base:
+            out.add(TOPO_OF_MARKER)
+        return frozenset(out)
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+    def _new_resource(
+        self, kind: str, node: ast.Call, detail: str, state: _State
+    ) -> Tags:
+        self._res_counter += 1
+        rid = f"r{self._res_counter}"
+        self.resources[rid] = _Resource(
+            rid=rid, kind=kind,
+            line=node.lineno, col=node.col_offset, detail=detail,
+        )
+        state.res[rid] = _ResState()
+        return frozenset({_RES_PREFIX + rid})
+
+    def _eval_call(self, node: ast.Call, state: _State) -> Tags:
+        if isinstance(node.func, ast.Attribute):
+            return self._eval_method_call(node, node.func, state)
+        return self._eval_function_call(node, state)
+
+    def _eval_args_generic(self, node: ast.Call, state: _State) -> List[Tags]:
+        """Evaluate arguments; resources passed to unknowns escape."""
+        arg_tags: List[Tags] = []
+        for arg in node.args:
+            tags = self.eval(arg, state)
+            arg_tags.append(tags)
+        for keyword in node.keywords:
+            self.eval(keyword.value, state)
+        return arg_tags
+
+    def _known_producer(
+        self, node: ast.Call, resolved: str, state: _State
+    ) -> Optional[Tags]:
+        """Model the shm/pool/service construction API by name."""
+        if _endswith_any(resolved, _ATTACH_PRODUCERS):
+            self._escape_all_args(node, state)
+            return frozenset({ATTACHED})
+        if _endswith_any(resolved, _SHMSET_PRODUCERS):
+            self._escape_all_args(node, state)
+            return self._new_resource(
+                SHMSET, node, f"SharedStructureSet ({resolved.rsplit('.', 1)[-1]})",
+                state,
+            )
+        if _endswith_any(resolved, _POOL_PRODUCERS):
+            self._check_initializer(node)
+            self._escape_all_args(node, state)
+            return self._new_resource(
+                POOL, node, f"process pool ({resolved.rsplit('.', 1)[-1]})",
+                state,
+            )
+        if _endswith_any(resolved, (_SEGMENT_CLASS,)):
+            create = any(
+                kw.arg == "create"
+                and isinstance(kw.value, ast.Constant)
+                and bool(kw.value.value)
+                for kw in node.keywords
+            )
+            self._escape_all_args(node, state)
+            if create:
+                return self._new_resource(
+                    SEGMENT, node, "shared-memory segment", state
+                )
+            return frozenset({ATTACHED})
+        if _endswith_any(resolved, _SERVICE_PRODUCERS):
+            self._escape_all_args(node, state)
+            return frozenset({SERVICE})
+        return None
+
+    def _escape_all_args(self, node: ast.Call, state: _State) -> None:
+        for arg in node.args:
+            self._escape(self.eval(arg, state), state)
+        for keyword in node.keywords:
+            self._escape(self.eval(keyword.value, state), state)
+
+    def _check_initializer(self, node: ast.Call) -> None:
+        """RPR703 at ``ProcessPoolExecutor(initializer=fn)`` sites."""
+        for keyword in node.keywords:
+            if keyword.arg == "initializer":
+                self._check_fork_capture(keyword.value, node.lineno,
+                                         node.col_offset, "initializer")
+
+    def _check_fork_capture(
+        self, callable_node: ast.expr, line: int, col: int, via: str
+    ) -> None:
+        dotted = _dotted(callable_node)
+        if not dotted:
+            return
+        resolved = self.project.resolve(self.module, dotted)
+        callee = self.project.lookup_function(resolved)
+        if callee is None:
+            return
+        for name, detail in self.analyzer.fork_reads(callee):
+            self.analyzer.emit(
+                "RPR703",
+                f"worker {via} '{callee.name}' captures {detail} "
+                f"('{name}') — fork-inherited module state diverges "
+                "between parent and workers; pass it as a task argument "
+                "instead",
+                self.module, line, col, self.fn.qualname,
+            )
+
+    def _eval_method_call(
+        self, node: ast.Call, func: ast.Attribute, state: _State
+    ) -> Tags:
+        dotted = _dotted(func)
+        if dotted:
+            resolved = self.project.resolve(self.module, dotted)
+            known = self._known_producer(node, resolved, state)
+            if known is not None:
+                return known
+        attr = func.attr
+        base_tags = self.eval(func.value, state)
+        base_name = _dotted(func.value)
+
+        if attr in (_CLOSE_METHODS | _UNLINK_METHODS | _SHUTDOWN_METHODS):
+            self._apply_release(attr, base_tags, base_name, node, state)
+            self._eval_args_generic(node, state)
+            return EMPTY
+        if attr in _SUBMIT_METHODS:
+            self._check_submit(node, base_tags, base_name, state)
+            return EMPTY
+        if attr in _TOPO_MUTATORS:
+            self._check_topo_mutation(node, base_tags, state)
+            self._eval_args_generic(node, state)
+            return EMPTY
+        if attr in _INPLACE_METHODS and ATTACHED in base_tags:
+            self._flag_rpr702(node.lineno, node.col_offset, f".{attr}() call")
+            self._eval_args_generic(node, state)
+            return EMPTY
+        if attr in _INPLACE_METHODS:
+            for index in _markers(base_tags):
+                self._record_sink(
+                    index, CSinkHit("mutate", f".{attr}() call", node.lineno)
+                )
+        # out= kwarg mutating an attached array.
+        for keyword in node.keywords:
+            if keyword.arg == "out":
+                out_tags = self.eval(keyword.value, state)
+                if ATTACHED in out_tags:
+                    self._flag_rpr702(node.lineno, node.col_offset, "out= write")
+                for index in _markers(out_tags):
+                    self._record_sink(
+                        index, CSinkHit("mutate", "out= write", node.lineno)
+                    )
+        # Unknown method: resources passed as arguments escape.
+        for tags in self._eval_args_generic(node, state):
+            self._escape(tags, state)
+        if ATTACHED in base_tags and attr in _VIEW_METHODS:
+            return frozenset({ATTACHED})
+        return EMPTY
+
+    def _apply_release(
+        self,
+        attr: str,
+        base_tags: Tags,
+        base_name: str,
+        node: ast.Call,
+        state: _State,
+    ) -> None:
+        op = "shutdown" if attr == "shutdown" else attr
+        for rid in _res_ids(base_tags):
+            resource = self.resources.get(rid)
+            st = state.res.get(rid)
+            if resource is None or st is None:
+                continue
+            if resource.kind == POOL:
+                st.done = st.done | frozenset({"shutdown"})
+            elif op == "close" and resource.kind == SHMSET:
+                st.done = st.done | frozenset({"close"})
+                self._check_release_ordering(node, state)
+            else:
+                st.done = st.done | frozenset({op})
+                if op == "unlink":
+                    self._check_release_ordering(node, state)
+        for index in _markers(base_tags):
+            self._record_effect(index, op)
+        if base_name:
+            state.closed_names.add(base_name)
+
+    def _check_release_ordering(self, node: ast.Call, state: _State) -> None:
+        """RPR701: segments released while a same-scope pool still runs."""
+        for rid, st in state.res.items():
+            resource = self.resources.get(rid)
+            if (
+                resource is not None
+                and resource.kind == POOL
+                and not st.escaped
+                and "shutdown" not in st.done
+            ):
+                self.analyzer.emit(
+                    "RPR701",
+                    "shared-memory segments released before the pool that "
+                    "maps them shuts down (use-after-unlink) — shut the "
+                    "pool down first, then close/unlink",
+                    self.module, node.lineno, node.col_offset,
+                    self.fn.qualname,
+                )
+                return
+
+    def _check_submit(
+        self, node: ast.Call, base_tags: Tags, base_name: str, state: _State
+    ) -> None:
+        # RPR704: submit on a closed/shut-down pool.
+        closed = False
+        for rid in _res_ids(base_tags):
+            resource = self.resources.get(rid)
+            st = state.res.get(rid)
+            if (
+                resource is not None
+                and resource.kind == POOL
+                and st is not None
+                and "shutdown" in st.done
+            ):
+                closed = True
+        if base_name and base_name in state.closed_names:
+            closed = True
+        if closed:
+            self.analyzer.emit(
+                "RPR704",
+                "submit on a pool that was already closed/shut down on "
+                "this path — RuntimeError at runtime, deep inside the "
+                "sweep",
+                self.module, node.lineno, node.col_offset, self.fn.qualname,
+            )
+        for index in _markers(base_tags):
+            self._record_sink(index, CSinkHit("submit", "submit", node.lineno))
+        # RPR703: the submitted callable.
+        if node.args:
+            self._check_fork_capture(
+                node.args[0], node.lineno, node.col_offset, "task"
+            )
+        for arg in node.args:
+            self._escape(self.eval(arg, state), state)
+        for keyword in node.keywords:
+            self._escape(self.eval(keyword.value, state), state)
+
+    def _check_topo_mutation(
+        self, node: ast.Call, base_tags: Tags, state: _State
+    ) -> None:
+        if SERVICE_TOPO in base_tags and not _in_service_home(self.module.name):
+            self.analyzer.emit(
+                "RPR705",
+                "topology mutator called on service.topology outside the "
+                "service op loop — apply ADD_/DEL_ ops through "
+                "service.apply()/run() so structure and levels stay in "
+                "sync",
+                self.module, node.lineno, node.col_offset, self.fn.qualname,
+            )
+        if TOPO_OF_MARKER in base_tags:
+            for index in _markers(base_tags):
+                self._record_sink(
+                    index, CSinkHit("topo", "topology mutator", node.lineno)
+                )
+
+    def _eval_function_call(self, node: ast.Call, state: _State) -> Tags:
+        dotted = _dotted(node.func)
+        if not dotted:
+            for tags in self._eval_args_generic(node, state):
+                self._escape(tags, state)
+            return EMPTY
+        resolved = self.project.resolve(self.module, dotted)
+        known = self._known_producer(node, resolved, state)
+        if known is not None:
+            return known
+        callee = self.project.lookup_function(resolved)
+        if callee is None:
+            cls = self.project.lookup_class(resolved)
+            if cls is not None and cls.init is not None:
+                callee = cls.init
+        if callee is None:
+            for tags in self._eval_args_generic(node, state):
+                self._escape(tags, state)
+            return EMPTY
+        return self._apply_function(node, callee, state)
+
+    def _apply_function(
+        self, node: ast.Call, callee: FunctionInfo, state: _State
+    ) -> Tags:
+        summary = self.analyzer.summary(callee)
+        arg_tags: List[Tuple[int, Tags, ast.expr]] = []
+        for position, arg in enumerate(node.args):
+            if isinstance(arg, ast.Starred):
+                self.eval(arg, state)
+                continue
+            arg_tags.append((position, self.eval(arg, state), arg))
+        param_index = {name: i for i, name in enumerate(callee.params)}
+        for keyword in node.keywords:
+            tags = self.eval(keyword.value, state)
+            if keyword.arg is not None and keyword.arg in param_index:
+                arg_tags.append(
+                    (param_index[keyword.arg], tags, keyword.value)
+                )
+            else:
+                self._escape(tags, state)
+        for index, tags, arg in arg_tags:
+            effects = summary.param_effects.get(index, frozenset())
+            sinks = summary.param_sinks.get(index, ())
+            self._apply_param(node, tags, arg, effects, sinks, state)
+        ret: Set[str] = set()
+        for tag in summary.ret:
+            if tag.startswith(_FRESH_PREFIX):
+                kind = tag[len(_FRESH_PREFIX):]
+                detail = {
+                    SEGMENT: "shared-memory segment",
+                    SHMSET: f"SharedStructureSet (via {callee.name}())",
+                    POOL: f"process pool (via {callee.name}())",
+                }.get(kind, kind)
+                ret |= self._new_resource(kind, node, detail, state)
+            elif tag.startswith("p:"):
+                index = int(tag[2:])
+                for arg_index, passed_tags, _arg in arg_tags:
+                    if arg_index == index:
+                        ret |= set(
+                            t for t in passed_tags
+                            if not t.startswith(_RES_PREFIX)
+                        )
+            else:
+                ret.add(tag)
+        return frozenset(ret)
+
+    def _apply_param(
+        self,
+        node: ast.Call,
+        tags: Tags,
+        arg: ast.expr,
+        effects: FrozenSet[str],
+        sinks: Tuple[CSinkHit, ...],
+        state: _State,
+    ) -> None:
+        rids = _res_ids(tags)
+        if effects:
+            for rid in rids:
+                resource = self.resources.get(rid)
+                st = state.res.get(rid)
+                if resource is None or st is None:
+                    continue
+                ops = set(effects)
+                if resource.kind == POOL and "close" in ops:
+                    ops.add("shutdown")
+                if resource.kind == SHMSET and "close" in ops:
+                    self._check_release_ordering(node, state)
+                if resource.kind == SEGMENT and "unlink" in ops:
+                    self._check_release_ordering(node, state)
+                st.done = st.done | frozenset(ops)
+            for marker_index in _markers(tags):
+                for effect in effects:
+                    self._record_effect(marker_index, effect)
+        elif rids:
+            self._escape(tags, state)
+        for hit in sinks:
+            if hit.kind == "mutate" and ATTACHED in tags:
+                self._flag_rpr702(
+                    node.lineno, node.col_offset,
+                    f"{hit.detail} (via callee at line {hit.line})",
+                )
+            if hit.kind == "submit":
+                closed = any(
+                    "shutdown" in state.res[rid].done
+                    for rid in rids
+                    if rid in state.res
+                )
+                arg_name = _dotted(arg)
+                if closed or (arg_name and arg_name in state.closed_names):
+                    self.analyzer.emit(
+                        "RPR704",
+                        "helper submits to a pool this caller already "
+                        "closed/shut down on this path",
+                        self.module, node.lineno, node.col_offset,
+                        self.fn.qualname,
+                    )
+            if hit.kind in ("topo", "attr-store") and SERVICE in tags:
+                if not _in_service_home(self.module.name):
+                    self.analyzer.emit(
+                        "RPR705",
+                        "helper mutates service state "
+                        f"({hit.detail}, via callee at line {hit.line}) "
+                        "outside the service op loop",
+                        self.module, node.lineno, node.col_offset,
+                        self.fn.qualname,
+                    )
+            # Marker-to-marker propagation for deeper chains.
+            for marker_index in _markers(tags):
+                self._record_sink(marker_index, hit)

@@ -1,0 +1,104 @@
+"""Metadata for the concurrency & process-lifecycle rules (RPR7xx).
+
+Like the RPR6xx dataflow catalogue, these rules are all emitted by one
+interprocedural engine (:mod:`repro.devtools.concurrency.engine`), so
+their metadata lives here as plain records.  ``docs/linting.md`` and
+``tests/test_concurrency.py`` assert the two stay in sync.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = ["ConcurrencyRule", "CONCURRENCY_RULES", "concurrency_catalogue"]
+
+
+@dataclass(frozen=True)
+class ConcurrencyRule:
+    rule_id: str
+    title: str
+    rationale: str
+
+
+CONCURRENCY_RULES: Tuple[ConcurrencyRule, ...] = (
+    ConcurrencyRule(
+        rule_id="RPR701",
+        title="shared-memory segment leaked or unlinked under a live pool",
+        rationale=(
+            "A multiprocessing.shared_memory segment (or a "
+            "SharedStructureSet exporting them) created on some path "
+            "without a close+unlink on every exit leaks /dev/shm bytes "
+            "until interpreter exit; unlinking it while a worker pool "
+            "created in the same scope is still running invalidates the "
+            "mapping under every worker that attached it (use-after-"
+            "unlink).  Own segments with a context manager, or close "
+            "them on all paths *after* the pool shuts down — the "
+            "ordering contract docs/performance.md documents and "
+            "SweepPool.close() implements."
+        ),
+    ),
+    ConcurrencyRule(
+        rule_id="RPR702",
+        title="in-place mutation reaches an attached cross-process array",
+        rationale=(
+            "Arrays attached from a shared-memory manifest "
+            "(attach_structure) are zero-copy views every sibling worker "
+            "maps; they are exported read-only precisely because an "
+            "in-place store, augmented assignment, out= target or "
+            "mutating method call through such a view — possibly via "
+            "several helper calls — corrupts all workers at once "
+            "(RPR621's failure class across the process boundary).  "
+            "Copy before writing."
+        ),
+    ),
+    ConcurrencyRule(
+        rule_id="RPR703",
+        title="worker callable captures fork-inherited mutable module state",
+        rationale=(
+            "A callable handed to a pool (submit/map/initializer) that "
+            "reads a module-level RNG or shared-memory segment — or "
+            "directly mutates a module-level cache — runs against state "
+            "cloned at fork/spawn time: every worker inherits the *same* "
+            "generator state (correlated streams) or a segment handle "
+            "the parent may unlink underneath it.  Pass RNGs and "
+            "segments explicitly as task arguments (the sweep workers' "
+            "rng_from_sequence(child) pattern)."
+        ),
+    ),
+    ConcurrencyRule(
+        rule_id="RPR704",
+        title="process-pool lifecycle discipline violated",
+        rationale=(
+            "A ProcessPoolExecutor/SweepPool must be context-managed or "
+            "shut down on every path (leaked pools strand worker "
+            "processes and, for SweepPool, the shared segments they "
+            "map); submitting to a pool after close()/shutdown() raises "
+            "only at runtime, deep inside a sweep; and collecting "
+            "as_completed() results into a positional list ties sample "
+            "order to OS scheduling, breaking the documented "
+            "config-order seed tree.  Use `with`, submit before close, "
+            "and merge unordered completions by index."
+        ),
+    ),
+    ConcurrencyRule(
+        rule_id="RPR705",
+        title="service topology or state mutated outside the op loop",
+        rationale=(
+            "MISService owns its MutableTopology and private engine "
+            "state; every change must flow through the service op "
+            "surface (apply/run with ADD_NODE/DEL_NODE/ADD_EDGE/"
+            "DEL_EDGE ops), which invalidates the structure cache, "
+            "patches derived forms, and re-stabilizes.  Calling "
+            "topology mutators on service.topology — or writing the "
+            "service's private attributes — from outside repro.serve "
+            "silently desynchronizes topology, cached structure, and "
+            "engine levels."
+        ),
+    ),
+)
+
+
+def concurrency_catalogue() -> List[Tuple[str, str, str]]:
+    """``(rule_id, title, rationale)`` rows — used by docs and tests."""
+    return [(r.rule_id, r.title, r.rationale) for r in CONCURRENCY_RULES]

@@ -2,9 +2,10 @@
 
 SARIF (Static Analysis Results Interchange Format) is what code-scanning
 UIs ingest — the CI workflow uploads this file so findings annotate pull
-requests.  We emit one run with both rule families (the per-line RPRxxx
-catalogue and the dataflow RPR6xx catalogue) in ``tool.driver.rules``
-and one ``result`` per violation.
+requests.  We emit one run with all three rule families (the per-line
+RPRxxx catalogue, the dataflow RPR6xx catalogue, and the concurrency
+RPR7xx catalogue) in ``tool.driver.rules`` and one ``result`` per
+violation.
 """
 
 from __future__ import annotations
@@ -29,7 +30,13 @@ _SCHEMA = (
 
 
 def _rules_block() -> List[dict]:
-    rows = list(rule_catalogue()) + list(dataflow_catalogue())
+    from ..concurrency.rules import concurrency_catalogue
+
+    rows = (
+        list(rule_catalogue())
+        + list(dataflow_catalogue())
+        + list(concurrency_catalogue())
+    )
     return [
         {
             "id": rule_id,

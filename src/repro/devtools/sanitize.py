@@ -19,20 +19,33 @@ runtime booby-trapped:
   engine drew out of order;
 * **seed-tree audit** — a serial sweep's samples are recomputed from
   the documented ``root.spawn(configs) → child.spawn(reps)`` tree via
-  the blessed :func:`repro.devtools.seeding.rng_from_sequence`.
+  the blessed :func:`repro.devtools.seeding.rng_from_sequence`;
+* **shm leak audit** — the runtime twin of RPR701: after exercising the
+  shared-memory export paths, every exported segment must appear
+  unlinked in :func:`repro.core.kernels.shm.leaked_segments`, including
+  a set abandoned without ``close()`` (the ``weakref.finalize`` guard);
+* **pool crash recovery** — worker-crash injection, the runtime twin of
+  RPR704: a sweep worker calls ``os._exit`` mid-task and the parent
+  must surface :class:`repro.analysis.sweep.SweepWorkerError`, shut the
+  pool down, and leak no segment.
+
+The runtime checks run under a :func:`watchdog` that dumps all thread
+stacks if they hang, converting a deadlock into a diagnosable failure.
 
 The same traps are available to the whole test suite: running pytest
-with ``REPRO_SANITIZE=1`` arms an autouse fixture (see
-``tests/conftest.py``) that wraps every test in the errstate guard.
+with ``REPRO_SANITIZE=1`` arms autouse fixtures (see
+``tests/conftest.py``) that wrap every test in the errstate guard and
+assert the segment audit is clean at session end.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence
+from typing import Any, Iterator, List, Mapping, Sequence, Set, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from .seeding import as_seed_sequence, resolve_rng, rng_from_sequence
 
@@ -41,10 +54,13 @@ __all__ = [
     "errstate_guard",
     "engine_shared_arrays",
     "frozen_arrays",
+    "watchdog",
     "check_engine_numerics",
     "check_rng_draw_discipline",
     "check_batched_seed_tree",
     "check_sweep_seed_tree",
+    "check_shm_leak_audit",
+    "check_sweep_pool_worker_crash",
     "run_sanitizers",
 ]
 
@@ -75,7 +91,24 @@ def errstate_guard() -> Iterator[None]:
         yield
 
 
-def engine_shared_arrays(engine: object) -> List[np.ndarray]:
+@contextmanager
+def watchdog(seconds: float) -> Iterator[None]:
+    """Dump every thread's stack to stderr if the block outlives the budget.
+
+    The process is left running (``exit=False``) so the enclosing check
+    still reports a failure; the dump is what turns "CI timed out" into
+    "stuck in ``Future.result`` under ``_run_cells_process``".
+    """
+    import faulthandler
+
+    faulthandler.dump_traceback_later(seconds, exit=False)
+    try:
+        yield
+    finally:
+        faulthandler.cancel_dump_traceback_later()
+
+
+def engine_shared_arrays(engine: object) -> List[npt.NDArray[Any]]:
     """The arrays ``engine`` shares with collectors / other replicas.
 
     Deduplicated by identity: the adjacency is symmetric, so
@@ -83,8 +116,8 @@ def engine_shared_arrays(engine: object) -> List[np.ndarray]:
     appending an array twice would make :func:`frozen_arrays` restore
     the wrong ``writeable`` flag on exit.
     """
-    arrays: List[np.ndarray] = []
-    seen: set = set()
+    arrays: List[npt.NDArray[Any]] = []
+    seen: Set[int] = set()
 
     def add(candidate: object) -> None:
         if isinstance(candidate, np.ndarray) and id(candidate) not in seen:
@@ -108,9 +141,9 @@ def engine_shared_arrays(engine: object) -> List[np.ndarray]:
 
 
 @contextmanager
-def frozen_arrays(arrays: Sequence[np.ndarray]) -> Iterator[None]:
+def frozen_arrays(arrays: Sequence[npt.NDArray[Any]]) -> Iterator[None]:
     """Temporarily flip ``writeable=False`` on every array."""
-    previous = []
+    previous: List[Tuple[npt.NDArray[Any], bool]] = []
     try:
         for array in arrays:
             previous.append((array, array.flags.writeable))
@@ -121,7 +154,7 @@ def frozen_arrays(arrays: Sequence[np.ndarray]) -> Iterator[None]:
             array.flags.writeable = was_writeable
 
 
-def _fixture_graphs():
+def _fixture_graphs() -> List[Tuple[str, Any]]:
     from ..graphs.graph import Graph
 
     triangle = Graph(3, [(0, 1), (1, 2), (0, 2)])
@@ -230,7 +263,7 @@ def check_batched_seed_tree() -> SanitizerResult:
     )
 
 
-def _probe_measure(config: dict, rng: np.random.Generator) -> float:
+def _probe_measure(config: Mapping[str, Any], rng: np.random.Generator) -> float:
     """Module-level (picklable) probe drawing exactly one uniform."""
     return float(rng.random()) + float(config.get("offset", 0))
 
@@ -274,6 +307,124 @@ def check_sweep_seed_tree() -> SanitizerResult:
     )
 
 
+def check_shm_leak_audit() -> SanitizerResult:
+    """Every exported segment must be unlinked by end of run.
+
+    Exercises the normal ``close()`` path, a second (idempotent)
+    ``close()``, and the ``weakref.finalize`` guard on a set abandoned
+    without closing — the runtime twin of RPR701.
+    """
+    import gc
+
+    from ..core.kernels.shm import export_structures, leaked_segments
+
+    graphs = [graph for _, graph in _fixture_graphs()]
+    with watchdog(120.0):
+        shared = export_structures(graphs)
+        exported = leaked_segments()
+        shared.close()
+        shared.close()  # idempotent: second close must be a no-op
+        after_close = leaked_segments()
+        # The finalize guard: abandon a set without ever closing it.
+        orphan = export_structures(graphs)  # repro: allow[RPR701]
+        orphan_exported = leaked_segments()
+        del orphan
+        gc.collect()
+        after_gc = leaked_segments()
+    if not exported:
+        return SanitizerResult(
+            name="shm-leak-audit",
+            ok=False,
+            detail="export_structures registered nothing with the audit",
+        )
+    if after_close:
+        return SanitizerResult(
+            name="shm-leak-audit",
+            ok=False,
+            detail=f"segments survived close(): {after_close}",
+        )
+    if not orphan_exported or after_gc:
+        return SanitizerResult(
+            name="shm-leak-audit",
+            ok=False,
+            detail=(
+                "the finalize guard left abandoned segments linked: "
+                f"{after_gc}"
+            ),
+        )
+    return SanitizerResult(
+        name="shm-leak-audit",
+        ok=True,
+        detail=(
+            f"{len(exported)} exported segment(s) unlinked by close() "
+            "and by the finalize guard; audit registry empty"
+        ),
+    )
+
+
+def _crash_measure(config: Mapping[str, Any], rng: np.random.Generator) -> float:
+    """Module-level probe that kills its own worker process mid-task."""
+    import os
+
+    if config.get("crash"):
+        os._exit(13)
+    return float(rng.random())
+
+
+def check_sweep_pool_worker_crash() -> SanitizerResult:
+    """Kill a pool worker mid-sweep; the parent must clean up fully.
+
+    Expects :class:`repro.analysis.sweep.SweepWorkerError` in place of
+    the bare ``BrokenProcessPool``, a clean pool shutdown, and no
+    segment left in the leak audit — the runtime twin of RPR704.
+    """
+    from ..analysis.sweep import SweepPool, SweepWorkerError, run_sweep
+    from ..core.kernels.shm import leaked_segments
+
+    graphs = [graph for _, graph in _fixture_graphs()]
+    failure = ""
+    with watchdog(240.0):
+        before = set(leaked_segments())
+        with SweepPool(2, graphs=graphs) as pool:
+            try:
+                run_sweep(
+                    [{"crash": 1}],
+                    _crash_measure,
+                    repetitions=2,
+                    master_seed=_AUDIT_SEED,
+                    executor="process",
+                    pool=pool,
+                )
+            except SweepWorkerError:
+                pass  # the expected, named failure
+            except Exception as exc:
+                failure = (
+                    "worker crash surfaced as "
+                    f"{type(exc).__name__} instead of SweepWorkerError"
+                )
+            else:
+                failure = "worker crash produced no error at all"
+        leaked = [name for name in leaked_segments() if name not in before]
+    if failure:
+        return SanitizerResult(
+            name="pool-crash-recovery", ok=False, detail=failure
+        )
+    if leaked:
+        return SanitizerResult(
+            name="pool-crash-recovery",
+            ok=False,
+            detail=f"segments leaked across the crash: {leaked}",
+        )
+    return SanitizerResult(
+        name="pool-crash-recovery",
+        ok=True,
+        detail=(
+            "worker os._exit surfaced as SweepWorkerError; pool closed "
+            "and no segment leaked"
+        ),
+    )
+
+
 def run_sanitizers() -> List[SanitizerResult]:
     """All sanitizer checks, in deterministic order."""
     return [
@@ -281,4 +432,6 @@ def run_sanitizers() -> List[SanitizerResult]:
         check_rng_draw_discipline(),
         check_batched_seed_tree(),
         check_sweep_seed_tree(),
+        check_shm_leak_audit(),
+        check_sweep_pool_worker_crash(),
     ]

@@ -1,10 +1,12 @@
 """Shared fixtures for the test suite.
 
-Running pytest with ``REPRO_SANITIZE=1`` arms the sanitizer fixture
+Running pytest with ``REPRO_SANITIZE=1`` arms the sanitizer fixtures
 below: every test then executes under
 ``np.errstate(over='raise', invalid='raise', divide='raise')`` so
 silent numeric corruption (scalar integer overflow, NaN production)
-fails the test that caused it.  See :mod:`repro.devtools.sanitize`.
+fails the test that caused it, and a session-scoped leak audit asserts
+that every shared-memory segment the suite exported was unlinked by the
+end of the run.  See :mod:`repro.devtools.sanitize`.
 """
 
 import os
@@ -25,6 +27,27 @@ def _sanitize_numerics():
 
     with errstate_guard():
         yield
+
+
+@pytest.fixture(scope="session", autouse=_SANITIZE)
+def _sanitize_segment_audit():
+    """End-of-session shm leak audit (armed by ``REPRO_SANITIZE=1``).
+
+    Any segment exported during the suite and never unlinked — an
+    exception path that skipped ``SharedStructureSet.close()`` and
+    dodged the finalize guard — fails the session loudly instead of
+    leaking /dev/shm bytes.
+    """
+    yield
+    import gc
+
+    from repro.core.kernels.shm import leaked_segments
+
+    gc.collect()  # let finalize guards of dropped sets run first
+    leaked = leaked_segments()
+    assert not leaked, (
+        f"shared-memory segments leaked by the test session: {leaked}"
+    )
 
 
 @pytest.fixture

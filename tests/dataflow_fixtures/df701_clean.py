@@ -1,0 +1,27 @@
+"""RPR701 (clean): all-paths close+unlink, ordered after pool shutdown."""
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing.shared_memory import SharedMemory
+
+from df701_lib import open_scratch
+
+
+def scoped(task, num_bytes):
+    seg = SharedMemory(create=True, size=num_bytes)
+    try:
+        with ProcessPoolExecutor(2) as pool:
+            handle = pool.submit(task, seg.name)
+            result = handle.result()
+    finally:
+        # The pool has shut down: no worker still maps the segment.
+        seg.close()
+        seg.unlink()
+    return result
+
+
+def factory_discharged(num_bytes):
+    scratch = open_scratch(num_bytes)
+    try:
+        return scratch.size
+    finally:
+        scratch.close()
+        scratch.unlink()

@@ -1,0 +1,26 @@
+"""RPR701 (flag): leaked segments and an unlink under a live pool."""
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing.shared_memory import SharedMemory
+
+from df701_lib import open_scratch
+
+
+def leak_direct(num_bytes):
+    seg = SharedMemory(create=True, size=num_bytes)
+    return seg.name  # never closed: leaks /dev/shm bytes.
+
+
+def leak_from_factory(num_bytes):
+    # Hop 2: the factory's fresh segment is this frame's obligation.
+    scratch = open_scratch(num_bytes)
+    scratch.close()  # close without unlink still leaks the backing file.
+    return 0
+
+
+def unlink_under_live_pool(task, num_bytes):
+    seg = SharedMemory(create=True, size=num_bytes)
+    with ProcessPoolExecutor(2) as pool:
+        handle = pool.submit(task, seg.name)
+        seg.close()
+        seg.unlink()  # workers may still hold the mapping.
+        return handle.result()

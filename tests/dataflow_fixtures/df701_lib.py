@@ -1,0 +1,11 @@
+"""Producer half of the two-hop RPR701 fixture: a segment factory.
+
+Returning the freshly created segment hands the close+unlink obligation
+to the caller — the factory itself is clean; ``df701_flag.leak_from_
+factory`` discharges only half of it.
+"""
+from multiprocessing.shared_memory import SharedMemory
+
+
+def open_scratch(num_bytes):
+    return SharedMemory(create=True, size=num_bytes)

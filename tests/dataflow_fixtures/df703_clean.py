@@ -1,0 +1,16 @@
+"""RPR703 (clean): randomness is passed explicitly as a task argument."""
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+
+def draw(child_seed, count):
+    rng = np.random.default_rng(child_seed)
+    return rng.random(count)
+
+
+def run(root_seed, count):
+    children = np.random.SeedSequence(root_seed).spawn(2)
+    with ProcessPoolExecutor(2) as pool:
+        handles = [pool.submit(draw, child, count) for child in children]
+        return [handle.result() for handle in handles]

@@ -1,0 +1,22 @@
+"""RPR703 (flag): workers capture the fork-inherited module RNG."""
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+_RNG = np.random.default_rng(1234)
+
+
+def draw(count):
+    return _RNG.random(count)
+
+
+def sample_noise(count):
+    # Hop 2: still the same fork-cloned generator state.
+    return draw(count)
+
+
+def run(count):
+    with ProcessPoolExecutor(2) as pool:
+        direct = pool.submit(draw, count)
+        nested = pool.submit(sample_noise, count)
+        return direct.result() + nested.result()

@@ -1,0 +1,32 @@
+"""RPR704 (clean): context-managed pool, merge by index, guarded close."""
+from concurrent.futures import ProcessPoolExecutor, as_completed
+
+
+def measure(value):
+    return value * 2
+
+
+def dispatch(pool, value):
+    return pool.submit(measure, value)
+
+
+def run(values):
+    samples = [None] * len(values)
+    with ProcessPoolExecutor(2) as pool:
+        handles = {dispatch(pool, v): i for i, v in enumerate(values)}
+        for handle in as_completed(handles):
+            samples[handles[handle]] = handle.result()
+    return samples
+
+
+def guarded(values, jobs):
+    pool = None
+    if jobs > 1:
+        pool = ProcessPoolExecutor(jobs)
+    try:
+        if pool is not None:
+            return dispatch(pool, values[0]).result()
+        return measure(values[0])
+    finally:
+        if pool is not None:
+            pool.shutdown()

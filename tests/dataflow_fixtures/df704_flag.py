@@ -1,0 +1,37 @@
+"""RPR704 (flag): leaked pool, submit-after-close, unordered merge."""
+from concurrent.futures import ProcessPoolExecutor, as_completed
+
+
+def measure(value):
+    return value * 2
+
+
+def dispatch(pool, value):
+    return pool.submit(measure, value)
+
+
+def leak_on_error_path(values, strict):
+    pool = ProcessPoolExecutor(2)
+    if strict:
+        return None  # early return strands the worker processes.
+    handles = [pool.submit(measure, v) for v in values]
+    results = [h.result() for h in handles]
+    pool.shutdown()
+    return results
+
+
+def reuse_after_shutdown(values):
+    pool = ProcessPoolExecutor(2)
+    warm = dispatch(pool, values[0]).result()
+    pool.shutdown()
+    late = dispatch(pool, values[1])  # Hop 2: the helper submits.
+    return warm, late
+
+
+def unordered_merge(values):
+    with ProcessPoolExecutor(2) as pool:
+        handles = [pool.submit(measure, v) for v in values]
+        samples = []
+        for handle in as_completed(handles):
+            samples.append(handle.result())  # order = OS scheduling.
+        return samples

@@ -1,0 +1,13 @@
+"""RPR705 (clean): mutations flow through the service op surface."""
+from repro.serve.ops import Op
+
+
+def churn(service, u, v):
+    service.apply([Op("ADD_EDGE", u=u, v=v)])
+    return service.run(rounds=4)
+
+
+def standalone(topology):
+    # A MutableTopology the caller owns (no service attached) is fair game.
+    topology.add_node()
+    return topology

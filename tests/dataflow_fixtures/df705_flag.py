@@ -1,0 +1,22 @@
+"""RPR705 (flag): service topology and state mutated around the op loop."""
+
+
+def grow_ring(service, count):
+    for _ in range(count):
+        service.topology.add_node()  # bypasses the op surface.
+    return service
+
+
+def wrench(target):
+    # Hop 2: the helper receives the service and pokes its topology.
+    target.topology.remove_node(0)
+
+
+def churn(service):
+    wrench(service)
+    return service
+
+
+def reset(service):
+    service._levels = None  # private engine state written from outside.
+    return service

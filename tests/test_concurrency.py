@@ -1,0 +1,521 @@
+"""The concurrency & process-lifecycle analyzer: every RPR7xx rule.
+
+Covers: the fixture corpus (one flagging and one clean file per rule,
+with the RPR701 factory case split across a module boundary and a ≥2-hop
+interprocedural flag case per rule), the must-analysis edge cases
+(escapes, context managers, try/finally, raise paths), pragma handling
+at both granularities, baseline round-trips, SARIF output, the ``repro
+check`` integration, catalogue/docs sync, and the wall-time budget on
+the real tree.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.concurrency import (
+    CONCURRENCY_RULES,
+    analyze_paths,
+    analyze_sources,
+    concurrency_catalogue,
+)
+from repro.devtools.dataflow.baseline import (
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.devtools.dataflow.sarif import to_sarif
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+FIXTURES = REPO_ROOT / "tests" / "dataflow_fixtures"
+
+ALL_RULE_IDS = ("RPR701", "RPR702", "RPR703", "RPR704", "RPR705")
+
+
+@pytest.fixture(scope="module")
+def corpus_report():
+    return analyze_paths([str(FIXTURES)], root=REPO_ROOT)
+
+
+def rules_in(report, path_fragment):
+    return sorted(
+        v.rule for v in report.violations if path_fragment in v.path
+    )
+
+
+# ----------------------------------------------------------------------
+# The fixture corpus: each rule fires on its flag file, never on clean
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("rule_id", ALL_RULE_IDS)
+def test_rule_catches_its_seeded_fixture(corpus_report, rule_id):
+    stem = f"df{rule_id[3:]}_flag"
+    flagged = rules_in(corpus_report, stem)
+    assert flagged and set(flagged) == {rule_id}
+
+
+@pytest.mark.parametrize("rule_id", ALL_RULE_IDS)
+def test_rule_passes_its_clean_fixture(corpus_report, rule_id):
+    stem = f"df{rule_id[3:]}_clean"
+    assert rules_in(corpus_report, stem) == []
+
+
+def test_corpus_parses_cleanly(corpus_report):
+    assert corpus_report.errors == []
+    assert rules_in(corpus_report, "df701_lib") == []
+
+
+def test_rpr701_crosses_the_module_boundary(corpus_report):
+    """The factory's fresh segment becomes the caller's obligation."""
+    flagged = [
+        v for v in corpus_report.violations
+        if v.symbol.endswith(".leak_from_factory")
+    ]
+    assert len(flagged) == 1
+    assert "df701_flag" in flagged[0].path  # not the factory module
+
+
+def test_rpr701_flags_unlink_under_a_live_pool(corpus_report):
+    [violation] = [
+        v for v in corpus_report.violations
+        if v.symbol.endswith(".unlink_under_live_pool")
+    ]
+    assert "use-after-unlink" in violation.message
+
+
+def test_rpr702_names_the_helper_hop(corpus_report):
+    [violation] = [
+        v for v in corpus_report.violations if v.symbol.endswith(".run")
+        and "df702_flag" in v.path
+    ]
+    assert "via callee" in violation.message
+
+
+def test_rpr703_names_the_captured_state_through_a_hop(corpus_report):
+    [violation] = [
+        v for v in corpus_report.violations
+        if "df703_flag" in v.path and "sample_noise" in v.message
+    ]
+    assert "_RNG" in violation.message and "draw" in violation.message
+
+
+def test_rpr704_flags_the_helper_submit_after_shutdown(corpus_report):
+    [violation] = [
+        v for v in corpus_report.violations
+        if v.symbol.endswith(".reuse_after_shutdown")
+    ]
+    assert "helper submits" in violation.message
+
+
+def test_rpr705_flags_the_helper_hop(corpus_report):
+    [violation] = [
+        v for v in corpus_report.violations if v.symbol.endswith(".churn")
+        and "df705_flag" in v.path
+    ]
+    assert "via callee" in violation.message
+
+
+# ----------------------------------------------------------------------
+# Interprocedural behavior on in-memory sources
+# ----------------------------------------------------------------------
+def test_rpr701_escaped_segments_are_the_callers_problem():
+    """Returning or attribute-storing a segment transfers the obligation."""
+    report = analyze_sources({
+        "m": (
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "def open_scratch(num):\n"
+            "    return SharedMemory(create=True, size=num)\n"
+            "class Holder:\n"
+            "    def __init__(self, num):\n"
+            "        self.seg = SharedMemory(create=True, size=num)\n"
+        )
+    })
+    assert report.violations == []
+
+
+def test_rpr701_raise_paths_carry_no_close_obligation():
+    report = analyze_sources({
+        "m": (
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "def run(num):\n"
+            "    seg = SharedMemory(create=True, size=num)\n"
+            "    if num < 0:\n"
+            "        raise ValueError(num)\n"
+            "    seg.close()\n"
+            "    seg.unlink()\n"
+            "    return 0\n"
+        )
+    })
+    assert report.violations == []
+
+
+def test_rpr701_close_without_unlink_still_leaks():
+    report = analyze_sources({
+        "m": (
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "def run(num):\n"
+            "    seg = SharedMemory(create=True, size=num)\n"
+            "    try:\n"
+            "        return seg.name\n"
+            "    finally:\n"
+            "        seg.close()\n"
+        )
+    })
+    assert [v.rule for v in report.violations] == ["RPR701"]
+
+
+def test_rpr701_attach_side_has_no_unlink_obligation():
+    """Attached (create-less) segments are worker-side: no ownership."""
+    report = analyze_sources({
+        "m": (
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "def peek(name):\n"
+            "    seg = SharedMemory(name=name)\n"
+            "    return seg.size\n"
+        )
+    })
+    assert report.violations == []
+
+
+def test_rpr702_out_kwarg_reaches_the_attached_view():
+    report = analyze_sources({
+        "m": (
+            "import numpy as np\n"
+            "from repro.core.kernels.shm import attach_structure\n"
+            "def run(manifest, x):\n"
+            "    view = attach_structure(manifest).dense\n"
+            "    np.add(view, x, out=view)\n"
+            "    return view\n"
+        )
+    })
+    assert [v.rule for v in report.violations] == ["RPR702"]
+
+
+def test_rpr702_mutation_three_hops_from_the_attach():
+    report = analyze_sources({
+        "a": (
+            "def saturate(block):\n"
+            "    block += 1\n"
+            "    return block\n"
+        ),
+        "b": (
+            "from a import saturate\n"
+            "def rescale(block):\n"
+            "    return saturate(block)\n"
+        ),
+        "c": (
+            "from b import rescale\n"
+            "from repro.core.kernels.shm import attach_structure\n"
+            "def run(manifest):\n"
+            "    return rescale(attach_structure(manifest).csr)\n"
+        ),
+    })
+    assert [(v.rule, v.path) for v in report.violations] == [("RPR702", "c.py")]
+
+
+def test_rpr703_initializer_capture_is_flagged():
+    report = analyze_sources({
+        "m": (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "import numpy as np\n"
+            "_RNG = np.random.default_rng(7)\n"
+            "def warm():\n"
+            "    return _RNG.random()\n"
+            "def run(task, item):\n"
+            "    with ProcessPoolExecutor(2, initializer=warm) as pool:\n"
+            "        return pool.submit(task, item)\n"
+        )
+    })
+    assert [v.rule for v in report.violations] == ["RPR703"]
+
+
+def test_rpr703_direct_cache_mutation_vs_helper_seeding():
+    """Only mutation in the submitted callable's own body counts.
+
+    Calling a helper that mutates a module cache (the blessed
+    ``structure_for``/``seed_structure`` worker idiom) stays quiet.
+    """
+    flagged = analyze_sources({
+        "m": (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "_CACHE = {}\n"
+            "def poison(key):\n"
+            "    _CACHE[key] = 1\n"
+            "    return key\n"
+            "def run(items):\n"
+            "    with ProcessPoolExecutor(2) as pool:\n"
+            "        return [pool.submit(poison, i) for i in items]\n"
+        )
+    })
+    assert [v.rule for v in flagged.violations] == ["RPR703"]
+    quiet = analyze_sources({
+        "m": (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "_CACHE = {}\n"
+            "def seed(key):\n"
+            "    _CACHE[key] = 1\n"
+            "    return key\n"
+            "def worker(key):\n"
+            "    return seed(key)\n"
+            "def run(items):\n"
+            "    with ProcessPoolExecutor(2) as pool:\n"
+            "        return [pool.submit(worker, i) for i in items]\n"
+        )
+    })
+    assert quiet.violations == []
+
+
+def test_rpr704_guarded_owner_with_finally_close_is_clean():
+    """The run_sweep owned-pool idiom: conditional create, finally close."""
+    report = analyze_sources({
+        "m": (
+            "from repro.analysis.sweep import SweepPool\n"
+            "def run(graphs, jobs):\n"
+            "    owned = None\n"
+            "    if jobs > 1:\n"
+            "        owned = SweepPool(jobs, graphs)\n"
+            "    try:\n"
+            "        return 1\n"
+            "    finally:\n"
+            "        if owned is not None:\n"
+            "            owned.close()\n"
+        )
+    })
+    assert report.violations == []
+
+
+def test_rpr704_return_before_finally_sees_the_finally_effects():
+    report = analyze_sources({
+        "m": (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def run():\n"
+            "    pool = ProcessPoolExecutor(2)\n"
+            "    try:\n"
+            "        return 1\n"
+            "    finally:\n"
+            "        pool.shutdown()\n"
+        )
+    })
+    assert report.violations == []
+
+
+def test_rpr704_early_return_without_finally_is_flagged():
+    report = analyze_sources({
+        "m": (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def run(flag):\n"
+            "    pool = ProcessPoolExecutor(2)\n"
+            "    if flag:\n"
+            "        return None\n"
+            "    pool.shutdown()\n"
+        )
+    })
+    assert [v.rule for v in report.violations] == ["RPR704"]
+
+
+def test_rpr704_submit_inside_with_block_is_legal():
+    report = analyze_sources({
+        "m": (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def run(task, items):\n"
+            "    with ProcessPoolExecutor(2) as pool:\n"
+            "        return [pool.submit(task, i) for i in items]\n"
+        )
+    })
+    assert report.violations == []
+
+
+def test_rpr705_exempts_the_service_home_modules():
+    source = (
+        "def apply_op(service):\n"
+        "    service.topology.add_node()\n"
+        "    return service\n"
+    )
+    home = analyze_sources({"repro.serve.service": source})
+    assert home.violations == []
+    elsewhere = analyze_sources({"repro.apps.tool": source})
+    assert [v.rule for v in elsewhere.violations] == ["RPR705"]
+
+
+# ----------------------------------------------------------------------
+# Pragmas
+# ----------------------------------------------------------------------
+def test_line_pragma_suppresses_a_concurrency_finding():
+    report = analyze_sources({
+        "m": (
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "def run(num):\n"
+            "    seg = SharedMemory(create=True, size=num)  # repro: allow[RPR701]\n"
+            "    return seg.name\n"
+        )
+    })
+    assert report.violations == []
+
+
+def test_file_pragma_suppresses_the_whole_file():
+    source = (
+        "# repro: allow-file[RPR704]\n"
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "def run():\n"
+        "    pool = ProcessPoolExecutor(2)\n"
+        "    return pool\n"
+    )
+    assert analyze_sources({"m": source}).violations == []
+
+
+def test_file_pragma_is_rule_specific():
+    report = analyze_sources({
+        "m": (
+            "# repro: allow-file[RPR701]\n"
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def run(flag):\n"
+            "    pool = ProcessPoolExecutor(2)\n"
+            "    if flag:\n"
+            "        return None\n"
+            "    pool.shutdown()\n"
+        )
+    })
+    assert [v.rule for v in report.violations] == ["RPR704"]
+
+
+# ----------------------------------------------------------------------
+# Baseline round-trip (shared plumbing with the dataflow analyzer)
+# ----------------------------------------------------------------------
+def test_baseline_round_trip_suppresses_known_findings(tmp_path, corpus_report):
+    baseline_path = tmp_path / "baseline.json"
+    save_baseline(baseline_path, corpus_report.violations)
+    fingerprints = load_baseline(baseline_path)
+    assert apply_baseline(corpus_report.violations, fingerprints) == []
+    fresh = analyze_sources({
+        "other": (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def newly_buggy():\n"
+            "    return ProcessPoolExecutor(2)\n"
+        )
+    }).violations
+    assert apply_baseline(fresh, fingerprints) == fresh
+
+
+# ----------------------------------------------------------------------
+# SARIF
+# ----------------------------------------------------------------------
+def test_sarif_includes_the_concurrency_catalogue(corpus_report):
+    log = to_sarif([v.to_json() for v in corpus_report.violations])
+    [run] = log["runs"]
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert set(ALL_RULE_IDS) <= rule_ids
+    assert len(run["results"]) == len(corpus_report.violations)
+    for result in run["results"]:
+        assert result["ruleIndex"] >= 0  # every RPR7xx is catalogued
+
+
+# ----------------------------------------------------------------------
+# Catalogue / docs sync
+# ----------------------------------------------------------------------
+def test_concurrency_catalogue_is_complete():
+    rows = concurrency_catalogue()
+    ids = [rule_id for rule_id, _, _ in rows]
+    assert ids == sorted(ids)
+    assert tuple(ids) == ALL_RULE_IDS
+    for rule_id, title, rationale in rows:
+        assert title and rationale, rule_id
+    assert len(CONCURRENCY_RULES) == len(ALL_RULE_IDS)
+
+
+def test_docs_cover_every_concurrency_rule():
+    docs = (REPO_ROOT / "docs" / "linting.md").read_text(encoding="utf-8")
+    for rule_id, title, _ in concurrency_catalogue():
+        assert rule_id in docs, f"{rule_id} missing from docs/linting.md"
+        assert title in docs, f"title of {rule_id} missing from docs/linting.md"
+    perf = (REPO_ROOT / "docs" / "performance.md").read_text(encoding="utf-8")
+    assert "concurrency & lifecycle contract" in perf
+    assert "RPR701" in perf
+
+
+# ----------------------------------------------------------------------
+# The real tree and the repro check integration
+# ----------------------------------------------------------------------
+def test_real_source_tree_is_concurrency_clean():
+    report = analyze_paths([str(SRC / "repro")], root=REPO_ROOT)
+    assert report.errors == []
+    assert report.violations == [], "\n".join(
+        v.format() for v in report.violations
+    )
+
+
+def test_analyzer_wall_time_budget():
+    import time
+
+    start = time.perf_counter()
+    analyze_paths([str(SRC / "repro")], root=REPO_ROOT)
+    assert time.perf_counter() - start < 10.0
+
+
+def test_check_json_payload_reports_concurrency_timing():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "check", "--no-external",
+         "--no-contract", "--format", "json"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(proc.stdout)
+    assert payload["ok"] is True
+    [conc] = [t for t in payload["tools"] if t["name"] == "repro-concurrency"]
+    assert conc["status"] == "passed"
+    assert conc["data"]["elapsed_s"] < 10.0
+    assert conc["data"]["modules"] > 50
+
+
+def test_check_flags_baselines_and_exports_a_seeded_leak(tmp_path):
+    bad = tmp_path / "pkg"
+    bad.mkdir()
+    (bad / "leaky.py").write_text(
+        "from multiprocessing.shared_memory import SharedMemory\n"
+        "def run(num):\n"
+        "    seg = SharedMemory(create=True, size=num)\n"
+        "    return seg.name\n",
+        encoding="utf-8",
+    )
+    sarif_path = tmp_path / "out.sarif"
+
+    def check(*extra):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "check", str(bad),
+             "--no-external", "--no-contract", "--format", "json", *extra],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+
+    proc = check("--sarif", str(sarif_path))
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    [conc] = [t for t in payload["tools"] if t["name"] == "repro-concurrency"]
+    [violation] = conc["violations"]
+    assert violation["rule"] == "RPR701"
+    sarif = json.loads(sarif_path.read_text(encoding="utf-8"))
+    assert [r["ruleId"] for r in sarif["runs"][0]["results"]] == ["RPR701"]
+
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(
+        json.dumps({
+            "version": 1,
+            "suppressions": [{
+                "rule": violation["rule"],
+                "path": violation["path"],
+                "symbol": violation["symbol"],
+            }],
+        }),
+        encoding="utf-8",
+    )
+    proc = check("--baseline", str(baseline_path))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(proc.stdout)
+    [conc] = [t for t in payload["tools"] if t["name"] == "repro-concurrency"]
+    assert conc["violations"] == []
+    assert conc["data"]["suppressed_by_baseline"] == 1

@@ -318,3 +318,33 @@ def test_persistent_sweep_pool_reuses_workers_byte_identically():
         second = _sweep_samples(executor="batched", pool=pool)
     assert first == reference
     assert second == reference
+
+
+# ----------------------------------------------------------------------
+# Segment lifecycle: idempotent close, finalize guard, audit registry
+# ----------------------------------------------------------------------
+def test_shared_set_close_is_idempotent_and_audited():
+    from repro.core.kernels.shm import leaked_segments
+
+    before = set(leaked_segments())
+    shared = export_structures([gen.cycle(12)])
+    exported = [n for n in leaked_segments() if n not in before]
+    assert len(exported) == 1
+    shared.close()
+    assert [n for n in leaked_segments() if n not in before] == []
+    shared.close()  # second close: no FileNotFoundError, no state change
+    assert shared.manifests == []
+
+
+def test_finalize_guard_unlinks_abandoned_segments():
+    """A set dropped without close() must not strand its segments."""
+    import gc
+
+    from repro.core.kernels.shm import leaked_segments
+
+    before = set(leaked_segments())
+    shared = export_structures([gen.cycle(12)])  # repro: allow[RPR701]
+    name = [n for n in leaked_segments() if n not in before][0]
+    del shared
+    gc.collect()
+    assert name not in leaked_segments()

@@ -105,6 +105,8 @@ def test_run_sanitizers_all_green():
         "rng-draw-audit",
         "batched-seed-tree",
         "sweep-seed-tree",
+        "shm-leak-audit",
+        "pool-crash-recovery",
     ]
     failures = [r.format() for r in results if not r.ok]
     assert not failures, "\n".join(failures)
@@ -131,4 +133,6 @@ def test_check_sanitize_gate_is_green():
         "rng-draw-audit": True,
         "batched-seed-tree": True,
         "sweep-seed-tree": True,
+        "shm-leak-audit": True,
+        "pool-crash-recovery": True,
     }

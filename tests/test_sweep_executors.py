@@ -14,6 +14,8 @@ import pytest
 from repro.analysis.measurements import StabilizationRounds
 from repro.analysis.sweep import (
     EXECUTORS,
+    SweepPool,
+    SweepWorkerError,
     run_sweep,
     spawn_sweep_seeds,
     supports_batch,
@@ -153,3 +155,40 @@ def test_invalid_jobs_and_repetitions():
         run_sweep(CONFIGS, _first_uniform, repetitions=0)
     with pytest.raises(ValueError):
         run_sweep(CONFIGS, _first_uniform, repetitions=2, jobs=0)
+
+
+# ----------------------------------------------------------------------
+# Worker-crash recovery (satellite: the runtime twin of RPR704)
+# ----------------------------------------------------------------------
+def _crash_on_flag(config, rng):
+    """Module-level (picklable) measurement that kills its own worker."""
+    import os
+
+    if config.get("crash"):
+        os._exit(13)
+    return float(rng.random())
+
+
+def test_worker_crash_surfaces_named_error_and_cleans_up():
+    """os._exit in a worker → SweepWorkerError, pool closed, no leak."""
+    from repro.analysis.measurements import graph_for_config
+    from repro.core.kernels.shm import leaked_segments
+
+    graphs = [graph_for_config(config) for config in CONFIGS]
+    before = set(leaked_segments())
+    with SweepPool(jobs=2, graphs=graphs) as pool:
+        assert [n for n in leaked_segments() if n not in before]
+        with pytest.raises(SweepWorkerError, match="died mid-task"):
+            run_sweep(
+                [{"crash": 1}],
+                _crash_on_flag,
+                repetitions=2,
+                master_seed=7,
+                executor="process",
+                pool=pool,
+            )
+    # The context exit shut the broken pool down and unlinked every
+    # segment this test exported; close() is idempotent after the crash.
+    assert [n for n in leaked_segments() if n not in before] == []
+    pool.close()
+    assert [n for n in leaked_segments() if n not in before] == []
