@@ -80,6 +80,11 @@ class StabilizationRounds:
     #: Hear-kernel name forwarded to every engine (bit-identical across
     #: kernels, so this is a pure performance knob).
     kernel: str = "auto"
+    #: Channel/scheduler stress specs (docs/robustness.md); the defaults
+    #: keep trajectories byte-identical to the historical path.  Spec
+    #: strings (not model objects) so the measurement stays picklable.
+    channel: str = "perfect"
+    scheduler: str = "synchronous"
 
     # ------------------------------------------------------------------
     def _policy(
@@ -112,6 +117,8 @@ class StabilizationRounds:
             max_rounds=self.max_rounds,
             arbitrary_start=self.arbitrary_start,
             kernel=self.kernel,
+            channel=self.channel,
+            scheduler=self.scheduler,
         )
         return self._check(outcome, config)
 
@@ -131,6 +138,8 @@ class StabilizationRounds:
             max_rounds=self.max_rounds,
             arbitrary_start=self.arbitrary_start,
             kernel=self.kernel,
+            channel=self.channel,
+            scheduler=self.scheduler,
         )
         return [self._check(outcome, config) for outcome in block]
 
@@ -165,6 +174,8 @@ class StabilizationRounds:
             arbitrary_start=self.arbitrary_start,
             collector=collector,
             kernel=self.kernel,
+            channel=self.channel,
+            scheduler=self.scheduler,
         )
         return self._check(outcome, config)
 
@@ -194,6 +205,8 @@ class StabilizationRounds:
             arbitrary_start=self.arbitrary_start,
             collector=collector,
             kernel=self.kernel,
+            channel=self.channel,
+            scheduler=self.scheduler,
         )
         return [self._check(outcome, config) for outcome in block]
 

@@ -1,5 +1,38 @@
-"""Beeping-model simulator: protocol, round engine, tracing, faults."""
+"""Beeping-model simulator: protocol, round engine, tracing, faults.
 
+Also home of the stress models (``docs/robustness.md``): pluggable
+channel models (:mod:`.channels`) and round schedulers
+(:mod:`.schedulers`) that every array engine applies vectorized.
+"""
+
+from .channels import (
+    CHANNEL_SPECS,
+    BoundChannel,
+    ChannelModel,
+    LossyChannel,
+    NoisyChannel,
+    PerfectChannel,
+    UnreliableChannel,
+    available_channels,
+    channel_from_spec,
+    register_channel,
+    resolve_channel,
+    unregister_channel,
+)
+from .schedulers import (
+    ADVERSARIAL_KINDS,
+    SCHEDULER_SPECS,
+    AdversarialScheduler,
+    BoundScheduler,
+    BoundedDriftScheduler,
+    Scheduler,
+    SynchronousScheduler,
+    available_schedulers,
+    register_scheduler,
+    resolve_scheduler,
+    scheduler_from_spec,
+    unregister_scheduler,
+)
 from .signals import (
     BEEP1,
     Beeps,
@@ -65,4 +98,30 @@ __all__ = [
     "WakeupResult",
     "WakeupSchedule",
     "run_with_wakeups",
+    # channel models
+    "CHANNEL_SPECS",
+    "BoundChannel",
+    "ChannelModel",
+    "LossyChannel",
+    "NoisyChannel",
+    "PerfectChannel",
+    "UnreliableChannel",
+    "available_channels",
+    "channel_from_spec",
+    "register_channel",
+    "resolve_channel",
+    "unregister_channel",
+    # round schedulers
+    "ADVERSARIAL_KINDS",
+    "SCHEDULER_SPECS",
+    "AdversarialScheduler",
+    "BoundScheduler",
+    "BoundedDriftScheduler",
+    "Scheduler",
+    "SynchronousScheduler",
+    "available_schedulers",
+    "register_scheduler",
+    "resolve_scheduler",
+    "scheduler_from_spec",
+    "unregister_scheduler",
 ]

@@ -50,10 +50,37 @@ def random_states(
 
 
 class Fault:
-    """A state-corrupting event that can be applied to a network."""
+    """A state-corrupting event that can be applied to a network.
+
+    Two application surfaces:
+
+    * :meth:`apply` — the object-engine path (a
+      :class:`BeepingNetwork`'s per-node state list),
+    * :meth:`apply_levels` — the array-engine path (an
+      :class:`~repro.core.engines.base.EngineBase`-style level vector),
+      mirroring the draw patterns of
+      ``FaultRecoveryRounds._corrupt_levels`` so the two paths corrupt
+      with the same distributions.
+    """
 
     def apply(self, network: BeepingNetwork, rng: np.random.Generator) -> None:
         raise NotImplementedError
+
+    def apply_levels(self, engine: Any, rng: np.random.Generator) -> None:
+        """Corrupt an array engine's level vector in place.
+
+        ``engine`` is any level-array engine (``levels`` / ``ell_max`` /
+        ``_floor_vector()``); the two-state baseline has no level form.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no level-array form"
+        )
+
+
+def _level_universe(engine: Any) -> Tuple[np.ndarray, np.ndarray]:
+    """``(floor, span)`` of an engine's per-vertex state universe."""
+    floor = engine._floor_vector()
+    return floor, engine.ell_max - floor + 1
 
 
 @dataclass
@@ -64,6 +91,10 @@ class RandomCorruption(Fault):
         network.set_states(
             random_states(network.algorithm, network.knowledge, rng)
         )
+
+    def apply_levels(self, engine: Any, rng: np.random.Generator) -> None:
+        floor, span = _level_universe(engine)
+        engine.levels = rng.integers(0, span, size=engine.n).astype(np.int64) + floor
 
 
 @dataclass
@@ -84,6 +115,15 @@ class BernoulliCorruption(Fault):
                 v, network.algorithm.random_state(network.knowledge[v], rng)
             )
 
+    def apply_levels(self, engine: Any, rng: np.random.Generator) -> None:
+        # Same two-draw pattern as ``FaultRecoveryRounds._corrupt_levels``:
+        # a Bernoulli hit vector, then a full fresh vector (drawn for
+        # every vertex so the stream layout is data-independent).
+        hits = rng.random(engine.n) < self.rho
+        floor, span = _level_universe(engine)
+        fresh = rng.integers(0, span, size=engine.n).astype(np.int64) + floor
+        engine.levels = np.where(hits, fresh, engine.levels)
+
 
 @dataclass
 class TargetedCorruption(Fault):
@@ -96,6 +136,14 @@ class TargetedCorruption(Fault):
             network.set_state(
                 v, network.algorithm.random_state(network.knowledge[v], rng)
             )
+
+    def apply_levels(self, engine: Any, rng: np.random.Generator) -> None:
+        idx = np.asarray(self.vertices, dtype=np.int64)
+        floor, span = _level_universe(engine)
+        fresh = rng.integers(0, span[idx]).astype(np.int64) + floor[idx]
+        levels = engine.levels.copy()
+        levels[idx] = fresh
+        engine.levels = levels
 
 
 @dataclass
@@ -126,6 +174,21 @@ class AdversarialPattern(Fault):
                 for v in range(network.graph.num_vertices)
             ]
         )
+
+    def apply_levels(self, engine: Any, rng: np.random.Generator) -> None:
+        # Only the named constructors have an array form — a custom
+        # ``pattern`` callable is phrased over per-node knowledge
+        # objects the array engines don't materialize.
+        if self.name == "all_silent":
+            engine.levels = engine.ell_max.copy()
+        elif self.name == "all_prominent":
+            engine.levels = engine._floor_vector().copy()
+        elif self.name == "threshold":
+            engine.levels = engine.ell_max - 1
+        else:
+            raise NotImplementedError(
+                f"adversarial pattern {self.name!r} has no level-array form"
+            )
 
     @classmethod
     def all_silent(cls) -> "AdversarialPattern":
@@ -170,10 +233,21 @@ def fault_from_spec(spec: str) -> Fault:
 class FaultSchedule:
     """A sequence of timed faults driven alongside a simulation.
 
-    ``events`` maps round indices to faults; :meth:`maybe_fire` is called
-    once per round *before* the round executes.  The stabilization clock
-    in the experiments is restarted after the last event, matching the
+    ``events`` maps round indices to faults; :meth:`maybe_fire` (object
+    engines) / :meth:`maybe_fire_engine` (array engines) is called once
+    per round *before* the round executes.  The stabilization clock in
+    the experiments is restarted after the last event, matching the
     fault-free-suffix convention.
+
+    Ordering vs. the stress models (pinned; see ``docs/robustness.md``
+    and the regression test in ``tests/test_faults.py``): a fault at
+    round ``t`` corrupts RAM **before** round ``t`` executes, so inside
+    the round the scheduler's activity gate, the fresh beeps (computed
+    from the *corrupted* levels for active vertices — delayed vertices
+    keep their stale carriers), the hear matvec, and finally the channel
+    perturbation all see the post-fault state.  Faults are therefore
+    applied before channel noise, never to the hear vector itself —
+    RAM corruption is a state event, not a communication event.
     """
 
     events: Tuple[Tuple[int, Fault], ...]
@@ -196,6 +270,63 @@ class FaultSchedule:
                 fault.apply(network, rng)
                 fired = True
         return fired
+
+    def maybe_fire_engine(
+        self,
+        round_index: int,
+        engine: Any,
+        rng: np.random.Generator = None,
+    ) -> bool:
+        """Array-engine twin of :meth:`maybe_fire`.
+
+        Applies all faults scheduled for ``round_index`` to the engine's
+        level vector (``rng`` defaults to the engine's own stream —
+        note that consuming it perturbs the subsequent trajectory
+        exactly as the reference path's shared-stream convention does).
+        """
+        if rng is None:
+            rng = engine.rng
+        fired = False
+        for when, fault in self.events:
+            if when == round_index:
+                fault.apply_levels(engine, rng)
+                fired = True
+        return fired
+
+    def run_with_engine(
+        self,
+        engine: Any,
+        max_rounds: int,
+        rng: np.random.Generator = None,
+    ) -> Tuple[bool, int]:
+        """Drive an array engine through the schedule, then to legality.
+
+        Mirrors :meth:`run_with_faults` round for round: faults fire
+        *before* their round executes (the pinned fault-before-channel
+        ordering above), and ``recovery_rounds`` counts the fault-free
+        suffix after the last scheduled event.
+        """
+        if rng is None:
+            rng = engine.rng
+        executed = 0
+        # Phase 1: execute through the faulty prefix.
+        while executed <= self.last_fault_round:
+            self.maybe_fire_engine(executed, engine, rng)
+            if executed == self.last_fault_round:
+                break
+            engine.step()
+            executed += 1
+        # Phase 2: fault-free suffix, measured.
+        recovery = 0
+        budget = max_rounds - executed
+        while recovery <= budget:
+            if engine.is_legal():
+                return True, recovery
+            if recovery == budget:
+                break
+            engine.step()
+            recovery += 1
+        return False, recovery
 
     def run_with_faults(
         self,

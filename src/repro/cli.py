@@ -43,6 +43,8 @@ from typing import List, Optional
 import numpy as np
 
 from .analysis.fitting import fit_all_models
+from .beeping.channels import CHANNEL_SPECS
+from .beeping.schedulers import SCHEDULER_SPECS
 from .analysis.measurements import FaultRecoveryRounds, StabilizationRounds
 from .analysis.sweep import run_sweep
 from .analysis.tables import format_table
@@ -78,6 +80,18 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument("--n", type=int, default=256, help="problem size")
         p.add_argument("--graph-seed", type=int, default=0)
+
+    def add_stress_args(p):
+        p.add_argument(
+            "--channel", default="perfect", metavar="SPEC",
+            help="channel model: " + " | ".join(CHANNEL_SPECS)
+                 + " (default: perfect — the paper's model)",
+        )
+        p.add_argument(
+            "--scheduler", default="synchronous", metavar="SPEC",
+            help="round scheduler: " + " | ".join(SCHEDULER_SPECS)
+                 + " (default: synchronous)",
+        )
 
     def add_metrics_args(p):
         p.add_argument(
@@ -115,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for --reps > 1")
     run_p.add_argument("--watch", action="store_true",
                        help="render the level waterfall (implies vectorized engine)")
+    add_stress_args(run_p)
     add_metrics_args(run_p)
 
     sweep_p = sub.add_parser("sweep", help="rounds-vs-n scaling study")
@@ -137,6 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--shared-graphs", action="store_true",
                          help="ship graph structures to workers via shared "
                               "memory (parallel executors only)")
+    add_stress_args(sweep_p)
     add_metrics_args(sweep_p)
 
     serve_p = sub.add_parser(
@@ -180,6 +196,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write the replayed op stream to FILE")
     serve_p.add_argument("--json", metavar="FILE", default=None,
                          help="write the summary as JSON to FILE ('-' = stdout)")
+    add_stress_args(serve_p)
     add_metrics_args(serve_p)
 
     recover_p = sub.add_parser("recover", help="fault-injection recovery measurement")
@@ -267,10 +284,35 @@ def _metrics_options(args) -> Optional[MetricsOptions]:
     )
 
 
+def _resolve_stress(args):
+    """The ``--channel`` / ``--scheduler`` specs, validated eagerly.
+
+    Returns ``(channel, scheduler)`` with ``None`` for a flag left at
+    its default, so downstream calls keep the forwarded-only-when-set
+    convention (and the byte-identical default path).  Raises
+    ``ValueError`` on a malformed spec — before any run starts.
+    """
+    from .beeping.channels import channel_from_spec
+    from .beeping.schedulers import scheduler_from_spec
+
+    channel = None if args.channel == "perfect" else args.channel
+    scheduler = None if args.scheduler == "synchronous" else args.scheduler
+    if channel is not None:
+        channel_from_spec(channel)
+    if scheduler is not None:
+        scheduler_from_spec(scheduler)
+    return channel, scheduler
+
+
 def _cmd_run(args) -> int:
     graph = by_name(args.family, args.n, seed=args.graph_seed)
+    try:
+        channel, scheduler = _resolve_stress(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     if args.watch:
-        return _cmd_run_watch(args, graph)
+        return _cmd_run_watch(args, graph, channel, scheduler)
     if args.reps > 1:
         return _cmd_run_repeated(args, graph)
 
@@ -299,6 +341,8 @@ def _cmd_run(args) -> int:
                 policy=policy,
                 collector=collector,
                 kernel=None if args.kernel == "auto" else args.kernel,
+                channel=channel,
+                scheduler=scheduler,
             )
         profiler.add_rounds(result.rounds)
     else:
@@ -310,6 +354,8 @@ def _cmd_run(args) -> int:
             c1=args.c1,
             engine=args.engine,
             kernel=None if args.kernel == "auto" else args.kernel,
+            channel=channel,
+            scheduler=scheduler,
         )
     print(
         f"{args.family}(n={graph.num_vertices}, m={graph.num_edges}) "
@@ -334,6 +380,7 @@ def _cmd_run_repeated(args, graph) -> int:
     measure = StabilizationRounds(
         variant=args.variant, c1=args.c1,
         arbitrary_start=not args.fresh_start, kernel=args.kernel,
+        channel=args.channel, scheduler=args.scheduler,
     )
     config = {"family": args.family, "n": args.n, "graph_seed": args.graph_seed}
     executor = "batched" if args.engine == "batched" else (
@@ -355,12 +402,15 @@ def _cmd_run_repeated(args, graph) -> int:
     return 0
 
 
-def _cmd_run_watch(args, graph) -> int:
+def _cmd_run_watch(args, graph, channel=None, scheduler=None) -> int:
     policy = policy_for_variant(graph, args.variant, c1=args.c1)
     engine_cls = (
         TwoChannelEngine if args.variant == "two_channel" else SingleChannelEngine
     )
-    engine = engine_cls(graph, policy, seed=args.seed, kernel=args.kernel)
+    engine = engine_cls(
+        graph, policy, seed=args.seed, kernel=args.kernel,
+        channel=channel, scheduler=scheduler,
+    )
     if not args.fresh_start:
         engine.randomize_levels()
     snapshots = [list(int(x) for x in engine.levels)]
@@ -383,8 +433,14 @@ def _cmd_sweep(args) -> int:
         print("no sizes given", file=sys.stderr)
         return 2
 
+    try:
+        _resolve_stress(args)  # eager spec validation, clean error
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     measure = StabilizationRounds(
-        variant=args.variant, c1=args.c1, kernel=args.kernel
+        variant=args.variant, c1=args.c1, kernel=args.kernel,
+        channel=args.channel, scheduler=args.scheduler,
     )
     executor = "batched" if args.engine == "batched" else (
         "process" if args.jobs > 1 else "serial"
@@ -417,6 +473,11 @@ def _cmd_serve(args) -> int:
 
     from .serve import MISService, format_op, generate_ops, parse_ops
 
+    try:
+        channel, scheduler = _resolve_stress(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     graph = by_name(args.family, args.n, seed=args.graph_seed)
     cap = args.degree_cap
     if cap is None:
@@ -462,6 +523,8 @@ def _cmd_serve(args) -> int:
         algorithm=args.algorithm,
         engine=args.engine,
         kernel=args.kernel,
+        channel=channel,
+        scheduler=scheduler,
         seed=rng_from_sequence(engine_seq),
         registry=registry,
         sink=sink,

@@ -22,12 +22,12 @@ engine.  Hence, for the same seed and initial levels, trajectories are
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, FrozenSet, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Tuple, Union
 
 import numpy as np
 import numpy.typing as npt
 
-from ...devtools.seeding import SeedLike, resolve_rng
+from ...devtools.seeding import SeedLike, derive_seed_sequence, resolve_rng, rng_from_sequence
 from ...graphs.graph import Graph
 from ..kernels import (
     GraphStructure,
@@ -39,12 +39,16 @@ from ..kernels import (
 from ..knowledge import EllMaxPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...beeping.channels import BoundChannel, ChannelLike, ChannelModel
+    from ...beeping.schedulers import BoundScheduler, Scheduler, SchedulerLike
     from ...obs.collectors import RunCollector
 
 __all__ = [
     "SeedLike",
     "VectorizedResult",
     "EngineBase",
+    "StressState",
+    "bind_stress_models",
     "as_generator",
     "drive",
 ]
@@ -63,6 +67,141 @@ MAX_EXPONENT = 1023
 #: Back-compat alias: the blessed coercion point now lives in
 #: :func:`repro.devtools.seeding.resolve_rng`.
 as_generator = resolve_rng
+
+
+class StressState:
+    """Bound channel + scheduler state for one trajectory.
+
+    One instance per solo engine (per replica in the batched engine),
+    holding the bound models, their derived random streams, and the
+    stale-beep carrier arrays behind the scheduler semantics (see
+    ``docs/robustness.md``).  ``ideal`` is True iff the channel is
+    perfect *and* the scheduler synchronous — engines then run the
+    pre-existing step path verbatim, with zero extra draws and zero
+    perturbation (the byte-identity contract of the defaults).
+    """
+
+    __slots__ = (
+        "channel_model",
+        "scheduler_model",
+        "channel",
+        "scheduler",
+        "channel_rng",
+        "scheduler_rng",
+        "ideal",
+        "_carriers",
+        "_n",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        channel_model: "ChannelModel",
+        scheduler_model: "Scheduler",
+        channel_rng: Optional[np.random.Generator],
+        scheduler_rng: Optional[np.random.Generator],
+    ):
+        self.channel_model = channel_model
+        self.scheduler_model = scheduler_model
+        self.channel: "BoundChannel" = channel_model.bind()
+        self.scheduler: "BoundScheduler" = scheduler_model.bind(n)
+        self.channel_rng = channel_rng
+        self.scheduler_rng = scheduler_rng
+        self.ideal = channel_model.trivial and scheduler_model.trivial
+        self._carriers: Dict[int, npt.NDArray[np.bool_]] = {}
+        self._n = n
+
+    def begin_round(self) -> None:
+        """Reset the channel's per-round counters (once per round)."""
+        self.channel.start_round()
+
+    def active_mask(self, round_index: int) -> Optional[npt.NDArray[np.bool_]]:
+        """This round's firing mask (``None`` = synchronous, all fire)."""
+        return self.scheduler.active_mask(round_index, self.scheduler_rng)
+
+    def transmit(
+        self,
+        key: int,
+        beeps: npt.NDArray[np.bool_],
+        active: npt.NDArray[np.bool_],
+    ) -> npt.NDArray[np.bool_]:
+        """Gate fresh beeps by activity against the stale carrier, in place.
+
+        Delayed vertices keep transmitting the beep of the last round
+        they fired (silence before their first firing); ``key``
+        distinguishes the two channels of Algorithm 2.  ``beeps`` must
+        be a freshly computed mask — it is mutated and becomes the new
+        carrier.
+        """
+        carrier = self._carriers.get(key)
+        if carrier is None:
+            carrier = np.zeros(beeps.shape, dtype=bool)
+            self._carriers[key] = carrier
+        np.copyto(beeps, carrier, where=~active)
+        np.copyto(carrier, beeps)
+        return beeps
+
+    def apply_channel(
+        self, heard: npt.NDArray[np.bool_]
+    ) -> npt.NDArray[np.bool_]:
+        """Perturb a hear mask in place through the bound channel."""
+        return self.channel.apply(heard, self.channel_rng)
+
+    def rebind(self, n: int) -> None:
+        """Adjust to a topology rebind.
+
+        At fixed ``n`` everything carries over (clock lags, carriers,
+        channel counters).  When the vertex-id space changes, the
+        scheduler's clock state is re-bound at the new size and the
+        carriers reset to silence; the channel (and its lifetime
+        counters) persists — it holds no per-vertex state.
+        """
+        if self.ideal or n == self._n:
+            return
+        self._n = n
+        self.scheduler = self.scheduler_model.bind(n)
+        self._carriers = {}
+
+
+def bind_stress_models(
+    n: int,
+    channel: "ChannelLike",
+    scheduler: "SchedulerLike",
+    rng: np.random.Generator,
+) -> StressState:
+    """Resolve channel/scheduler specs and derive their random streams.
+
+    Seed-tree layout (documented in ``docs/robustness.md``): when either
+    model needs randomness, ONE 63-bit ``integers`` draw from the
+    engine's main stream (via
+    :func:`repro.devtools.seeding.derive_seed_sequence`) seeds a root
+    whose two spawned children feed the channel (child 0) and scheduler
+    (child 1) streams.  With the default perfect channel and
+    synchronous scheduler *nothing* is drawn and the main stream is
+    untouched — the byte-identity guarantee of the defaults.
+
+    The per-call derivation is what keeps solo and batched runs
+    bit-identical under stress: the batched engine calls this once per
+    replica with that replica's generator, mirroring the solo stream
+    position exactly.
+    """
+    from ...beeping.channels import resolve_channel
+    from ...beeping.schedulers import resolve_scheduler
+
+    channel_model = resolve_channel(channel)
+    scheduler_model = resolve_scheduler(scheduler)
+    channel_rng: Optional[np.random.Generator] = None
+    scheduler_rng: Optional[np.random.Generator] = None
+    if channel_model.needs_rng or scheduler_model.needs_rng:
+        root = derive_seed_sequence(rng)
+        chan_seq, sched_seq = root.spawn(2)
+        if channel_model.needs_rng:
+            channel_rng = rng_from_sequence(chan_seq)
+        if scheduler_model.needs_rng:
+            scheduler_rng = rng_from_sequence(sched_seq)
+    return StressState(
+        n, channel_model, scheduler_model, channel_rng, scheduler_rng
+    )
 
 
 @dataclass
@@ -107,6 +246,8 @@ class EngineBase:
         policy: EllMaxPolicy,
         seed: SeedLike = None,
         kernel: str = "auto",
+        channel: "ChannelLike" = None,
+        scheduler: "SchedulerLike" = None,
     ):
         if policy.num_vertices != graph.num_vertices:
             raise ValueError("policy size does not match graph size")
@@ -128,6 +269,15 @@ class EngineBase:
             policy.ell_max, dtype=np.int64
         )
         self.rng = resolve_rng(seed)
+        # Channel/scheduler stress models (docs/robustness.md).  With
+        # the defaults this binds the perfect channel + synchronous
+        # scheduler, draws nothing, and ``step`` takes the pre-existing
+        # path verbatim — the byte-identity contract of the defaults.
+        self._stress = bind_stress_models(self.n, channel, scheduler, self.rng)
+        self.channel: "BoundChannel" = self._stress.channel
+        self.channel_model: "ChannelModel" = self._stress.channel_model
+        self.scheduler_model: "Scheduler" = self._stress.scheduler_model
+        self._ideal = self._stress.ideal
         self.levels: npt.NDArray[np.int64] = np.ones(self.n, dtype=np.int64)
         self.round_index = 0
         self._floor: npt.NDArray[np.int64] = (
@@ -208,6 +358,9 @@ class EngineBase:
             levels = np.ones(self.n, dtype=np.int64)
             levels[:old_n] = old_levels
             self.levels = levels
+        # Stress models follow the id space: scheduler clocks/carriers
+        # re-bind on growth, the channel (counters included) carries over.
+        self._stress.rebind(self.n)
         # A shrunk ℓmax could strand carried levels outside the band;
         # the uniform committed policies of the service never do, but
         # clamp defensively so ``step`` sees admissible state.

@@ -41,9 +41,11 @@ from ..kernels import (
     structure_for,
 )
 from ..knowledge import EllMaxPolicy
-from .base import MAX_EXPONENT, VectorizedResult
+from .base import MAX_EXPONENT, StressState, VectorizedResult, bind_stress_models
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...beeping.channels import BoundChannel, ChannelLike
+    from ...beeping.schedulers import SchedulerLike
     from ...obs.collectors import BatchedCollector
 
 __all__ = ["BatchedEngine", "BatchedResult", "simulate_batched"]
@@ -99,6 +101,14 @@ class BatchedEngine:
         Hear-kernel name (:mod:`repro.core.kernels`); ``"auto"`` picks
         by graph size/density and the replica count.  Trajectories are
         bit-identical for every kernel.
+    channel, scheduler:
+        Stress models (:mod:`repro.beeping.channels` /
+        :mod:`repro.beeping.schedulers`).  Each replica binds its own
+        model state and derives its streams from its own generator at
+        the same stream position as a solo engine would, so the
+        bit-identical replica contract holds under stress too.  The
+        defaults draw nothing and keep the historical paths byte for
+        byte.
     """
 
     def __init__(
@@ -110,6 +120,8 @@ class BatchedEngine:
         seed_sequences: Optional[Sequence[np.random.SeedSequence]] = None,
         algorithm: str = "single",
         kernel: str = "auto",
+        channel: "ChannelLike" = None,
+        scheduler: "SchedulerLike" = None,
     ):
         if policy.num_vertices != graph.num_vertices:
             raise ValueError("policy size does not match graph size")
@@ -145,6 +157,18 @@ class BatchedEngine:
         )
         self.ell_max = np.asarray(policy.ell_max, dtype=np.int64)
         self.rngs = [rng_from_sequence(s) for s in seed_sequences]
+        # Per-replica stress models: the derivation draw (if any)
+        # happens here, before ``randomize_levels`` — the same stream
+        # position as in a solo engine's constructor.
+        self._stress: List[StressState] = [
+            bind_stress_models(self.n, channel, scheduler, rng)
+            for rng in self.rngs
+        ]
+        self._ideal = all(s.ideal for s in self._stress)
+        #: Per-replica bound channels (perturbation counters live here).
+        self.channels: List["BoundChannel"] = [
+            s.channel for s in self._stress
+        ]
         # Levels are stored as int32: they live in [−ℓmax, ℓmax], far
         # inside int32 range, and the per-round update is memory-bound —
         # halving the element width halves the traffic of every gather,
@@ -305,6 +329,10 @@ class BatchedEngine:
             )
             self._cursor = np.full(self.replicas, self._draw_block, dtype=np.intp)
         np.clip(self.levels, self._floor32, self._ell_max32, out=self.levels)
+        # Stress models follow the id space (scheduler clocks/carriers
+        # re-bind on growth; channels persist) — mirrors EngineBase.
+        for stress in self._stress:
+            stress.rebind(self.n)
 
     # ------------------------------------------------------------------
     # Level management (mirrors EngineBase, one row per replica)
@@ -399,6 +427,63 @@ class BatchedEngine:
         return frozenset(np.flatnonzero(row).tolist())
 
     # ------------------------------------------------------------------
+    # Stress helpers (no-ops on the ideal fast path, which never calls
+    # them): per-replica scheduler gating and channel perturbation,
+    # matching the solo engines row by row.
+    # ------------------------------------------------------------------
+    def _gate_rows(
+        self,
+        beep1: npt.NDArray[np.bool_],
+        beep2: Optional[npt.NDArray[np.bool_]],
+        active_idx: npt.NDArray[np.intp],
+    ) -> List[Optional[npt.NDArray[np.bool_]]]:
+        """Begin the round and apply scheduler gating per stepped row.
+
+        Mutates the fresh beep rows in place (carrier transmit) and
+        returns each row's activity mask (``None`` for synchronous).
+        """
+        masks: List[Optional[npt.NDArray[np.bool_]]] = []
+        for i, r in enumerate(active_idx):
+            stress = self._stress[r]
+            stress.begin_round()
+            mask = stress.active_mask(self.round_index)
+            masks.append(mask)
+            if mask is not None:
+                stress.transmit(0, beep1[i], mask)
+                if beep2 is not None:
+                    stress.transmit(1, beep2[i], mask)
+        return masks
+
+    def _perturb_rows(
+        self,
+        heard1: npt.NDArray[np.bool_],
+        heard2: Optional[npt.NDArray[np.bool_]],
+        active_idx: npt.NDArray[np.intp],
+    ) -> None:
+        """Apply each replica's channel to its heard rows, in place.
+
+        Per replica the order is ``heard1`` then ``heard2`` — the same
+        documented order as the solo two-channel engine, which keeps
+        the per-replica channel streams aligned with solo runs.
+        """
+        for i, r in enumerate(active_idx):
+            stress = self._stress[r]
+            stress.apply_channel(heard1[i])
+            if heard2 is not None:
+                stress.apply_channel(heard2[i])
+
+    @staticmethod
+    def _hold_delayed(
+        new_levels: npt.NDArray[np.int32],
+        prior: npt.NDArray[np.int32],
+        masks: List[Optional[npt.NDArray[np.bool_]]],
+    ) -> None:
+        """Restore delayed vertices' pre-round levels, row by row."""
+        for i, mask in enumerate(masks):
+            if mask is not None:
+                np.copyto(new_levels[i], prior[i], where=~mask)
+
+    # ------------------------------------------------------------------
     # Stepping
     # ------------------------------------------------------------------
     def step(
@@ -452,10 +537,16 @@ class BatchedEngine:
         up = self._up[:k]
         np.add(levels, 1, out=up)
         np.minimum(up, self._ell_max32, out=up)
+        stressed = not self._ideal
         if self._single:
             p = self._beep_probabilities(levels)
             beeps = draws < p
+            row_masks = (
+                self._gate_rows(beeps, None, active_idx) if stressed else []
+            )
             heard = self.kernel.hear_rows(beeps, out=self._heard[:k])
+            if stressed:
+                self._perturb_rows(heard, None, active_idx)
             # Branch-free select chain, lowest priority first (matches
             # the solo ``np.where(heard, up, np.where(beeps, -ℓmax,
             # down))``).  ``x + (y − x)·mask`` equals ``where(mask, y,
@@ -473,6 +564,11 @@ class BatchedEngine:
             np.subtract(up, new_levels, out=sel)
             np.multiply(sel, heard, out=sel)
             np.add(new_levels, sel, out=new_levels)
+            if stressed:
+                # ``levels`` still holds the pre-round block (the select
+                # chain wrote into the scratch buffer): delayed vertices
+                # keep it verbatim.
+                self._hold_delayed(new_levels, levels, row_masks)
             if full:
                 # Ping-pong: the freshly written buffer becomes the level
                 # matrix and the old one the next round's scratch.
@@ -485,6 +581,9 @@ class BatchedEngine:
             active_band = (levels > 0) & (levels < self._ell_max32)
             beep1 = active_band & (draws < p1)
             beep2 = levels == 0
+            row_masks = (
+                self._gate_rows(beep1, beep2, active_idx) if stressed else []
+            )
             # One hear call for both channels: stack the beep rows.
             stacked = cast(npt.NDArray[np.bool_], self._stack)[: 2 * k]
             stacked[:k] = beep1
@@ -492,9 +591,18 @@ class BatchedEngine:
             heard = self.kernel.hear_rows(stacked, out=self._heard[: 2 * k])
             heard1 = heard[:k]
             heard2 = heard[k:]
+            if stressed:
+                self._perturb_rows(heard1, heard2, active_idx)
             down = self._down[:k]
             np.subtract(levels, 1, out=down)
             np.maximum(down, 1, out=down)
+            # The update below writes ``levels`` in place, so delayed
+            # vertices' pre-round values must be snapshotted first.
+            prior = (
+                levels.copy()
+                if any(mask is not None for mask in row_masks)
+                else None
+            )
             # Solo priority order heard2 > heard1 > beep1 > ~beep2,
             # applied in reverse.  ``levels`` doubles as the "unchanged"
             # base case: a fancy-index copy when some replicas are
@@ -505,6 +613,8 @@ class BatchedEngine:
             np.copyto(new_levels, 0, where=beep1)
             np.copyto(new_levels, up, where=heard1)
             np.copyto(new_levels, self._ell_max32, where=heard2)
+            if prior is not None:
+                self._hold_delayed(new_levels, prior, row_masks)
             if not full:
                 self.levels[active_idx] = new_levels
         self.round_index += 1
@@ -635,6 +745,8 @@ def simulate_batched(
     check_every: int = 1,
     collector: Optional["BatchedCollector"] = None,
     kernel: str = "auto",
+    channel: "ChannelLike" = None,
+    scheduler: "SchedulerLike" = None,
 ) -> BatchedResult:
     """Run R replicas of Algorithm 1/2 to stabilization, batched."""
     engine = BatchedEngine(
@@ -645,6 +757,8 @@ def simulate_batched(
         seed_sequences=seed_sequences,
         algorithm=algorithm,
         kernel=kernel,
+        channel=channel,
+        scheduler=scheduler,
     )
     return engine.run(
         max_rounds=max_rounds,

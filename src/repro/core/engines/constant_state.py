@@ -8,7 +8,7 @@ exactly as ``FewStatesMIS.step`` does.
 
 from __future__ import annotations
 
-from typing import FrozenSet
+from typing import TYPE_CHECKING, FrozenSet
 
 import numpy as np
 import numpy.typing as npt
@@ -16,7 +16,11 @@ import numpy.typing as npt
 from ...graphs.graph import Graph
 from ...devtools.seeding import SeedLike, resolve_rng
 from ..kernels import HearKernel, make_kernel, structure_for
-from .base import VectorizedResult
+from .base import VectorizedResult, bind_stress_models
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...beeping.channels import BoundChannel, ChannelLike
+    from ...beeping.schedulers import SchedulerLike
 
 __all__ = ["ConstantStateEngine", "simulate_constant_state"]
 
@@ -25,7 +29,12 @@ class ConstantStateEngine:
     """Vectorized two-state self-stabilizing MIS ([16] style)."""
 
     def __init__(
-        self, graph: Graph, seed: SeedLike = None, kernel: str = "auto"
+        self,
+        graph: Graph,
+        seed: SeedLike = None,
+        kernel: str = "auto",
+        channel: "ChannelLike" = None,
+        scheduler: "SchedulerLike" = None,
     ):
         self.graph = graph
         self.n = graph.num_vertices
@@ -33,6 +42,11 @@ class ConstantStateEngine:
         self.adjacency = self.structure.csr
         self.kernel: HearKernel = make_kernel(kernel, self.structure)
         self.rng = resolve_rng(seed)
+        # Stress models (docs/robustness.md); the defaults draw nothing
+        # and keep the historical step path byte for byte.
+        self._stress = bind_stress_models(self.n, channel, scheduler, self.rng)
+        self.channel: "BoundChannel" = self._stress.channel
+        self._ideal = self._stress.ideal
         #: True = IN (the fresh state), False = OUT.
         self.in_mis: npt.NDArray[np.bool_] = np.ones(self.n, dtype=bool)
         self.round_index = 0
@@ -49,11 +63,23 @@ class ConstantStateEngine:
     def step(self) -> npt.NDArray[np.bool_]:
         draws = self.rng.random(self.n)
         beeps = self.in_mis.copy()
+        active = None
+        if not self._ideal:
+            stress = self._stress
+            stress.begin_round()
+            active = stress.active_mask(self.round_index)
+            if active is not None:
+                beeps = stress.transmit(0, beeps, active)
         heard = self.kernel.hear(beeps)
+        if not self._ideal:
+            heard = self._stress.apply_channel(heard)
         coin = draws < 0.5
         retreat = self.in_mis & heard & coin
         rejoin = ~self.in_mis & ~heard & coin
-        self.in_mis = (self.in_mis & ~retreat) | rejoin
+        new_membership = (self.in_mis & ~retreat) | rejoin
+        if active is not None:
+            new_membership = np.where(active, new_membership, self.in_mis)
+        self.in_mis = new_membership
         self.round_index += 1
         return beeps
 
@@ -74,9 +100,13 @@ def simulate_constant_state(
     max_rounds: int = 1_000_000,
     arbitrary_start: bool = False,
     kernel: str = "auto",
+    channel: "ChannelLike" = None,
+    scheduler: "SchedulerLike" = None,
 ) -> VectorizedResult:
     """Run the two-state baseline to its first MIS configuration."""
-    engine = ConstantStateEngine(graph, seed, kernel=kernel)
+    engine = ConstantStateEngine(
+        graph, seed, kernel=kernel, channel=channel, scheduler=scheduler
+    )
     if arbitrary_start:
         engine.randomize()
     executed = 0

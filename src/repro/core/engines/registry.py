@@ -5,13 +5,17 @@ CLI) dispatch on an engine *name* rather than on hard-coded ``if``
 chains.  A backend is a callable with the uniform signature
 
     run(graph, policy, variant, seed, max_rounds, arbitrary_start,
-        collector=None, kernel=None) -> outcome with .stabilized / .rounds / .mis
+        collector=None, kernel=None, channel=None, scheduler=None)
+        -> outcome with .stabilized / .rounds / .mis
 
 (``collector`` is an optional trailing zero-perturbation observer — see
 :func:`repro.obs.collector_for_backend` for the shape each backend
 expects; ``kernel`` optionally names a hear kernel for backends that
-support one, ``None`` meaning the backend's default; the contract
-checker only pins the six leading parameters.)
+support one, ``None`` meaning the backend's default; ``channel`` /
+``scheduler`` select the stress models of
+:mod:`repro.beeping.channels` / :mod:`repro.beeping.schedulers`,
+``None`` meaning the byte-identical perfect/synchronous defaults; the
+contract checker only pins the six leading parameters.)
 
 Built-in backends:
 
@@ -118,6 +122,8 @@ def _run_vectorized(
     arbitrary_start: bool,
     collector: Any = None,
     kernel: Optional[str] = None,
+    channel: Any = None,
+    scheduler: Any = None,
 ) -> Any:
     from .single import simulate_single
     from .two_channel import simulate_two_channel
@@ -131,6 +137,8 @@ def _run_vectorized(
         arbitrary_start=arbitrary_start,
         collector=collector,
         kernel=kernel or "auto",
+        channel=channel,
+        scheduler=scheduler,
     )
 
 
@@ -143,9 +151,15 @@ def _run_reference(
     arbitrary_start: bool,
     collector: Any = None,
     kernel: Optional[str] = None,
+    channel: Any = None,
+    scheduler: Any = None,
 ) -> Any:
     if kernel is not None and kernel != "auto":
         raise ValueError("the reference engine has no hear-kernel choice")
+    if channel is not None and channel != "perfect":
+        raise ValueError("the reference engine has no channel-model choice")
+    if scheduler is not None and scheduler != "synchronous":
+        raise ValueError("the reference engine has no scheduler choice")
     # Imported lazily: the reference engine lives outside repro.core and
     # pulling it in here at import time would cycle through repro.beeping.
     from ...beeping.faults import random_states
@@ -174,6 +188,8 @@ def _run_batched(
     arbitrary_start: bool,
     collector: Any = None,
     kernel: Optional[str] = None,
+    channel: Any = None,
+    scheduler: Any = None,
 ) -> Any:
     from .batched import simulate_batched
 
@@ -188,6 +204,8 @@ def _run_batched(
         arbitrary_start=arbitrary_start,
         collector=collector,
         kernel=kernel or "auto",
+        channel=channel,
+        scheduler=scheduler,
     )
     return outcome[0]
 

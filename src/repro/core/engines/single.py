@@ -12,6 +12,8 @@ from ..knowledge import EllMaxPolicy
 from .base import MAX_EXPONENT, EngineBase, SeedLike, VectorizedResult, drive
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...beeping.channels import ChannelLike
+    from ...beeping.schedulers import SchedulerLike
     from ...obs.collectors import RunCollector
 
 __all__ = ["SingleChannelEngine", "simulate_single"]
@@ -35,14 +37,33 @@ class SingleChannelEngine(EngineBase):
         return p
 
     def step(self) -> npt.NDArray[np.bool_]:
-        """One synchronous round; returns the beep vector (bool array)."""
+        """One round; returns the *emitted* beep vector (bool array).
+
+        Under a non-synchronous scheduler, delayed vertices emit their
+        stale carrier beep and skip the level update; a non-perfect
+        channel perturbs the heard mask after the hear-matvec.  With the
+        default perfect channel + synchronous scheduler this is the
+        historical step, operation for operation.
+        """
         draws = self.rng.random(self.n)
         beeps = draws < self.beep_probabilities()
+        active = None
+        if not self._ideal:
+            stress = self._stress
+            stress.begin_round()
+            active = stress.active_mask(self.round_index)
+            if active is not None:
+                beeps = stress.transmit(0, beeps, active)
         heard = self.kernel.hear(beeps)
+        if not self._ideal:
+            heard = self._stress.apply_channel(heard)
         up = np.minimum(self.levels + 1, self.ell_max)
         reset = -self.ell_max
         down = np.maximum(self.levels - 1, 1)
-        self.levels = np.where(heard, up, np.where(beeps, reset, down))
+        new_levels = np.where(heard, up, np.where(beeps, reset, down))
+        if active is not None:
+            new_levels = np.where(active, new_levels, self.levels)
+        self.levels = new_levels
         self.round_index += 1
         return beeps
 
@@ -58,6 +79,8 @@ def simulate_single(
     record_series: bool = False,
     collector: Optional["RunCollector"] = None,
     kernel: str = "auto",
+    channel: "ChannelLike" = None,
+    scheduler: "SchedulerLike" = None,
 ) -> VectorizedResult:
     """Run Algorithm 1 to stabilization on the vectorized engine.
 
@@ -67,9 +90,14 @@ def simulate_single(
     ``initial_levels`` overrides it.  ``collector`` attaches a
     zero-perturbation :class:`repro.obs.RunCollector`.  ``kernel`` picks
     the hear kernel (:mod:`repro.core.kernels`) — trajectories are
-    bit-identical for every kernel.
+    bit-identical for every kernel.  ``channel`` / ``scheduler`` select
+    the stress models of :mod:`repro.beeping.channels` /
+    :mod:`repro.beeping.schedulers`; the defaults reproduce the
+    historical trajectories byte for byte.
     """
-    engine = SingleChannelEngine(graph, policy, seed, kernel=kernel)
+    engine = SingleChannelEngine(
+        graph, policy, seed, kernel=kernel, channel=channel, scheduler=scheduler
+    )
     if initial_levels is not None:
         engine.set_levels(initial_levels)
     elif arbitrary_start:

@@ -12,6 +12,8 @@ from ..knowledge import EllMaxPolicy
 from .base import MAX_EXPONENT, EngineBase, SeedLike, VectorizedResult, drive
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...beeping.channels import ChannelLike
+    from ...beeping.schedulers import SchedulerLike
     from ...obs.collectors import RunCollector
 
 __all__ = ["TwoChannelEngine", "simulate_two_channel"]
@@ -23,18 +25,36 @@ class TwoChannelEngine(EngineBase):
     uses_negative_levels = False
 
     def step(self) -> Tuple[npt.NDArray[np.bool_], npt.NDArray[np.bool_]]:
-        """One round; returns ``(beep1, beep2)`` bool vectors."""
+        """One round; returns the *emitted* ``(beep1, beep2)`` vectors.
+
+        Stress semantics mirror the single-channel engine: delayed
+        vertices emit stale carriers on both channels and skip the
+        update; a non-perfect channel perturbs ``heard1`` then
+        ``heard2`` (in that documented order).  With the defaults this
+        is the historical step, operation for operation.
+        """
         draws = self.rng.random(self.n)
         exponent = np.clip(self.levels, 0, MAX_EXPONENT).astype(np.float64)
         p1 = np.power(2.0, -exponent)
         active = (self.levels > 0) & (self.levels < self.ell_max)
         beep1 = active & (draws < p1)
         beep2 = self.levels == 0
+        firing = None
+        if not self._ideal:
+            stress = self._stress
+            stress.begin_round()
+            firing = stress.active_mask(self.round_index)
+            if firing is not None:
+                beep1 = stress.transmit(0, beep1, firing)
+                beep2 = stress.transmit(1, beep2, firing)
         heard1 = self.kernel.hear(beep1)
         heard2 = self.kernel.hear(beep2)
+        if not self._ideal:
+            heard1 = self._stress.apply_channel(heard1)
+            heard2 = self._stress.apply_channel(heard2)
         up = np.minimum(self.levels + 1, self.ell_max)
         down = np.maximum(self.levels - 1, 1)
-        self.levels = np.where(
+        new_levels = np.where(
             heard2,
             self.ell_max,
             np.where(
@@ -43,6 +63,9 @@ class TwoChannelEngine(EngineBase):
                 np.where(beep1, 0, np.where(~beep2, down, self.levels)),
             ),
         )
+        if firing is not None:
+            new_levels = np.where(firing, new_levels, self.levels)
+        self.levels = new_levels
         self.round_index += 1
         return beep1, beep2
 
@@ -58,9 +81,13 @@ def simulate_two_channel(
     record_series: bool = False,
     collector: Optional["RunCollector"] = None,
     kernel: str = "auto",
+    channel: "ChannelLike" = None,
+    scheduler: "SchedulerLike" = None,
 ) -> VectorizedResult:
     """Run Algorithm 2 to stabilization on the vectorized engine."""
-    engine = TwoChannelEngine(graph, policy, seed, kernel=kernel)
+    engine = TwoChannelEngine(
+        graph, policy, seed, kernel=kernel, channel=channel, scheduler=scheduler
+    )
     if initial_levels is not None:
         engine.set_levels(initial_levels)
     elif arbitrary_start:

@@ -118,6 +118,8 @@ def compute_mis(
     policy: Optional[EllMaxPolicy] = None,
     collector: Optional[object] = None,
     kernel: Optional[str] = None,
+    channel: Optional[object] = None,
+    scheduler: Optional[object] = None,
 ) -> MISResult:
     """Compute a certified MIS of ``graph`` with the paper's algorithm.
 
@@ -157,6 +159,16 @@ def compute_mis(
         backend's default.  Trajectories are bit-identical for every
         kernel, so this is purely a performance knob.  Forwarded only
         when set, as with ``collector``.
+    channel, scheduler:
+        Stress models — a spec string (``"lossy:0.05"``,
+        ``"drift:0.1"``, …) or a model instance from
+        :mod:`repro.beeping.channels` / :mod:`repro.beeping.schedulers`.
+        ``None`` keeps the byte-identical perfect/synchronous defaults
+        and is forwarded only when set, as with ``collector``.  Note
+        that under heavy noise the budget-exhaustion ``RuntimeError``
+        below becomes reachable — callers probing degradation curves
+        should pass an explicit ``max_rounds`` and use the lower-level
+        simulate entry points instead.
 
     Returns
     -------
@@ -183,6 +195,10 @@ def compute_mis(
         extra["collector"] = collector
     if kernel is not None:
         extra["kernel"] = kernel
+    if channel is not None:
+        extra["channel"] = channel
+    if scheduler is not None:
+        extra["scheduler"] = scheduler
     outcome = backend.run(
         graph, policy, variant, seed, max_rounds, arbitrary_start, **extra
     )

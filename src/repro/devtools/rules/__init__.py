@@ -115,6 +115,7 @@ def _build_registry() -> Tuple[Rule, ...]:
     from .numeric import FloatEqualityRule, SmallIntDtypeRule
     from .profiling import AdHocTimerRule
     from .rng import (
+        ChannelRngDisciplineRule,
         GlobalNumpyRngRule,
         SeedlessSimulationApiRule,
         StdlibRandomRule,
@@ -126,6 +127,7 @@ def _build_registry() -> Tuple[Rule, ...]:
         UnseededDefaultRngRule(),
         StdlibRandomRule(),
         SeedlessSimulationApiRule(),
+        ChannelRngDisciplineRule(),
         WallClockRule(),
         UnorderedSetIterationRule(),
         FloatEqualityRule(),

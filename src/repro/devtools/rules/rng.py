@@ -20,6 +20,7 @@ __all__ = [
     "UnseededDefaultRngRule",
     "StdlibRandomRule",
     "SeedlessSimulationApiRule",
+    "ChannelRngDisciplineRule",
 ]
 
 #: numpy.random attributes that are part of the Generator-era API and
@@ -44,6 +45,65 @@ _GENERATOR_ERA_ATTRS = frozenset(
 _SEED_PARAM_NAMES = frozenset(
     {"seed", "rng", "seeds", "master_seed", "seed_sequences", "seed_sequence"}
 )
+
+
+#: Modules that must *consume* engine-bound streams, never build them.
+_STREAM_CONSUMER_MODULES = frozenset(
+    {"repro.beeping.channels", "repro.beeping.schedulers"}
+)
+
+#: Call names that construct generators or grow the seed tree.
+_STREAM_BUILDER_CALLS = frozenset(
+    {
+        "resolve_rng",
+        "default_rng",
+        "rng_from_sequence",
+        "derive_seed_sequence",
+        "as_seed_sequence",
+        "spawn_children",
+        "spawn",
+    }
+)
+
+
+class ChannelRngDisciplineRule(Rule):
+    """RPR105: stress models never construct RNGs or seed trees.
+
+    The byte-identity contract hangs on the *engine* owning the seed
+    tree: one derivation draw at construction, ``root.spawn(2)``, done
+    (``docs/robustness.md``).  A channel or scheduler that builds its
+    own generator — ``resolve_rng``, ``default_rng``, a fresh
+    ``SeedSequence`` spawn — forks the discipline invisibly: solo and
+    batched replicas stop agreeing, and the perfect/synchronous default
+    path stops being byte-identical.  Models must only consume the
+    bound stream handed into ``apply`` / ``active_mask``.
+    """
+
+    rule_id = "RPR105"
+    title = "stress model builds its own RNG"
+    rationale = (
+        "Channel and scheduler models must consume the engine-derived "
+        "stream passed into apply()/active_mask(); constructing a "
+        "generator or spawning seed sequences inside repro.beeping."
+        "channels / repro.beeping.schedulers forks the seed tree and "
+        "silently breaks the solo/batched bit-identity contract."
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.module not in _STREAM_CONSUMER_MODULES:
+            return
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = self.dotted_name(node.func)
+            leaf = dotted.rsplit(".", 1)[-1] if dotted else ""
+            if leaf in _STREAM_BUILDER_CALLS:
+                yield ctx.violation(
+                    self,
+                    node,
+                    f"stress model constructs randomness via {leaf}(); "
+                    "consume the engine-bound stream argument instead",
+                )
 
 
 class GlobalNumpyRngRule(Rule):

@@ -75,6 +75,12 @@ class StructureView:
     _adj_t: Any = None  # transpose, materialized lazily for row blocks
     graph: Optional[Graph] = None  # lazy-build source when adjacency is None
     kernel: Any = None  # HearKernel, adopted from the engine or lazy-built
+    #: BoundChannel of the observed solo engine — adopted only when the
+    #: channel is non-perfect, so perfect-channel records stay exactly
+    #: the historical shape (no ``dropped``/``spurious`` fields).
+    channel_state: Any = None
+    #: Per-replica BoundChannel list of the observed batched engine.
+    channels_state: Any = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -152,6 +158,18 @@ class StructureView:
             kernel = getattr(engine, "kernel", None)
             if kernel is not None:
                 self.kernel = kernel
+        # Channel counters are *read-only* adoptions: the collector only
+        # ever inspects the engine-owned counters after a step, so the
+        # zero-perturbation contract is untouched.  Perfect channels are
+        # deliberately not adopted — records keep the historical shape.
+        if self.channel_state is None:
+            bound = getattr(engine, "channel", None)
+            if bound is not None and not bound.is_perfect:
+                self.channel_state = bound
+        if self.channels_state is None:
+            bound_list = getattr(engine, "channels", None)
+            if bound_list and not bound_list[0].is_perfect:
+                self.channels_state = bound_list
 
     def _built_kernel(self) -> Any:
         """The hear kernel, lazy-built when no engine was adopted."""
@@ -381,6 +399,10 @@ class RunCollector:
         if record is None:  # not an emitted round (``every`` cadence)
             return
         record["beeps"] = counts
+        channel_state = self.view.channel_state
+        if channel_state is not None:  # non-perfect channel adopted
+            record["dropped"] = channel_state.last_drops
+            record["spurious"] = channel_state.last_spurious
         self.records.append(record)
         if self.sink is not None:
             self.sink.emit(record)
@@ -402,6 +424,14 @@ class RunCollector:
             channel_counter.inc(total)
         hist.observe(float(rounds))
         peak.set_max(self.peak_level_bytes)
+        channel_state = self.view.channel_state
+        if channel_state is not None:  # non-perfect channel adopted
+            self.registry.counter("channel_dropped_beeps_total").inc(
+                channel_state.drops_total
+            )
+            self.registry.counter("channel_spurious_beeps_total").inc(
+                channel_state.spurious_total
+            )
 
     # ------------------------------------------------------------------
     def series(self, field: str) -> List[Any]:
@@ -577,6 +607,7 @@ class BatchedCollector:
             round_index = self._round
             records = self.records
             sink = self.sink
+            channels_state = self.view.channels_state
             for k, replica in enumerate(stepped):
                 record: Dict[str, Any] = labels.copy()
                 record[rep_key] = replica
@@ -588,6 +619,10 @@ class BatchedCollector:
                 if hists is not None:
                     record["level_hist"] = hists[k]
                 record["beeps"] = [c1[k], c2[k]] if two_channel else [c1[k]]
+                if channels_state is not None:  # non-perfect channel
+                    bound = channels_state[replica]
+                    record["dropped"] = bound.last_drops
+                    record["spurious"] = bound.last_spurious
                 records.append(record)
                 if sink is not None:
                     sink.emit(record)
@@ -613,6 +648,15 @@ class BatchedCollector:
             channel_counter.inc(total)
         hist.observe(float(rounds))
         peak.set_max(self.peak_level_bytes)
+        channels_state = self.view.channels_state
+        if channels_state is not None:  # non-perfect channel adopted
+            bound = channels_state[replica]
+            self.registry.counter("channel_dropped_beeps_total").inc(
+                bound.drops_total
+            )
+            self.registry.counter("channel_spurious_beeps_total").inc(
+                bound.spurious_total
+            )
 
     # ------------------------------------------------------------------
     def series(self, field: str, replica: int) -> List[Any]:

@@ -165,6 +165,14 @@ class MISService:
     kernel:
         Hear-kernel name; ``"auto"`` resolves once at construction and
         stays pinned across rebinds.
+    channel, scheduler:
+        Stress models (:mod:`repro.beeping.channels` /
+        :mod:`repro.beeping.schedulers`): serve under an unreliable
+        channel or relaxed synchrony.  The defaults keep served
+        outcomes byte-identical to the historical service.  Note an
+        adversarial scheduler with an *explicit* wake-up schedule pins
+        the vertex-id-space size — id-space-growing ADD_NODE ops then
+        raise at rebind time; the kind-based forms re-bind cleanly.
     seed:
         Engine RNG seed (the op stream carries its own seed).
     registry, sink:
@@ -187,6 +195,8 @@ class MISService:
         algorithm: str = "single",
         engine: str = "vectorized",
         kernel: str = "auto",
+        channel: Optional[object] = None,
+        scheduler: Optional[object] = None,
         seed: SeedLike = 0,
         registry: Optional[MetricsRegistry] = None,
         sink: Optional[MetricSink] = None,
@@ -221,11 +231,18 @@ class MISService:
             self._engine: Union[EngineBase, BatchedEngine] = BatchedEngine(
                 graph, policy, replicas=1, seed=seed,
                 algorithm=algorithm, kernel=kernel,
+                channel=channel, scheduler=scheduler,
             )
         elif algorithm == "two_channel":
-            self._engine = TwoChannelEngine(graph, policy, seed=seed, kernel=kernel)
+            self._engine = TwoChannelEngine(
+                graph, policy, seed=seed, kernel=kernel,
+                channel=channel, scheduler=scheduler,
+            )
         else:
-            self._engine = SingleChannelEngine(graph, policy, seed=seed, kernel=kernel)
+            self._engine = SingleChannelEngine(
+                graph, policy, seed=seed, kernel=kernel,
+                channel=channel, scheduler=scheduler,
+            )
         self._stabilize()  # serve a legal MIS from the very first op
 
     # ------------------------------------------------------------------

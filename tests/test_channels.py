@@ -1,0 +1,313 @@
+"""Unit tests for the stress-model layer (docs/robustness.md).
+
+Covers the channel models (repro.beeping.channels) and round schedulers
+(repro.beeping.schedulers) in isolation: spec parsing round-trips,
+perturbation semantics at the probability extremes, counter bookkeeping,
+drift lag bounds, adversarial wake-up composition, and both registries'
+error paths.  Engine integration is exercised by
+tests/test_robustness_differential.py and the property suites.
+"""
+
+import numpy as np
+import pytest
+
+from repro.beeping.channels import (
+    CHANNEL_SPECS,
+    ChannelModel,
+    LossyChannel,
+    NoisyChannel,
+    PerfectChannel,
+    UnreliableChannel,
+    available_channels,
+    channel_from_spec,
+    register_channel,
+    resolve_channel,
+    unregister_channel,
+)
+from repro.beeping.schedulers import (
+    AdversarialScheduler,
+    BoundedDriftScheduler,
+    Scheduler,
+    SynchronousScheduler,
+    available_schedulers,
+    register_scheduler,
+    resolve_scheduler,
+    scheduler_from_spec,
+    unregister_scheduler,
+)
+from repro.beeping.wakeup import WakeupSchedule
+
+
+# ----------------------------------------------------------------------
+# Channel specs and registry
+# ----------------------------------------------------------------------
+def test_channel_spec_round_trips():
+    for model in (
+        PerfectChannel(),
+        LossyChannel(0.25),
+        NoisyChannel(0.05),
+        UnreliableChannel(0.1, 0.02),
+    ):
+        assert channel_from_spec(model.spec()) == model
+
+
+def test_every_advertised_channel_spec_parses():
+    examples = {
+        "perfect": "perfect",
+        "lossy:P_MISS": "lossy:0.1",
+        "noisy:P_FALSE": "noisy:0.1",
+        "unreliable:P_MISS,P_FALSE": "unreliable:0.1,0.05",
+    }
+    assert set(examples) == set(CHANNEL_SPECS)
+    for template, example in examples.items():
+        name = template.partition(":")[0]
+        assert channel_from_spec(example).name == name
+        assert name in available_channels()
+
+
+def test_channel_spec_errors():
+    with pytest.raises(ValueError, match="unknown channel"):
+        channel_from_spec("quantum:0.5")
+    with pytest.raises(ValueError, match="no parameters"):
+        channel_from_spec("perfect:0.5")
+    with pytest.raises(ValueError, match="must be a float"):
+        channel_from_spec("lossy:sometimes")
+    with pytest.raises(ValueError, match=r"in \[0, 1\]"):
+        channel_from_spec("lossy:1.5")
+    with pytest.raises(ValueError, match="exactly two parameters"):
+        channel_from_spec("unreliable:0.1")
+    with pytest.raises(ValueError, match=r"in \[0, 1\]"):
+        LossyChannel(-0.1)
+    with pytest.raises(ValueError, match=r"in \[0, 1\]"):
+        UnreliableChannel(0.1, 2.0)
+
+
+def test_resolve_channel_coercions():
+    assert resolve_channel(None) == PerfectChannel()
+    assert resolve_channel("lossy:0.3") == LossyChannel(0.3)
+    model = NoisyChannel(0.1)
+    assert resolve_channel(model) is model
+    with pytest.raises(TypeError, match="spec string or ChannelModel"):
+        resolve_channel(0.3)
+
+
+def test_channel_registry_rejects_duplicates_and_unregisters():
+    register_channel("test_burst", lambda arg: PerfectChannel())
+    try:
+        with pytest.raises(ValueError, match="already registered"):
+            register_channel("test_burst", lambda arg: PerfectChannel())
+        assert "test_burst" in available_channels()
+        assert isinstance(channel_from_spec("test_burst"), ChannelModel)
+    finally:
+        unregister_channel("test_burst")
+    assert "test_burst" not in available_channels()
+
+
+# ----------------------------------------------------------------------
+# Channel perturbation semantics
+# ----------------------------------------------------------------------
+def test_perfect_channel_needs_no_rng_and_never_mutates():
+    bound = PerfectChannel().bind()
+    assert bound.is_perfect
+    heard = np.array([True, False, True])
+    out = bound.apply(heard, None)  # rng=None: never touched
+    assert out is heard
+    assert list(out) == [True, False, True]
+    assert bound.drops_total == 0 and bound.spurious_total == 0
+
+
+def test_lossy_one_drops_everything(rng):
+    bound = LossyChannel(1.0).bind()
+    bound.start_round()
+    heard = np.array([True, True, False, True])
+    bound.apply(heard, rng)
+    assert not heard.any()
+    assert bound.last_drops == 3 and bound.last_spurious == 0
+
+
+def test_noisy_one_fills_everything(rng):
+    bound = NoisyChannel(1.0).bind()
+    bound.start_round()
+    heard = np.array([True, False, False])
+    bound.apply(heard, rng)
+    assert heard.all()
+    assert bound.last_drops == 0 and bound.last_spurious == 2
+
+
+def test_unreliable_composes_lossy_then_noisy():
+    # p_miss = p_false = 1: every true bit is dropped, then every (now
+    # all-silent) position refills spuriously — the documented order.
+    bound = UnreliableChannel(1.0, 1.0).bind()
+    bound.start_round()
+    heard = np.array([True, False, True])
+    bound.apply(heard, np.random.default_rng(0))
+    assert heard.all()
+    assert bound.last_drops == 2 and bound.last_spurious == 3
+
+
+def test_unreliable_matches_chaining_lossy_then_noisy():
+    rng_a = np.random.default_rng(42)
+    rng_b = np.random.default_rng(42)
+    heard_a = np.random.default_rng(7).random(200) < 0.5
+    heard_b = heard_a.copy()
+    UnreliableChannel(0.3, 0.2).bind().apply(heard_a, rng_a)
+    chained = LossyChannel(0.3).bind()
+    chained.apply(heard_b, rng_b)
+    NoisyChannel(0.2).bind().apply(heard_b, rng_b)
+    np.testing.assert_array_equal(heard_a, heard_b)
+
+
+def test_bound_channel_counters_accumulate_across_rounds(rng):
+    bound = LossyChannel(1.0).bind()
+    for expected_total, beeps in ((2, 2), (5, 3)):
+        bound.start_round()
+        heard = np.zeros(8, dtype=bool)
+        heard[:beeps] = True
+        bound.apply(heard, rng)
+        assert bound.last_drops == beeps
+        assert bound.drops_total == expected_total
+    # Two applications in one round (the two-channel engine) accumulate
+    # into the same last_* counters.
+    bound.start_round()
+    one = np.array([True])
+    bound.apply(one.copy(), rng)
+    bound.apply(one.copy(), rng)
+    assert bound.last_drops == 2
+    assert bound.drops_total == 7
+
+
+def test_noise_draw_layout_is_data_independent(rng):
+    # Non-perfect models draw random(shape) unconditionally, so the
+    # stream position after apply() is the same whatever was heard.
+    for model in (LossyChannel(0.5), NoisyChannel(0.5)):
+        rng_a = np.random.default_rng(3)
+        rng_b = np.random.default_rng(3)
+        model.bind().apply(np.ones(16, dtype=bool), rng_a)
+        model.bind().apply(np.zeros(16, dtype=bool), rng_b)
+        assert rng_a.random() == rng_b.random()
+
+
+# ----------------------------------------------------------------------
+# Scheduler specs and registry
+# ----------------------------------------------------------------------
+def test_scheduler_spec_round_trips():
+    for model in (
+        SynchronousScheduler(),
+        BoundedDriftScheduler(0.25),
+        BoundedDriftScheduler(0.1, max_lag=5),
+    ):
+        assert scheduler_from_spec(model.spec()) == model
+    adv = AdversarialScheduler(kind="staggered", gap=2)
+    assert scheduler_from_spec(adv.spec()) == adv
+
+
+def test_scheduler_spec_errors():
+    with pytest.raises(ValueError, match="unknown scheduler"):
+        scheduler_from_spec("quantum")
+    with pytest.raises(ValueError, match="no parameters"):
+        scheduler_from_spec("synchronous:1")
+    with pytest.raises(ValueError, match="requires P_SKIP"):
+        scheduler_from_spec("drift")
+    with pytest.raises(ValueError, match="synchronous scheduler for p_skip = 0"):
+        scheduler_from_spec("drift:0")
+    with pytest.raises(ValueError, match="at most two parameters"):
+        scheduler_from_spec("drift:0.1,3,9")
+    with pytest.raises(ValueError, match="unknown adversarial kind"):
+        scheduler_from_spec("adversarial:random")
+    with pytest.raises(ValueError, match="max_lag must be >= 1"):
+        BoundedDriftScheduler(0.1, max_lag=0)
+    with pytest.raises(ValueError, match="gap must be >= 1"):
+        AdversarialScheduler(gap=0)
+
+
+def test_resolve_scheduler_coercions():
+    assert resolve_scheduler(None) == SynchronousScheduler()
+    assert resolve_scheduler("drift:0.2") == BoundedDriftScheduler(0.2)
+    model = SynchronousScheduler()
+    assert resolve_scheduler(model) is model
+    with pytest.raises(TypeError, match="spec string or Scheduler"):
+        resolve_scheduler(3)
+
+
+def test_scheduler_registry_rejects_duplicates_and_unregisters():
+    register_scheduler("test_pulse", lambda arg: SynchronousScheduler())
+    try:
+        with pytest.raises(ValueError, match="already registered"):
+            register_scheduler("test_pulse", lambda arg: SynchronousScheduler())
+        assert "test_pulse" in available_schedulers()
+        assert isinstance(scheduler_from_spec("test_pulse"), Scheduler)
+    finally:
+        unregister_scheduler("test_pulse")
+    assert "test_pulse" not in available_schedulers()
+
+
+# ----------------------------------------------------------------------
+# Scheduler semantics
+# ----------------------------------------------------------------------
+def test_synchronous_scheduler_returns_none_and_draws_nothing():
+    model = SynchronousScheduler()
+    assert model.trivial and not model.needs_rng
+    bound = model.bind(5)
+    assert bound.is_synchronous
+    assert bound.active_mask(0, None) is None
+
+
+def test_drift_never_exceeds_max_lag(rng):
+    bound = BoundedDriftScheduler(0.9, max_lag=2).bind(64)
+    lag = np.zeros(64, dtype=np.int64)
+    for round_index in range(200):
+        active = bound.active_mask(round_index, rng)
+        assert active is not None
+        lag = np.where(active, 0, lag + 1)
+        assert lag.max() <= 2  # a third consecutive skip is impossible
+
+
+def test_drift_forced_fire_at_max_lag():
+    # p_skip ≈ 1: every vertex skips until the lag bound forces a fire,
+    # so firing happens exactly every (max_lag + 1) rounds.
+    bound = BoundedDriftScheduler(1 - 1e-12, max_lag=3).bind(8)
+    rng = np.random.default_rng(0)
+    pattern = [bool(bound.active_mask(r, rng).any()) for r in range(8)]
+    assert pattern == [False, False, False, True] * 2
+
+
+def test_adversarial_staggered_wakes_in_order():
+    bound = AdversarialScheduler(kind="staggered", gap=2).bind(3)
+    masks = [bound.active_mask(r, None) for r in range(5)]
+    expected = [
+        [True, False, False],
+        [True, False, False],
+        [True, True, False],
+        [True, True, False],
+        [True, True, True],
+    ]
+    for mask, want in zip(masks, expected):
+        assert list(mask) == want
+
+
+def test_adversarial_simultaneous_is_all_active_but_not_synchronous():
+    model = AdversarialScheduler(kind="simultaneous")
+    assert not model.needs_rng  # p_skip = 0 draws nothing
+    bound = model.bind(4)
+    assert not bound.is_synchronous
+    mask = bound.active_mask(0, None)
+    assert mask is not None and mask.all()
+
+
+def test_adversarial_explicit_schedule_length_mismatch():
+    schedule = WakeupSchedule.staggered(5, gap=1)
+    model = AdversarialScheduler(schedule=schedule)
+    assert model.bind(5) is not None
+    with pytest.raises(ValueError, match="covers 5 vertices"):
+        model.bind(7)
+
+
+def test_adversarial_with_drift_gates_only_awake_vertices():
+    model = AdversarialScheduler(kind="staggered", gap=3, p_skip=0.5)
+    assert model.needs_rng
+    bound = model.bind(4)
+    rng = np.random.default_rng(1)
+    for round_index in range(12):
+        active = bound.active_mask(round_index, rng)
+        dormant = np.asarray([3 * v > round_index for v in range(4)])
+        assert not (active & dormant).any()  # dormant vertices never fire

@@ -94,6 +94,37 @@ def test_rpr104_passes_seed_accepting_apis():
     assert not flagged(good, "RPR104")
 
 
+def test_rpr105_flags_rng_construction_in_stress_models():
+    for bad in (
+        "from repro.devtools.seeding import resolve_rng\n"
+        "rng = resolve_rng(0)\n",
+        "import numpy as np\nrng = np.random.default_rng(7)\n",
+        "from repro.devtools.seeding import derive_seed_sequence\n"
+        "root = derive_seed_sequence(rng)\n",
+        "children = seq.spawn(2)\n",
+    ):
+        for module in ("repro.beeping.channels", "repro.beeping.schedulers"):
+            assert flagged(bad, "RPR105", module=module), (module, bad)
+
+
+def test_rpr105_ignores_other_modules_and_stream_consumption():
+    # The same constructions are fine anywhere else (the engines *own*
+    # the seed tree)...
+    bad = "from repro.devtools.seeding import resolve_rng\nrng = resolve_rng(0)\n"
+    assert not flagged(bad, "RPR105", module="repro.core.engines.base")
+    # ...and consuming a passed-in stream inside the models is the
+    # sanctioned pattern.
+    good = "def _perturb(self, heard, rng):\n    return rng.random(heard.shape)\n"
+    assert not flagged(good, "RPR105", module="repro.beeping.channels")
+
+
+def test_rpr105_real_stress_modules_are_clean():
+    for name in ("channels", "schedulers"):
+        path = SRC / "repro" / "beeping" / f"{name}.py"
+        source = path.read_text(encoding="utf-8")
+        assert not flagged(source, "RPR105", module=f"repro.beeping.{name}")
+
+
 # ----------------------------------------------------------------------
 # RPR2xx — determinism
 # ----------------------------------------------------------------------
@@ -338,12 +369,22 @@ def test_parse_errors_are_reported_not_raised(tmp_path):
     assert report.parse_errors and not report.ok
 
 
+def test_docs_cover_every_lint_rule():
+    # Older entries phrase their headings with markdown backticks, so
+    # only the stable rule IDs are matched verbatim; the RPR105 entry
+    # (added with this check) also pins its title text.
+    docs = (REPO_ROOT / "docs" / "linting.md").read_text(encoding="utf-8")
+    for rule_id, title, _ in rule_catalogue():
+        assert f"### {rule_id} — " in docs, f"{rule_id} missing from docs/linting.md"
+    assert "stress model builds its own RNG" in docs
+
+
 def test_rule_catalogue_is_complete():
     rows = rule_catalogue()
     ids = [rule_id for rule_id, _, _ in rows]
     assert ids == sorted(ids)
     assert set(ids) == {
-        "RPR101", "RPR102", "RPR103", "RPR104",
+        "RPR101", "RPR102", "RPR103", "RPR104", "RPR105",
         "RPR201", "RPR202", "RPR301", "RPR302",
         "RPR401", "RPR402", "RPR501",
     }

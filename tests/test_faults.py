@@ -143,3 +143,147 @@ class TestFaultSchedule:
         assert stabilized
         assert recovery >= 0
         assert network.is_legal()
+
+
+# ----------------------------------------------------------------------
+# Array-engine fault path (apply_levels / run_with_engine) and the
+# pinned fault-vs-stress ordering (docs/robustness.md)
+# ----------------------------------------------------------------------
+from repro.beeping.schedulers import BoundScheduler, Scheduler  # noqa: E402
+from repro.core.engines import SingleChannelEngine  # noqa: E402
+from repro.graphs.graph import Graph  # noqa: E402
+
+
+class _ScriptedBound(BoundScheduler):
+    def __init__(self, model, n):
+        super().__init__(model, n)
+        self._script = model.script
+
+    def active_mask(self, round_index, rng):
+        idx = min(round_index, len(self._script) - 1)
+        return np.asarray(self._script[idx], dtype=bool)
+
+
+class ScriptedScheduler(Scheduler):
+    """Test-only scheduler replaying a fixed per-round activity script."""
+
+    name = "scripted"
+
+    def __init__(self, script):
+        self.script = tuple(tuple(bool(b) for b in mask) for mask in script)
+
+    @property
+    def needs_rng(self):
+        return False
+
+    def bind(self, n):
+        return _ScriptedBound(self, n)
+
+    def spec(self):
+        return "scripted"
+
+
+def make_engine(graph, seed=0, c1=4, **kwargs):
+    policy = max_degree_policy(graph, c1=c1)
+    return SingleChannelEngine(graph, policy, seed=seed, **kwargs)
+
+
+class TestEngineFaults:
+    def test_apply_levels_stays_in_universe(self, er_graph):
+        rng = np.random.default_rng(3)
+        for fault in (
+            RandomCorruption(),
+            BernoulliCorruption(0.5),
+            TargetedCorruption((0, 3, 7)),
+            AdversarialPattern.all_silent(),
+            AdversarialPattern.all_prominent(),
+            AdversarialPattern.threshold(),
+        ):
+            engine = make_engine(er_graph, seed=1)
+            fault.apply_levels(engine, rng)
+            floor = engine._floor_vector()
+            assert np.all(engine.levels >= floor)
+            assert np.all(engine.levels <= engine.ell_max)
+
+    def test_targeted_corruption_touches_only_targets(self, er_graph):
+        engine = make_engine(er_graph, seed=1)
+        before = engine.levels.copy()
+        TargetedCorruption((2, 5)).apply_levels(engine, np.random.default_rng(0))
+        untouched = np.ones(engine.n, dtype=bool)
+        untouched[[2, 5]] = False
+        np.testing.assert_array_equal(engine.levels[untouched], before[untouched])
+
+    def test_custom_adversarial_pattern_has_no_level_form(self, er_graph):
+        engine = make_engine(er_graph)
+        fault = AdversarialPattern(lambda v, k: 0, name="weird")
+        with pytest.raises(NotImplementedError, match="no level-array form"):
+            fault.apply_levels(engine, np.random.default_rng(0))
+
+    def test_run_with_engine_recovers(self, er_graph):
+        engine = make_engine(er_graph, seed=9)
+        schedule = FaultSchedule(
+            events=((5, BernoulliCorruption(0.3)), (15, RandomCorruption()))
+        )
+        stabilized, recovery = schedule.run_with_engine(engine, 20_000)
+        assert stabilized
+        assert recovery >= 0
+        assert engine.is_legal()
+
+    def test_run_with_engine_recovers_under_stress(self, er_graph):
+        engine = make_engine(
+            er_graph, seed=9, channel="lossy:0.05", scheduler="drift:0.1"
+        )
+        schedule = FaultSchedule(events=((5, AdversarialPattern.all_silent()),))
+        stabilized, _ = schedule.run_with_engine(engine, 50_000)
+        assert stabilized
+        assert check_mis(er_graph, engine.mis_vertices()) is None
+
+    def test_fault_fires_before_round_executes(self):
+        """Regression: the pinned ordering is fault → scheduler gate →
+        fresh beeps from *corrupted* levels → hear (+ channel noise).
+
+        Two-vertex path, fully deterministic: round 0 plants a stale
+        beep carrier on vertex 1 (level −E beeps with p = 1); round 1
+        corrupts everything to −E *before* stepping and delays vertex 1.
+        Vertex 0's fresh beep must come from the post-fault level (−E →
+        beeps), and it must hear vertex 1's stale carrier and move up to
+        −E + 1.  Wrong orderings are distinguishable: fault-after-step
+        leaves vertex 0 at −E, and a silent (non-stale) delayed vertex 1
+        would also leave vertex 0 at −E (beep → reset).
+        """
+        graph = Graph(2, [(0, 1)])
+        scheduler = ScriptedScheduler([(True, True), (True, False)])
+        engine = make_engine(graph, seed=0, scheduler=scheduler)
+        e = int(engine.ell_max[0])
+        engine.set_levels([e, -e])
+        schedule = FaultSchedule(events=((1, AdversarialPattern.all_prominent()),))
+
+        schedule.maybe_fire_engine(0, engine)  # no event at round 0
+        engine.step()  # v0 at E: silent; v1 at -E: beeps (carrier=True)
+        assert list(engine.levels) == [e, -e]
+
+        assert schedule.maybe_fire_engine(1, engine)  # all_prominent → [-e, -e]
+        assert list(engine.levels) == [-e, -e]
+        engine.step()  # v1 delayed: stale beep carrier, no update
+        assert list(engine.levels) == [-e + 1, -e]
+
+    def test_channel_noise_applies_after_fault(self):
+        """Same scenario, total channel loss: the corrupted state still
+        drives the beeps, but vertex 0 now hears nothing (drop happens
+        after the hear-matvec on post-fault transmissions) and resets."""
+        graph = Graph(2, [(0, 1)])
+        scheduler = ScriptedScheduler([(True, True), (True, False)])
+        engine = make_engine(graph, seed=0, scheduler=scheduler, channel="lossy:1.0")
+        e = int(engine.ell_max[0])
+        engine.set_levels([e, -e])
+        schedule = FaultSchedule(events=((1, AdversarialPattern.all_prominent()),))
+
+        schedule.maybe_fire_engine(0, engine)
+        engine.step()
+        # v1's beep was dropped, so v0 (silent, heard nothing) drifts down.
+        assert list(engine.levels) == [e - 1, -e]
+
+        assert schedule.maybe_fire_engine(1, engine)
+        engine.step()
+        assert list(engine.levels) == [-e, -e]  # beeped → reset, heard nothing
+        assert engine.channel.drops_total >= 1

@@ -259,3 +259,89 @@ def test_subgraph_complement_consistency(graph):
     assert graph.complement().num_edges == n * (n - 1) // 2 - graph.num_edges
     sub = graph.subgraph(graph.vertices())
     assert sub == graph
+
+
+# ----------------------------------------------------------------------
+# Stabilization under stress: channel × scheduler, from any start
+# ----------------------------------------------------------------------
+# Noise kept below the empirically-recoverable thresholds
+# (docs/robustness.md): Algorithm 2's spurious beep2 hears destabilize
+# it at noise levels Algorithm 1 shrugs off, so its grid is gentler.
+STRESS_CHANNELS_SINGLE = ("lossy:0.1", "noisy:0.03", "unreliable:0.05,0.01")
+STRESS_CHANNELS_TWO = ("lossy:0.05", "noisy:0.01", "unreliable:0.02,0.005")
+STRESS_SCHEDULERS = (
+    "drift:0.1",
+    "drift:0.3,2",
+    "adversarial:staggered,2",
+    "adversarial:simultaneous",
+)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    data=graph_policy_levels(),
+    seed=st.integers(0, 2**16),
+    channel=st.sampled_from(STRESS_CHANNELS_SINGLE),
+    scheduler=st.sampled_from(STRESS_SCHEDULERS),
+)
+def test_algorithm1_stabilizes_under_stress(data, seed, channel, scheduler):
+    graph, policy, levels = data
+    result = simulate_single(
+        graph, policy, seed=seed, initial_levels=levels, max_rounds=60_000,
+        channel=channel, scheduler=scheduler,
+    )
+    assert result.stabilized
+    assert check_mis(graph, result.mis) is None
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    data=graph_policy_levels(two_channel=True),
+    seed=st.integers(0, 2**16),
+    channel=st.sampled_from(STRESS_CHANNELS_TWO),
+    scheduler=st.sampled_from(STRESS_SCHEDULERS),
+)
+def test_algorithm2_stabilizes_under_stress(data, seed, channel, scheduler):
+    graph, policy, levels = data
+    result = simulate_two_channel(
+        graph, policy, seed=seed, initial_levels=levels, max_rounds=60_000,
+        channel=channel, scheduler=scheduler,
+    )
+    assert result.stabilized
+    assert check_mis(graph, result.mis) is None
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    data=graph_policy_levels(),
+    seed=st.integers(0, 2**16),
+    scheduler=st.sampled_from(STRESS_SCHEDULERS),
+)
+def test_scheduler_delay_preserves_level_universe(data, seed, scheduler):
+    """Delay without noise: every intermediate configuration stays in
+    the level universe."""
+    graph, policy, levels = data
+    engine = SingleChannelEngine(graph, policy, seed=seed, scheduler=scheduler)
+    engine.set_levels(levels)
+    ell = np.asarray(policy.ell_max, dtype=np.int64)
+    for _ in range(80):
+        engine.step()
+        assert np.all(engine.levels >= -ell) and np.all(engine.levels <= ell)
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=graph_policy_levels(), seed=st.integers(0, 2**16), gap=st.integers(1, 4))
+def test_dormant_vertices_hold_their_level(data, seed, gap):
+    """Under the staggered wake-up adversary, vertex v is dormant until
+    round gap*v — its (possibly corrupted) level must be frozen until
+    then, exactly the paper's sleeping-vertex semantics."""
+    graph, policy, levels = data
+    engine = SingleChannelEngine(
+        graph, policy, seed=seed, scheduler=f"adversarial:staggered,{gap}"
+    )
+    engine.set_levels(levels)
+    vertices = np.arange(graph.num_vertices)
+    for round_index in range(min(gap * graph.num_vertices, 24)):
+        engine.step()
+        dormant = gap * vertices > round_index
+        np.testing.assert_array_equal(engine.levels[dormant], levels[dormant])

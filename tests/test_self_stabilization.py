@@ -169,3 +169,110 @@ class TestMidRunFaultRecovery:
                 engine.step()
                 recovery += 1
             assert recovery <= max(4 * fresh_median, 80)
+
+
+STRESS_CHANNELS_SINGLE = ("lossy:0.1", "noisy:0.03", "unreliable:0.05,0.01")
+STRESS_CHANNELS_TWO = ("lossy:0.05", "noisy:0.01", "unreliable:0.02,0.005")
+STRESS_SCHEDULERS = ("drift:0.1", "adversarial:staggered,2")
+
+
+class TestStabilizationUnderStress:
+    """The headline theorem under unreliable channels and asynchrony.
+
+    Noise grids sit below the empirically-recoverable thresholds
+    (docs/robustness.md): Algorithm 2's spurious beep2 hears make it
+    far more fragile than Algorithm 1, so its grid is gentler.
+    Legality stays a *structural* MIS predicate — noise only touches
+    in-round hears — so a stabilized result is a true MIS.
+    """
+
+    @pytest.mark.parametrize("channel", STRESS_CHANNELS_SINGLE)
+    @pytest.mark.parametrize("scheduler", STRESS_SCHEDULERS)
+    def test_single_channel_from_arbitrary_states(self, er_graph, channel, scheduler):
+        policy = max_degree_policy(er_graph, c1=4)
+        result = simulate_single(
+            er_graph, policy, seed=11, arbitrary_start=True, max_rounds=60_000,
+            channel=channel, scheduler=scheduler,
+        )
+        assert result.stabilized
+        assert check_mis(er_graph, result.mis) is None
+
+    @pytest.mark.parametrize("channel", STRESS_CHANNELS_TWO)
+    @pytest.mark.parametrize("scheduler", STRESS_SCHEDULERS)
+    def test_two_channel_from_arbitrary_states(self, er_graph, channel, scheduler):
+        policy = neighborhood_degree_policy(er_graph, c1=4)
+        result = simulate_two_channel(
+            er_graph, policy, seed=12, arbitrary_start=True, max_rounds=120_000,
+            channel=channel, scheduler=scheduler,
+        )
+        assert result.stabilized
+        assert check_mis(er_graph, result.mis) is None
+
+    @pytest.mark.parametrize("scheduler", STRESS_SCHEDULERS)
+    def test_constant_state_under_stress(self, er_graph, scheduler):
+        from repro.core.engines import ConstantStateEngine
+
+        engine = ConstantStateEngine(
+            er_graph, seed=13, channel="unreliable:0.05,0.01", scheduler=scheduler
+        )
+        engine.randomize()
+        for _ in range(60_000):
+            if engine.is_legal():
+                break
+            engine.step()
+        assert engine.is_legal()
+        assert check_mis(er_graph, engine.mis_vertices()) is None
+
+    @pytest.mark.parametrize("channel", STRESS_CHANNELS_SINGLE)
+    def test_batched_replicas_under_stress(self, er_graph, channel):
+        from repro.core.engines import BatchedEngine
+
+        policy = max_degree_policy(er_graph, c1=4)
+        engine = BatchedEngine(
+            er_graph, policy, replicas=3, seed=14,
+            channel=channel, scheduler="drift:0.1",
+        )
+        engine.randomize_levels()
+        for result in engine.run(max_rounds=60_000):
+            assert result.stabilized
+            assert check_mis(er_graph, result.mis) is None
+
+    def test_worst_case_starts_under_stress(self):
+        """The adversarial initial configurations of the class above,
+        now with a lossy channel and drift on top."""
+        graph = gen.random_regular(60, 4, seed=1)
+        policy = max_degree_policy(graph, c1=4)
+        ell = np.asarray(policy.ell_max)
+        starts = {
+            "all_silent": ell,
+            "fake_mis": -ell,
+            "alternating": np.where(np.arange(graph.num_vertices) % 2 == 0, ell, -ell),
+        }
+        for name, levels in starts.items():
+            result = simulate_single(
+                graph, policy, seed=15, initial_levels=levels, max_rounds=60_000,
+                channel="lossy:0.1", scheduler="drift:0.1",
+            )
+            assert result.stabilized, name
+            assert check_mis(graph, result.mis) is None, name
+
+    def test_stress_recovery_time_is_same_order(self):
+        """Mild noise degrades stabilization time by a bounded factor,
+        not catastrophically (the degradation claim the robustness
+        bench quantifies)."""
+        graph = gen.erdos_renyi_mean_degree(120, 8.0, seed=9)
+        policy = max_degree_policy(graph, c1=4)
+        clean = [
+            simulate_single(graph, policy, seed=s, arbitrary_start=True).rounds
+            for s in range(6)
+        ]
+        noisy = [
+            simulate_single(
+                graph, policy, seed=s, arbitrary_start=True,
+                max_rounds=200_000, channel="lossy:0.05",
+            ).rounds
+            for s in range(6)
+        ]
+        clean_median = sorted(clean)[3]
+        noisy_median = sorted(noisy)[3]
+        assert noisy_median <= max(10 * clean_median, 200)
