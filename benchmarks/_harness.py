@@ -48,7 +48,23 @@ RESULTS_DIR = os.path.join(
 )
 
 
-def save_bench_rows(name: str, rows, parameters=None, profile=None) -> str:
+def allocation_audit_summary():
+    """Measured steady-state bytes/round per engine × kernel combo.
+
+    Runs :func:`repro.devtools.hotpath.audit.run_allocation_audit` (the
+    runtime twin of the RPR8xx hot-path rules) and returns its
+    JSON-ready summary: per-combo net retained bytes/round, the
+    documented thresholds, and an overall ``ok`` verdict.  Takes well
+    under a second, so every benchmark artifact can afford to carry it.
+    """
+    from repro.devtools.hotpath.audit import allocation_summary
+
+    return allocation_summary()
+
+
+def save_bench_rows(
+    name: str, rows, parameters=None, profile=None, audit_allocations=True
+) -> str:
     """Persist ``rows`` as ``results/BENCH_<name>.json``.
 
     Uses the versioned :mod:`repro.analysis.persistence` envelope so the
@@ -56,7 +72,12 @@ def save_bench_rows(name: str, rows, parameters=None, profile=None) -> str:
     be read back with ``load_rows``.  ``profile`` (a
     :meth:`repro.obs.PhaseProfiler.snapshot` dict) is embedded under
     ``parameters["profile"]`` so benchmark artifacts carry their own
-    timing breakdown.  Returns the written path.
+    timing breakdown.  Unless ``audit_allocations`` is disabled, the
+    steady-state allocation audit summary (bytes/round per engine ×
+    kernel combo plus its pass/fail verdict) is embedded under
+    ``parameters["allocation"]``, so every artifact records the
+    allocation health of the engines that produced it.  Returns the
+    written path.
     """
     from repro.analysis.persistence import save_rows
 
@@ -65,6 +86,8 @@ def save_bench_rows(name: str, rows, parameters=None, profile=None) -> str:
     params = dict(parameters or {})
     if profile is not None:
         params["profile"] = profile
+    if audit_allocations and "allocation" not in params:
+        params["allocation"] = allocation_audit_summary()
     save_rows(rows, path, experiment=name, parameters=params)
     return path
 

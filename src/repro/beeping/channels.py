@@ -117,8 +117,16 @@ class ChannelModel:
         self,
         heard: npt.NDArray[np.bool_],
         rng: Optional[np.random.Generator],
+        scratch: Optional["_PerturbScratch"],
     ) -> Tuple[int, int]:
-        """Mutate ``heard`` in place; return ``(dropped, spurious)`` counts."""
+        """Mutate ``heard`` in place; return ``(dropped, spurious)`` counts.
+
+        ``scratch`` holds the bound channel's reusable draw/mask buffers
+        (:class:`_PerturbScratch`); non-trivial models fill them in
+        place instead of allocating per round.  The uniform draws still
+        consume exactly ``heard.size`` values per draw, so the stream
+        layout is unchanged from the historical allocating version.
+        """
         raise NotImplementedError
 
     def __repr__(self) -> str:
@@ -140,10 +148,11 @@ class PerfectChannel(ChannelModel):
         self,
         heard: npt.NDArray[np.bool_],
         rng: Optional[np.random.Generator],
+        scratch: Optional["_PerturbScratch"],
     ) -> Tuple[int, int]:
         # Identity: no mutation, and ``rng`` (which may be None — the
         # engine derives no channel stream for a perfect channel) is
-        # never touched.
+        # never touched.  ``scratch`` stays None for trivial channels.
         return 0, 0
 
 
@@ -164,12 +173,15 @@ class LossyChannel(ChannelModel):
         self,
         heard: npt.NDArray[np.bool_],
         rng: Optional[np.random.Generator],
+        scratch: Optional["_PerturbScratch"],
     ) -> Tuple[int, int]:
-        assert rng is not None
-        draws = rng.random(heard.shape)
-        dropped = heard & (draws < self.p_miss)
+        assert rng is not None and scratch is not None
+        draws, dropped = scratch.draws, scratch.mask
+        rng.random(out=draws)
+        np.less(draws, self.p_miss, out=dropped)
+        dropped &= heard
         heard[dropped] = False
-        return int(dropped.sum()), 0
+        return int(np.count_nonzero(dropped)), 0
 
 
 @dataclass(frozen=True)
@@ -189,22 +201,26 @@ class NoisyChannel(ChannelModel):
         self,
         heard: npt.NDArray[np.bool_],
         rng: Optional[np.random.Generator],
+        scratch: Optional["_PerturbScratch"],
     ) -> Tuple[int, int]:
-        assert rng is not None
-        draws = rng.random(heard.shape)
-        spurious = ~heard & (draws < self.p_false)
+        assert rng is not None and scratch is not None
+        draws, spurious = scratch.draws, scratch.mask
+        rng.random(out=draws)
+        np.less(draws, self.p_false, out=spurious)
+        np.logical_not(heard, out=scratch.mask2)
+        spurious &= scratch.mask2
         heard[spurious] = True
-        return 0, int(spurious.sum())
+        return 0, int(np.count_nonzero(spurious))
 
 
 @dataclass(frozen=True)
 class UnreliableChannel(ChannelModel):
     """Misses then false positives — ``lossy`` composed with ``noisy``.
 
-    Two independent ``random(heard.shape)`` draws per application, miss
-    draw first; a position whose beep was just dropped can therefore be
-    refilled by a spurious beep, exactly as chaining the two models
-    would produce.
+    Two independent full-width uniform draws (``heard.size`` values
+    each) per application, miss draw first; a position whose beep was
+    just dropped can therefore be refilled by a spurious beep, exactly
+    as chaining the two models would produce.
     """
 
     p_miss: float
@@ -222,15 +238,39 @@ class UnreliableChannel(ChannelModel):
         self,
         heard: npt.NDArray[np.bool_],
         rng: Optional[np.random.Generator],
+        scratch: Optional["_PerturbScratch"],
     ) -> Tuple[int, int]:
-        assert rng is not None
-        draws = rng.random(heard.shape)
-        dropped = heard & (draws < self.p_miss)
-        heard[dropped] = False
-        draws = rng.random(heard.shape)
-        spurious = ~heard & (draws < self.p_false)
-        heard[spurious] = True
-        return int(dropped.sum()), int(spurious.sum())
+        assert rng is not None and scratch is not None
+        draws, mask, mask2 = scratch.draws, scratch.mask, scratch.mask2
+        rng.random(out=draws)
+        np.less(draws, self.p_miss, out=mask)
+        mask &= heard
+        heard[mask] = False
+        dropped = int(np.count_nonzero(mask))
+        rng.random(out=draws)
+        np.less(draws, self.p_false, out=mask)
+        np.logical_not(heard, out=mask2)
+        mask &= mask2
+        heard[mask] = True
+        return dropped, int(np.count_nonzero(mask))
+
+
+class _PerturbScratch:
+    """One bound channel's reusable perturbation buffers.
+
+    Bound lazily to the first ``heard`` shape :meth:`BoundChannel.apply`
+    sees (and rebound if the shape ever changes — a service rebind that
+    grew the id space), then refilled in place every round: the uniform
+    draw vector plus two boolean mask slots, enough for the widest
+    model (``unreliable``) without any per-round allocation.
+    """
+
+    __slots__ = ("draws", "mask", "mask2")
+
+    def __init__(self, shape: Tuple[int, ...]):
+        self.draws = np.empty(shape, dtype=np.float64)
+        self.mask = np.empty(shape, dtype=np.bool_)
+        self.mask2 = np.empty(shape, dtype=np.bool_)
 
 
 class BoundChannel:
@@ -250,6 +290,7 @@ class BoundChannel:
         "spurious_total",
         "last_drops",
         "last_spurious",
+        "_scratch",
     )
 
     def __init__(self, model: ChannelModel):
@@ -258,6 +299,7 @@ class BoundChannel:
         self.spurious_total = 0
         self.last_drops = 0
         self.last_spurious = 0
+        self._scratch: Optional[_PerturbScratch] = None
 
     @property
     def is_perfect(self) -> bool:
@@ -278,7 +320,13 @@ class BoundChannel:
         reusable scratch row (batched) — never an aliased input — so
         in-place mutation is safe at every call site.
         """
-        dropped, spurious = self.model._perturb(heard, rng)
+        scratch = self._scratch
+        if not self.model.trivial and (
+            scratch is None or scratch.draws.shape != heard.shape
+        ):
+            scratch = _PerturbScratch(heard.shape)
+            self._scratch = scratch
+        dropped, spurious = self.model._perturb(heard, rng, scratch)
         self.last_drops += dropped
         self.last_spurious += spurious
         self.drops_total += dropped

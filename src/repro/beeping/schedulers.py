@@ -164,6 +164,7 @@ class _BoundDrift(BoundScheduler):
     def __init__(self, model: "BoundedDriftScheduler", n: int):
         super().__init__(model, n)
         self._lag = np.zeros(n, dtype=np.int64)
+        self._draws = np.empty(n, dtype=np.float64)
         self._p_skip = model.p_skip
         self._max_lag = model.max_lag
 
@@ -173,9 +174,13 @@ class _BoundDrift(BoundScheduler):
         rng: Optional[np.random.Generator],
     ) -> Optional[npt.NDArray[np.bool_]]:
         assert rng is not None
-        draws = rng.random(self.n)
+        draws = self._draws
+        rng.random(out=draws)
         active = (draws >= self._p_skip) | (self._lag >= self._max_lag)
-        self._lag = np.where(active, 0, self._lag + 1)
+        # In place: +1 everywhere, then zero the fired clocks — exactly
+        # np.where(active, 0, lag + 1) without rebinding the buffer.
+        np.add(self._lag, 1, out=self._lag)
+        self._lag[active] = 0
         return active
 
 
@@ -225,6 +230,7 @@ class _BoundAdversarial(BoundScheduler):
             schedule = WakeupSchedule.staggered(n, gap=model.gap)
         self._wake = np.asarray(schedule.wake_round, dtype=np.int64)
         self._lag = np.zeros(n, dtype=np.int64)
+        self._draws = np.empty(n, dtype=np.float64)
         self._p_skip = model.p_skip
         self._max_lag = model.max_lag
 
@@ -239,12 +245,17 @@ class _BoundAdversarial(BoundScheduler):
         assert rng is not None
         # Drift draws happen every round, awake or not, so the stream
         # layout is independent of the wake pattern.
-        draws = rng.random(self.n)
+        draws = self._draws
+        rng.random(out=draws)
         fires = (draws >= self._p_skip) | (self._lag >= self._max_lag)
         active = awake & fires
         # Dormant vertices hold lag 0: the drift clock only starts
-        # ticking once the adversary wakes them.
-        self._lag = np.where(active | ~awake, 0, self._lag + 1)
+        # ticking once the adversary wakes them.  In place: +1
+        # everywhere, then zero fired and dormant clocks — exactly
+        # np.where(active | ~awake, 0, lag + 1) without rebinding.
+        np.add(self._lag, 1, out=self._lag)
+        self._lag[active] = 0
+        self._lag[~awake] = 0
         return active
 
 

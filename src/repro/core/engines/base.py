@@ -285,6 +285,16 @@ class EngineBase:
             if self.uses_negative_levels
             else np.zeros_like(self.ell_max)
         )
+        # Per-round scratch (the hot-path allocation contract,
+        # docs/performance.md): the uniform-draw buffer and the float64
+        # activation scratch are bound once here and refilled in place
+        # every round by the subclass ``step`` implementations.
+        self._draws: npt.NDArray[np.float64] = np.empty(
+            self.n, dtype=np.float64
+        )
+        self._pfloat: npt.NDArray[np.float64] = np.empty(
+            self.n, dtype=np.float64
+        )
 
     # ------------------------------------------------------------------
     # Level management
@@ -358,6 +368,8 @@ class EngineBase:
             levels = np.ones(self.n, dtype=np.int64)
             levels[:old_n] = old_levels
             self.levels = levels
+            self._draws = np.empty(self.n, dtype=np.float64)
+            self._pfloat = np.empty(self.n, dtype=np.float64)
         # Stress models follow the id space: scheduler clocks/carriers
         # re-bind on growth, the channel (counters included) carries over.
         self._stress.rebind(self.n)

@@ -221,6 +221,10 @@ class BatchedEngine:
         self._mis_scratch: Optional[
             Tuple[npt.NDArray[np.intp], npt.NDArray[np.bool_]]
         ] = None
+        # Per-call legality vector, sliced to the active row count —
+        # shape (R,), so it survives rebinds untouched.  ``_legal_rows``
+        # returns views of it; ``legal_mask`` copies before publishing.
+        self._legal_scratch = np.empty(self.replicas, dtype=bool)
         self._p_table = self._build_p_table()
 
     def _build_p_table(self) -> Optional[npt.NDArray[np.float64]]:
@@ -403,7 +407,8 @@ class BatchedEngine:
         candidates = np.all(
             (levels == self._floor32) | (levels == self._ell_max32), axis=1
         )
-        legal = np.zeros(levels.shape[0], dtype=bool)
+        legal = self._legal_scratch[: levels.shape[0]]
+        legal[:] = False
         self._mis_scratch = None
         if not candidates.any():
             return legal
@@ -420,7 +425,9 @@ class BatchedEngine:
 
     def legal_mask(self) -> npt.NDArray[np.bool_]:
         """Boolean (R,) vector: which replicas sit in a legal configuration."""
-        return self._legal_rows(self.levels)
+        # ``_legal_rows`` hands back a view of the reused legality
+        # scratch; copy so the public result survives the next check.
+        return self._legal_rows(self.levels).copy()
 
     def mis_vertices(self, replica: int) -> "frozenset[int]":
         row = self._mis_mask_rows(self.levels[replica : replica + 1])[0]
@@ -635,8 +642,14 @@ class BatchedEngine:
             p = self._p_buf[:k]
             np.take(table, idx, out=p)
             return p
-        exponent = np.clip(levels, 0, MAX_EXPONENT).astype(np.float64)
-        p = np.power(2.0, -exponent)
+        # Non-uniform ℓmax fallback: same clip/negate/power chain as the
+        # solo engines, landed in the reused probability buffer (the
+        # clip is a cast-on-store — value-identical to ``.astype``).
+        k = levels.shape[0]
+        p = self._p_buf[:k]
+        np.clip(levels, 0, MAX_EXPONENT, out=p)
+        np.negative(p, out=p)
+        np.power(2.0, p, out=p)
         if self._single:
             p[levels <= 0] = 1.0
             p[levels >= self.ell_max] = 0.0

@@ -50,6 +50,10 @@ class ConstantStateEngine:
         #: True = IN (the fresh state), False = OUT.
         self.in_mis: npt.NDArray[np.bool_] = np.ones(self.n, dtype=bool)
         self.round_index = 0
+        # Per-round uniform-draw scratch (hot-path allocation contract).
+        self._draws: npt.NDArray[np.float64] = np.empty(
+            self.n, dtype=np.float64
+        )
 
     def set_membership(self, in_mis: npt.ArrayLike) -> None:
         in_mis = np.asarray(in_mis, dtype=bool)
@@ -61,7 +65,8 @@ class ConstantStateEngine:
         self.in_mis = self.rng.integers(0, 2, size=self.n).astype(bool)
 
     def step(self) -> npt.NDArray[np.bool_]:
-        draws = self.rng.random(self.n)
+        draws = self._draws
+        self.rng.random(out=draws)
         beeps = self.in_mis.copy()
         active = None
         if not self._ideal:

@@ -29,9 +29,16 @@ class SingleChannelEngine(EngineBase):
     uses_negative_levels = True
 
     def beep_probabilities(self) -> npt.NDArray[np.float64]:
-        """The Figure-1 activation applied elementwise to the levels."""
-        exponent = np.clip(self.levels, 0, MAX_EXPONENT).astype(np.float64)
-        p = np.power(2.0, -exponent)
+        """The Figure-1 activation applied elementwise to the levels.
+
+        The clipped exponent lands in the reused ``_pfloat`` scratch (a
+        cast-on-store, value-identical to the historical ``.astype``);
+        only the returned probability vector is freshly allocated.
+        """
+        exponent = self._pfloat
+        np.clip(self.levels, 0, MAX_EXPONENT, out=exponent)
+        np.negative(exponent, out=exponent)
+        p = np.power(2.0, exponent)
         p[self.levels <= 0] = 1.0
         p[self.levels >= self.ell_max] = 0.0
         return p
@@ -45,7 +52,8 @@ class SingleChannelEngine(EngineBase):
         default perfect channel + synchronous scheduler this is the
         historical step, operation for operation.
         """
-        draws = self.rng.random(self.n)
+        draws = self._draws
+        self.rng.random(out=draws)
         beeps = draws < self.beep_probabilities()
         active = None
         if not self._ideal:

@@ -33,9 +33,12 @@ class TwoChannelEngine(EngineBase):
         ``heard2`` (in that documented order).  With the defaults this
         is the historical step, operation for operation.
         """
-        draws = self.rng.random(self.n)
-        exponent = np.clip(self.levels, 0, MAX_EXPONENT).astype(np.float64)
-        p1 = np.power(2.0, -exponent)
+        draws = self._draws
+        self.rng.random(out=draws)
+        exponent = self._pfloat
+        np.clip(self.levels, 0, MAX_EXPONENT, out=exponent)
+        np.negative(exponent, out=exponent)
+        p1 = np.power(2.0, exponent)
         active = (self.levels > 0) & (self.levels < self.ell_max)
         beep1 = active & (draws < p1)
         beep2 = self.levels == 0

@@ -64,7 +64,7 @@ def _csr_hear_block(
     csr: "object",
     rows: BoolMatrix,
     out: Optional[BoolMatrix],
-    scratch: Optional[Dict[int, Tuple[npt.NDArray[np.int32], npt.NDArray[np.int32]]]] = None,
+    scratch: Dict[int, Tuple[npt.NDArray[np.int32], npt.NDArray[np.int32]]],
 ) -> BoolMatrix:
     """``(rows @ A) > 0`` through the CSR int32 product, C-contiguous.
 
@@ -74,24 +74,22 @@ def _csr_hear_block(
     exact C kernel ``csr.dot`` dispatches to, so the counts (and hence
     the boolean result) are bit-identical — skipping the per-call
     Python dispatch overhead that dominates at small sizes.  ``scratch``
-    (a per-kernel dict keyed by block height) recycles the two int32
-    intermediates across rounds instead of re-faulting fresh pages.
+    (required: a per-kernel dict keyed by block height, every kernel
+    owns one) recycles the two int32 intermediates across rounds
+    instead of re-faulting fresh pages — the hot-path allocation
+    contract of docs/performance.md.
     """
     k, n = rows.shape
-    if scratch is None:
-        cols = rows.T.astype(np.int32, order="C")
-        received = np.zeros((n, k), dtype=np.int32)
-    else:
-        buffers = scratch.get(k)
-        if buffers is None:
-            buffers = (
-                np.empty((n, k), dtype=np.int32),
-                np.empty((n, k), dtype=np.int32),
-            )
-            scratch[k] = buffers
-        cols, received = buffers
-        cols[...] = rows.T
-        received.fill(0)
+    buffers = scratch.get(k)
+    if buffers is None:
+        buffers = (
+            np.empty((n, k), dtype=np.int32),
+            np.empty((n, k), dtype=np.int32),
+        )
+        scratch[k] = buffers
+    cols, received = buffers
+    cols[...] = rows.T
+    received.fill(0)
     if _csr_matvecs is None:
         received = csr.dot(cols)  # type: ignore[attr-defined]
     else:
@@ -124,6 +122,12 @@ class HearKernel:
         self._csr_scratch: Dict[
             int, Tuple[npt.NDArray[np.int32], npt.NDArray[np.int32]]
         ] = {}
+        #: Reused int32 cast of the ``(n,)`` activity mask for the solo
+        #: ``hear`` matvec (a cast-on-store instead of a per-round
+        #: ``.astype`` copy; the counts are bit-identical).
+        self._active_i32: npt.NDArray[np.int32] = np.empty(
+            structure.n, dtype=np.int32
+        )
 
     def hear(self, active: BoolVector) -> BoolVector:
         """``(n,)`` bool mask of vertices with ≥ 1 active neighbor."""
@@ -143,9 +147,10 @@ class HearKernel:
 class SparseInt32Kernel(HearKernel):
     """The reference kernel: int32 CSR matvec, ``> 0`` threshold.
 
-    ``hear`` is literally the pre-kernel engine formula
-    ``adjacency.dot(mask.astype(int32)) > 0``; the other kernels are
-    proven against it.  ``hear_rows`` produces the same values as the old
+    ``hear`` computes the pre-kernel engine formula
+    ``adjacency.dot(mask.astype(int32)) > 0`` — the int32 cast lands in
+    a reused scratch vector, which changes no count — and the other
+    kernels are proven against it.  ``hear_rows`` produces the same values as the old
     ``adj_t.dot(rows.T).T`` but transposes *before* the product (one
     C-ordered cast instead of two non-contiguous intermediates) so the
     output block is C-contiguous without a trailing copy.
@@ -154,7 +159,8 @@ class SparseInt32Kernel(HearKernel):
     name = "sparse_int32"
 
     def hear(self, active: BoolVector) -> BoolVector:
-        counts = self.structure.csr.dot(active.astype(np.int32))
+        np.copyto(self._active_i32, active)
+        counts = self.structure.csr.dot(self._active_i32)
         return counts > 0  # type: ignore[no-any-return]
 
     def hear_rows(
@@ -218,6 +224,12 @@ class BitsetKernel(HearKernel):
     def __init__(self, structure: GraphStructure):
         super().__init__(structure)
         self._nnz = 2 * structure.num_edges
+        #: Reused gather-branch intermediates for :meth:`hear_rows`,
+        #: keyed by block height: the packed word block and the
+        #: reduceat segment starts.
+        self._word_scratch: Dict[
+            int, Tuple[npt.NDArray[np.uint64], npt.NDArray[np.intp]]
+        ] = {}
 
     def _use_gather(self, beeps: int, replicas: int) -> bool:
         return (
@@ -232,7 +244,8 @@ class BitsetKernel(HearKernel):
         if beeping.size == 0:
             return np.zeros(self.n, dtype=bool)
         if not self._use_gather(beeping.size, 1):
-            counts = self.structure.csr.dot(active.astype(np.int32))
+            np.copyto(self._active_i32, active)
+            counts = self.structure.csr.dot(self._active_i32)
             return counts > 0  # type: ignore[no-any-return]
         words = np.bitwise_or.reduce(packed[beeping], axis=0)
         # Pure byte reinterpretation feeding unpackbits — no arithmetic
@@ -255,7 +268,15 @@ class BitsetKernel(HearKernel):
             return _csr_hear_block(
                 self.structure.csr_t, rows, out, self._csr_scratch
             )
-        word_block = np.zeros((replicas, self.structure.words), dtype=np.uint64)
+        buffers = self._word_scratch.get(replicas)
+        if buffers is None:
+            buffers = (
+                np.empty((replicas, self.structure.words), dtype=np.uint64),
+                np.empty(replicas, dtype=np.intp),
+            )
+            self._word_scratch[replicas] = buffers
+        word_block, starts = buffers
+        word_block.fill(0)
         if total:
             # One segmented OR-reduction for the whole block: ravelled
             # flat indices are row-major, so the gathered bitset rows are
@@ -265,7 +286,7 @@ class BitsetKernel(HearKernel):
             # (or the end of the gather).
             beep_cols = np.flatnonzero(rows) % self.n
             nonempty = counts > 0
-            starts = np.zeros(replicas, dtype=np.intp)
+            starts[0] = 0
             np.cumsum(counts[:-1], out=starts[1:])
             word_block[nonempty] = np.bitwise_or.reduceat(
                 packed[beep_cols], starts[nonempty], axis=0

@@ -408,7 +408,11 @@ def _packed_flip(
     both = np.concatenate([pairs, pairs[:, ::-1]])
     rows = both[:, 0]
     cols = both[:, 1]
-    masks = np.left_shift(np.uint64(1), (cols & 63).astype(np.uint64))
+    # ``cols & 63`` is a fresh contiguous int64 array of values in
+    # [0, 63]; the same-width ``.view`` reinterprets it as uint64 for
+    # free (bit patterns of small non-negatives coincide) instead of
+    # materializing an ``.astype`` copy.
+    masks = np.left_shift(np.uint64(1), (cols & 63).view(np.uint64))
     if set_bits:
         np.bitwise_or.at(words, (rows, cols >> 6), masks)
     else:

@@ -17,12 +17,20 @@ Runs, in order:
    lifecycles, pool shutdown discipline, fork-captured module state,
    attached-view mutation, service-state ownership.  Shares the
    ``--baseline``/SARIF plumbing with the dataflow phase.
-6. **engine-contract** — the runtime registry sweep from
+6. **repro-hotpath** — the hot-path hygiene RPR8xx analysis
+   (:mod:`repro.devtools.hotpath`): per-round array allocation,
+   dtype-churning temporaries, Python-level loops over fresh arrays,
+   per-call scratch rebinding, and observability bypasses inside the
+   inferred hot region.  Shares the ``--baseline``/SARIF plumbing with
+   the dataflow phase.
+7. **engine-contract** — the runtime registry sweep from
    :mod:`repro.devtools.contract`.
-7. **sanitizers** (only with ``--sanitize``) — the runtime traps in
+8. **sanitizers** (only with ``--sanitize``) — the runtime traps in
    :mod:`repro.devtools.sanitize`: errstate + frozen shared arrays over
    the engine fixtures, RNG draw audits, seed-tree audits, the
-   shared-memory leak audit, and the pool worker-crash recovery probe.
+   shared-memory leak audit, the pool worker-crash recovery probe, and
+   the steady-state allocation audit
+   (:mod:`repro.devtools.hotpath.audit`).
 
 ``--sarif out.sarif`` additionally writes every RPR finding as SARIF
 2.1.0 for code-scanning upload.
@@ -58,6 +66,7 @@ STRICT_MYPY_TARGETS = (
     "src/repro/obs",
     "src/repro/devtools/sanitize.py",
     "src/repro/devtools/concurrency",
+    "src/repro/devtools/hotpath",
 )
 
 #: Paths swept by ruff when available.
@@ -241,6 +250,55 @@ def _check_concurrency(
     )
 
 
+def _check_hotpath(
+    paths: Sequence[str], baseline: Optional[str] = None
+) -> ToolResult:
+    """The hot-path hygiene RPR8xx analysis, with profiled wall time."""
+    from ..obs.profiling import PhaseProfiler
+    from .dataflow.baseline import BaselineError, apply_baseline, load_baseline
+    from .hotpath import analyze_paths
+
+    profiler = PhaseProfiler()
+    with profiler.phase("hotpath"):
+        report = analyze_paths(paths)
+    violations = report.violations
+    suppressed = 0
+    if baseline is not None:
+        try:
+            fingerprints = load_baseline(baseline)
+        except BaselineError as exc:
+            return ToolResult(
+                name="repro-hotpath", status="failed", detail=str(exc)
+            )
+        kept = apply_baseline(violations, fingerprints)
+        suppressed = len(violations) - len(kept)
+        violations = kept
+    elapsed = profiler.phases["hotpath"]["wall_s"]
+    data: Dict[str, Any] = {
+        "elapsed_s": round(elapsed, 4),
+        "modules": report.modules_analyzed,
+        "functions": report.functions_analyzed,
+        "suppressed_by_baseline": suppressed,
+    }
+    status = "passed" if not (violations or report.errors) else "failed"
+    detail = (
+        f"{len(violations)} finding(s) across {report.modules_analyzed} "
+        f"module(s) in {elapsed:.2f}s"
+    )
+    if report.errors:
+        detail += f"; {len(report.errors)} parse error(s)"
+        data["parse_errors"] = report.errors
+    if suppressed:
+        detail += f" ({suppressed} baselined)"
+    return ToolResult(
+        name="repro-hotpath",
+        status=status,
+        detail=detail,
+        violations=[v.to_json() for v in violations],
+        data=data,
+    )
+
+
 def _check_sanitize() -> ToolResult:
     """The runtime sanitizer suite (``--sanitize``)."""
     from .sanitize import run_sanitizers
@@ -299,6 +357,7 @@ def run_check(
     results.append(_check_repro_lint(lint_targets))
     results.append(_check_dataflow(lint_targets, baseline=baseline))
     results.append(_check_concurrency(lint_targets, baseline=baseline))
+    results.append(_check_hotpath(lint_targets, baseline=baseline))
     if not skip_contract:
         results.append(_check_contract())
     if sanitize:
@@ -341,8 +400,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro check",
         description="determinism & contract gate (ruff + mypy + repro-lint "
-        "+ repro-dataflow + repro-concurrency + engine-contract "
-        "[+ sanitizers])",
+        "+ repro-dataflow + repro-concurrency + repro-hotpath "
+        "+ engine-contract [+ sanitizers])",
     )
     parser.add_argument(
         "paths",
@@ -365,13 +424,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="also run the runtime sanitizers (errstate traps, frozen "
         "shared arrays, RNG draw/seed-tree audits, shm leak audit, "
-        "pool crash recovery)",
+        "pool crash recovery, steady-state allocation audit)",
     )
     parser.add_argument(
         "--baseline",
         metavar="FILE",
-        help="JSON baseline of accepted dataflow/concurrency findings "
-        "to suppress",
+        help="JSON baseline of accepted dataflow/concurrency/hotpath "
+        "findings to suppress",
     )
     parser.add_argument(
         "--sarif",

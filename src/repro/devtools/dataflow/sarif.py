@@ -2,10 +2,10 @@
 
 SARIF (Static Analysis Results Interchange Format) is what code-scanning
 UIs ingest — the CI workflow uploads this file so findings annotate pull
-requests.  We emit one run with all three rule families (the per-line
-RPRxxx catalogue, the dataflow RPR6xx catalogue, and the concurrency
-RPR7xx catalogue) in ``tool.driver.rules`` and one ``result`` per
-violation.
+requests.  We emit one run with all four rule families (the per-line
+RPRxxx catalogue, the dataflow RPR6xx catalogue, the concurrency
+RPR7xx catalogue, and the hot-path RPR8xx catalogue) in
+``tool.driver.rules`` and one ``result`` per violation.
 """
 
 from __future__ import annotations
@@ -31,11 +31,13 @@ _SCHEMA = (
 
 def _rules_block() -> List[dict]:
     from ..concurrency.rules import concurrency_catalogue
+    from ..hotpath.rules import hotpath_catalogue
 
     rows = (
         list(rule_catalogue())
         + list(dataflow_catalogue())
         + list(concurrency_catalogue())
+        + list(hotpath_catalogue())
     )
     return [
         {

@@ -1,0 +1,107 @@
+"""Metadata for the hot-path hygiene rules (RPR8xx).
+
+Like the RPR6xx/RPR7xx catalogues, these rules are all emitted by one
+engine (:mod:`repro.devtools.hotpath.engine`), so their metadata lives
+here as plain records.  ``docs/linting.md`` and ``tests/test_hotpath.py``
+assert the two stay in sync.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = ["HotpathRule", "HOTPATH_RULES", "hotpath_catalogue"]
+
+
+@dataclass(frozen=True)
+class HotpathRule:
+    rule_id: str
+    title: str
+    rationale: str
+
+
+HOTPATH_RULES: Tuple[HotpathRule, ...] = (
+    HotpathRule(
+        rule_id="RPR801",
+        title="per-round array allocation discarded inside the hot region",
+        rationale=(
+            "A np.zeros/empty/full/copy/.toarray()/rng-draw call whose "
+            "result lives and dies inside a function reachable from "
+            "the per-round drive loop allocates a fresh array every round "
+            "— the allocator and page-fault cost recurs O(rounds) times "
+            "where a buffer bound once at __init__/rebind (sliced per "
+            "call, filled with out=/copyto) would be free.  Calls whose "
+            "result escapes (returned into a caller that stores it, "
+            "bound to an attribute, placed in a container) transfer the "
+            "decision to the owner and are not flagged, as are the "
+            "concatenation/index-materialization families whose output "
+            "shape is data-dependent and cannot be preallocated; helpers "
+            "that merely *return* a fresh array are charged at the hot "
+            "call site that discards it."
+        ),
+    ),
+    HotpathRule(
+        rule_id="RPR802",
+        title="dtype-churning .astype temporary at round frequency",
+        rationale=(
+            "An .astype(...) inside the hot region materializes a "
+            "converted copy of the whole operand every round — the "
+            "int8→int32 cast class: the conversion itself is cheap but "
+            "the fresh array behind it is not.  Hot code keeps one "
+            "scratch array per target dtype and converts with "
+            "np.copyto(scratch, src) (a cast-on-store into reused "
+            "memory, value-identical to .astype for these integer→float "
+            "and integer-widening conversions)."
+        ),
+    ),
+    HotpathRule(
+        rule_id="RPR803",
+        title="Python-level loop over a freshly materialized array",
+        rationale=(
+            "A for-loop iterating a local ndarray that the same hot "
+            "function just allocated pays the per-element interpreter "
+            "dispatch the vectorized engines exist to avoid — O(n) "
+            "Python bytecode per round instead of one ufunc call.  "
+            "Deliberate per-replica bookkeeping loops (retirement "
+            "scans over an index array passed in by the caller) are "
+            "not flagged; the rule fires only when the iterated array "
+            "was materialized locally, i.e. the loop could have stayed "
+            "an array expression."
+        ),
+    ),
+    HotpathRule(
+        rule_id="RPR804",
+        title="scratch buffer rebound to an attribute per hot call",
+        rationale=(
+            "self.attr = np.zeros(...)/np.where(...) inside a per-round "
+            "method reallocates the engine's own scratch every call — "
+            "the buffer belongs in __init__/rebind, with the hot method "
+            "writing into it in place (out=, [:] assignment, copyto).  "
+            "Rebinding per call also silently breaks aliases other "
+            "components took at bind time (collectors adopting engine "
+            "arrays).  Guarded lazy initialization into a container "
+            "slot (self._cache[key] = ...) is setup, not churn, and is "
+            "not flagged."
+        ),
+    ),
+    HotpathRule(
+        rule_id="RPR805",
+        title="hot-region call into logging/print/profiling bypasses repro.obs",
+        rationale=(
+            "print(), logging.*, logger.*/log.* calls and @profile-style "
+            "decorators inside the hot region do I/O and formatting at "
+            "round frequency and — unlike the repro.obs collectors, "
+            "whose zero-perturbation contract is byte-identity-tested — "
+            "are not proven to leave trajectories untouched.  Per-round "
+            "observability goes through repro.obs (collectors, "
+            "MetricsRegistry, PhaseProfiler); diagnostics belong on the "
+            "cold setup/teardown paths."
+        ),
+    ),
+)
+
+
+def hotpath_catalogue() -> List[Tuple[str, str, str]]:
+    """``(rule_id, title, rationale)`` rows — used by docs and tests."""
+    return [(r.rule_id, r.title, r.rationale) for r in HOTPATH_RULES]

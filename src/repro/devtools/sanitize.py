@@ -27,7 +27,12 @@ runtime booby-trapped:
 * **pool crash recovery** — worker-crash injection, the runtime twin of
   RPR704: a sweep worker calls ``os._exit`` mid-task and the parent
   must surface :class:`repro.analysis.sweep.SweepWorkerError`, shut the
-  pool down, and leak no segment.
+  pool down, and leak no segment;
+* **allocation audit** — the runtime twin of the RPR8xx hot-path rules
+  (:mod:`repro.devtools.hotpath.audit`): every engine × kernel combo is
+  driven to steady state and its net retained bytes/round, measured
+  between warmup-fenced ``tracemalloc`` snapshots, must stay under the
+  documented per-combo threshold.
 
 The runtime checks run under a :func:`watchdog` that dumps all thread
 stacks if they hang, converting a deadlock into a diagnosable failure.
@@ -61,6 +66,7 @@ __all__ = [
     "check_sweep_seed_tree",
     "check_shm_leak_audit",
     "check_sweep_pool_worker_crash",
+    "check_hotpath_allocation_audit",
     "run_sanitizers",
 ]
 
@@ -425,6 +431,37 @@ def check_sweep_pool_worker_crash() -> SanitizerResult:
     )
 
 
+def check_hotpath_allocation_audit() -> SanitizerResult:
+    """Steady-state allocation audit — runtime twin of the RPR8xx rules.
+
+    Drives every engine × kernel combo past warmup and asserts the net
+    retained bytes/round between two gc-fenced ``tracemalloc`` snapshots
+    stays under the documented threshold
+    (:data:`repro.devtools.hotpath.audit.DEFAULT_THRESHOLD_BYTES`).
+    """
+    from .hotpath.audit import run_allocation_audit
+
+    with watchdog(120.0):
+        results = run_allocation_audit()
+    failures = [r for r in results if not r.ok]
+    if failures:
+        return SanitizerResult(
+            name="hotpath-allocation-audit",
+            ok=False,
+            detail="; ".join(r.format() for r in failures),
+        )
+    worst = max(results, key=lambda r: r.bytes_per_round)
+    return SanitizerResult(
+        name="hotpath-allocation-audit",
+        ok=True,
+        detail=(
+            f"{len(results)} combo(s) at steady state; worst "
+            f"{worst.combo} {worst.bytes_per_round:+.1f} B/round "
+            f"(threshold {worst.threshold:.0f})"
+        ),
+    )
+
+
 def run_sanitizers() -> List[SanitizerResult]:
     """All sanitizer checks, in deterministic order."""
     return [
@@ -434,4 +471,5 @@ def run_sanitizers() -> List[SanitizerResult]:
         check_sweep_seed_tree(),
         check_shm_leak_audit(),
         check_sweep_pool_worker_crash(),
+        check_hotpath_allocation_audit(),
     ]

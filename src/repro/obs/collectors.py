@@ -346,6 +346,12 @@ class RunCollector:
         self._s_disjoint = _mis_disjoint_from_dominated(view)
         self._hist_offset = int(view.floor.min())
         self._hist_span = int(view.ell_max.max()) - self._hist_offset + 1
+        # Reusable legality masks (hot-path allocation contract): two
+        # (n,)-bool slots bound to the first observed shape, refilled in
+        # place each round with out= ufuncs — value-identical to the
+        # historical temporary chain.
+        self._mask_a: Optional[npt.NDArray[np.bool_]] = None
+        self._mask_b: Optional[npt.NDArray[np.bool_]] = None
 
     # ------------------------------------------------------------------
     def observe_structure(self, levels: npt.ArrayLike) -> bool:
@@ -359,11 +365,21 @@ class RunCollector:
         self._round += 1
         self.peak_level_bytes = max(self.peak_level_bytes, int(levels.nbytes))
 
-        blocked = view.hear(levels != view.ell_max)
-        in_mis = (levels == view.floor) & ~blocked
+        in_mis = self._mask_a
+        scratch = self._mask_b
+        if in_mis is None or in_mis.shape != levels.shape or scratch is None:
+            in_mis = self._mask_a = np.empty(levels.shape, dtype=np.bool_)
+            scratch = self._mask_b = np.empty(levels.shape, dtype=np.bool_)
+        np.not_equal(levels, view.ell_max, out=scratch)
+        blocked = view.hear(scratch)
+        np.equal(levels, view.floor, out=in_mis)
+        np.logical_not(blocked, out=scratch)
+        in_mis &= scratch  # in_mis = (levels == floor) & ~blocked
         dominated = view.hear(in_mis)
-        others_ok = (levels == view.ell_max) & dominated
-        legal = bool(np.all(in_mis | others_ok))
+        np.equal(levels, view.ell_max, out=scratch)
+        scratch &= dominated  # others_ok = (levels == ℓmax) & dominated
+        scratch |= in_mis
+        legal = bool(np.all(scratch))
 
         if self._round % self.every == 0:
             record: Optional[Dict[str, Any]] = self.labels.copy()

@@ -1,0 +1,27 @@
+"""RPR801 (clean): the blessed preallocated-scratch shapes."""
+import numpy as np
+
+from df801_lib import fresh_levels
+
+
+class ToyCleanEngine:
+    def __init__(self, n):
+        self.n = n
+        self.levels = np.zeros(n, dtype=np.int64)
+        self._counts = np.empty(n, dtype=np.int64)  # bound once: blessed
+
+    def step(self):
+        counts = self._counts
+        np.copyto(counts, self.levels)
+        counts += 1
+        beeps = counts > 0
+        return beeps  # the caller owns this result
+
+    def rebind(self, n):
+        # Setup escape: reallocating on a topology change is the contract.
+        self.n = n
+        self.levels = fresh_levels(n)
+        self._counts = np.empty(n, dtype=np.int64)
+
+    def snapshot(self):  # repro: cold
+        return np.zeros(self.n, dtype=np.int64)

@@ -1,0 +1,23 @@
+"""RPR801 (flag): per-round allocations that die inside the hot region."""
+import numpy as np
+
+from df801_lib import fresh_levels
+
+
+def _staging(n):
+    # Hop 2: a pass-through that still only returns fresh arrays.
+    return fresh_levels(n)
+
+
+class ToyEngine:
+    def __init__(self, n):
+        self.n = n
+        self.levels = np.zeros(n, dtype=np.int64)
+
+    def step(self):
+        counts = np.zeros(self.n, dtype=np.int64)  # direct: dies here
+        counts += self.levels
+        self.levels[counts > 1] = 0
+        staged = _staging(self.n)  # two hops to the allocator: dies here
+        staged += 1
+        return None

@@ -1,0 +1,11 @@
+"""Helper module for the RPR801 interprocedural fixtures.
+
+``fresh_levels`` only ever returns a freshly allocated array, so a hot
+caller two modules away that discards its result is charged at the
+call site (returns-fresh summaries cross module boundaries).
+"""
+import numpy as np
+
+
+def fresh_levels(n):
+    return np.zeros(n, dtype=np.int64)

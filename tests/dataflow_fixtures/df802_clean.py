@@ -1,0 +1,12 @@
+"""RPR802 (clean): cast-on-store into a scratch array of the target dtype."""
+import numpy as np
+
+
+class CastCleanEngine:
+    def __init__(self, n):
+        self.levels = np.zeros(n, dtype=np.int64)
+        self._exponent = np.empty(n, dtype=np.float64)
+
+    def step(self):
+        np.copyto(self._exponent, self.levels)  # dtype conversion in place
+        return float(self._exponent.sum())

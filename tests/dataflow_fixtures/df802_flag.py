@@ -1,0 +1,11 @@
+"""RPR802 (flag): a dtype-churning .astype copy at round frequency."""
+import numpy as np
+
+
+class CastEngine:
+    def __init__(self, n):
+        self.levels = np.zeros(n, dtype=np.int64)
+
+    def step(self):
+        exponent = self.levels.astype(np.float64)  # converted copy per round
+        return float(exponent.sum())

@@ -1,0 +1,12 @@
+"""RPR803 (clean): the same reduction as an array expression."""
+import numpy as np
+
+
+class LoopCleanEngine:
+    def __init__(self, n):
+        self.n = n
+
+    def step(self):
+        beeps = np.zeros(self.n, dtype=bool)
+        total = int(np.count_nonzero(beeps))
+        return beeps, total

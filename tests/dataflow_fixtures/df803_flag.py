@@ -1,0 +1,14 @@
+"""RPR803 (flag): Python-level iteration over a freshly built array."""
+import numpy as np
+
+
+class LoopEngine:
+    def __init__(self, n):
+        self.n = n
+
+    def step(self):
+        beeps = np.zeros(self.n, dtype=bool)
+        total = 0
+        for flag in beeps:  # per-element interpreter dispatch every round
+            total += int(flag)
+        return beeps

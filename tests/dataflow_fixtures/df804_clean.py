@@ -1,0 +1,16 @@
+"""RPR804 (clean): attributes bound at construction, updated in place."""
+import numpy as np
+
+
+class ScratchCleanEngine:
+    def __init__(self, n):
+        self.levels = np.zeros(n, dtype=np.int64)
+        self._mask = np.zeros(n, dtype=bool)
+
+    def step(self):
+        np.greater(self.levels, 0, out=self._mask)
+        return None
+
+    def rebind(self, n):
+        # Topology changed: reallocating here is exactly the contract.
+        self._mask = np.zeros(n, dtype=bool)

@@ -1,0 +1,13 @@
+"""RPR804 (flag): scratch buffers rebound to attributes on every hot call."""
+import numpy as np
+
+
+class ScratchEngine:
+    def __init__(self, n):
+        self.n = n
+        self.levels = np.zeros(n, dtype=np.int64)
+
+    def step(self):
+        self._mask = np.zeros(self.n, dtype=bool)  # reallocated per round
+        self._lag = np.where(self.levels > 0, 0, 1)  # ditto, via np.where
+        return None

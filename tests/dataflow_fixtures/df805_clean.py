@@ -1,0 +1,14 @@
+"""RPR805 (clean): per-round observability through a collector sink."""
+import logging
+
+logger = logging.getLogger("df805")
+
+
+class QuietEngine:
+    def __init__(self, sink):
+        self.sink = sink
+        logger.info("engine constructed")  # setup-time logging is fine
+
+    def step(self):
+        self.sink.observe(1)
+        return None

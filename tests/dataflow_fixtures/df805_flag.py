@@ -1,0 +1,11 @@
+"""RPR805 (flag): print/logging from inside the hot region."""
+import logging
+
+logger = logging.getLogger("df805")
+
+
+class ChattyEngine:
+    def step(self):
+        print("round progressed")  # stdout write every round
+        logger.info("round progressed")  # formatting + handler per round
+        return None

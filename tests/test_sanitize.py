@@ -107,6 +107,7 @@ def test_run_sanitizers_all_green():
         "sweep-seed-tree",
         "shm-leak-audit",
         "pool-crash-recovery",
+        "hotpath-allocation-audit",
     ]
     failures = [r.format() for r in results if not r.ok]
     assert not failures, "\n".join(failures)
@@ -135,4 +136,5 @@ def test_check_sanitize_gate_is_green():
         "sweep-seed-tree": True,
         "shm-leak-audit": True,
         "pool-crash-recovery": True,
+        "hotpath-allocation-audit": True,
     }
