@@ -85,6 +85,11 @@ class StabilizationRounds:
     #: strings (not model objects) so the measurement stays picklable.
     channel: str = "perfect"
     scheduler: str = "synchronous"
+    #: Optional fused-round tier (docs/performance.md, "Fused round
+    #: tier"); ``None`` keeps the per-step loop.  Byte-identical where
+    #: eligible, silent step-loop fallback otherwise — like ``kernel``,
+    #: a pure performance knob.
+    round_kernel: Optional[str] = None
 
     # ------------------------------------------------------------------
     def _policy(
@@ -119,6 +124,7 @@ class StabilizationRounds:
             kernel=self.kernel,
             channel=self.channel,
             scheduler=self.scheduler,
+            round_kernel=self.round_kernel,
         )
         return self._check(outcome, config)
 
@@ -140,6 +146,7 @@ class StabilizationRounds:
             kernel=self.kernel,
             channel=self.channel,
             scheduler=self.scheduler,
+            round_kernel=self.round_kernel,
         )
         return [self._check(outcome, config) for outcome in block]
 
@@ -176,6 +183,7 @@ class StabilizationRounds:
             kernel=self.kernel,
             channel=self.channel,
             scheduler=self.scheduler,
+            round_kernel=self.round_kernel,
         )
         return self._check(outcome, config)
 
@@ -207,6 +215,7 @@ class StabilizationRounds:
             kernel=self.kernel,
             channel=self.channel,
             scheduler=self.scheduler,
+            round_kernel=self.round_kernel,
         )
         return [self._check(outcome, config) for outcome in block]
 

@@ -32,8 +32,11 @@ from ...graphs.graph import Graph
 from ..kernels import (
     GraphStructure,
     HearKernel,
+    PerRoundDraws,
+    get_round_kernel,
     make_kernel,
     resolve_kernel_name,
+    resolve_round_kernel_name,
     structure_for,
 )
 from ..knowledge import EllMaxPolicy
@@ -248,6 +251,7 @@ class EngineBase:
         kernel: str = "auto",
         channel: "ChannelLike" = None,
         scheduler: "SchedulerLike" = None,
+        round_kernel: Optional[str] = None,
     ):
         if policy.num_vertices != graph.num_vertices:
             raise ValueError("policy size does not match graph size")
@@ -294,6 +298,28 @@ class EngineBase:
         )
         self._pfloat: npt.NDArray[np.float64] = np.empty(
             self.n, dtype=np.float64
+        )
+        # Optional fused-round tier (docs/performance.md, "Fused round
+        # tier"): when requested, the whole round loop is delegated to a
+        # RoundKernel in :meth:`until_stable` — but only for eligible
+        # configurations (perfect channel + synchronous scheduler, no
+        # collector, no per-round series).  The resolved name is pinned
+        # at construction, mirroring the hear-kernel contract above.
+        self.round_kernel_name: Optional[str] = (
+            resolve_round_kernel_name(round_kernel)
+            if round_kernel is not None
+            else None
+        )
+        self._round_kernel = (
+            get_round_kernel(
+                self.round_kernel_name,
+                self.structure,
+                algorithm="single" if self.uses_negative_levels else "two_channel",
+                ell_max=policy.ell_max,
+                replicas=1,
+            )
+            if self.round_kernel_name is not None
+            else None
         )
 
     # ------------------------------------------------------------------
@@ -359,6 +385,14 @@ class EngineBase:
         self.n = structure.n
         self.adjacency = structure.csr
         self.kernel = make_kernel(self.kernel_name, structure)
+        if self.round_kernel_name is not None:
+            self._round_kernel = get_round_kernel(
+                self.round_kernel_name,
+                structure,
+                algorithm="single" if self.uses_negative_levels else "two_channel",
+                ell_max=self.ell_max,
+                replicas=1,
+            )
         self._floor = (
             -self.ell_max
             if self.uses_negative_levels
@@ -424,6 +458,13 @@ class EngineBase:
         """
         if check_every < 1:
             raise ValueError("check_every must be >= 1")
+        if (
+            self._round_kernel is not None
+            and self._ideal
+            and collector is None
+            and not record_series
+        ):
+            return self._run_fused(max_rounds, check_every)
         if collector is not None:
             collector.view.adopt_engine(self)
         beep_series: List[int] = []
@@ -467,6 +508,37 @@ class EngineBase:
         if collector is not None:
             collector.finalize(result.stabilized, result.rounds)
         return result
+
+    def _run_fused(self, max_rounds: int, check_every: int) -> VectorizedResult:  # repro: cold
+        """Delegate the run loop to the bound fused round kernel.
+
+        Cold by annotation: this body runs once per *run* (the per-round
+        loop lives in the kernel, which the analyzer roots separately),
+        so its int64↔int32 boundary casts are one-time work.
+
+        Eligibility is decided by the caller (:meth:`until_stable`):
+        ideal stress models, no collector, no per-round series.  The
+        kernel consumes uniforms through the engine's own generator via
+        :class:`repro.core.kernels.PerRoundDraws`, so the stream position
+        after the run matches the step loop exactly (fault-recovery
+        resumes mid-stream) and outcomes are byte-identical.
+        """
+        levels32 = self.levels.astype(np.int32).reshape(1, self.n)
+        draws = PerRoundDraws([self.rng], self.n)
+        outcomes, executed = self._round_kernel.run_block(
+            levels32, draws, max_rounds, check_every
+        )
+        draws.finish()
+        self.round_index += executed
+        outcome = outcomes[0]
+        final = outcome.final_levels.astype(np.int64)
+        self.levels = final.copy()
+        return VectorizedResult(
+            stabilized=outcome.stabilized,
+            rounds=outcome.rounds,
+            mis=outcome.mis,
+            final_levels=final,
+        )
 
     # ------------------------------------------------------------------
     # Stability structure (paper Section 3), shared by both algorithms:

@@ -34,10 +34,13 @@ import numpy.typing as npt
 from ...devtools.seeding import SeedSpec, as_seed_sequence, rng_from_sequence
 from ...graphs.graph import Graph
 from ..kernels import (
+    BlockDraws,
     GraphStructure,
     HearKernel,
+    get_round_kernel,
     make_kernel,
     resolve_kernel_name,
+    resolve_round_kernel_name,
     structure_for,
 )
 from ..knowledge import EllMaxPolicy
@@ -122,6 +125,7 @@ class BatchedEngine:
         kernel: str = "auto",
         channel: "ChannelLike" = None,
         scheduler: "SchedulerLike" = None,
+        round_kernel: Optional[str] = None,
     ):
         if policy.num_vertices != graph.num_vertices:
             raise ValueError("policy size does not match graph size")
@@ -226,6 +230,25 @@ class BatchedEngine:
         # returns views of it; ``legal_mask`` copies before publishing.
         self._legal_scratch = np.empty(self.replicas, dtype=bool)
         self._p_table = self._build_p_table()
+        # Optional fused-round tier: :meth:`run` delegates the whole
+        # retirement loop to this kernel when the configuration is
+        # eligible (ideal stress models, no collector, aligned cursors).
+        self.round_kernel_name: Optional[str] = (
+            resolve_round_kernel_name(round_kernel)
+            if round_kernel is not None
+            else None
+        )
+        self._round_kernel = (
+            get_round_kernel(
+                self.round_kernel_name,
+                self.structure,
+                algorithm=algorithm,
+                ell_max=policy.ell_max,
+                replicas=self.replicas,
+            )
+            if self.round_kernel_name is not None
+            else None
+        )
 
     def _build_p_table(self) -> Optional[npt.NDArray[np.float64]]:
         """Beep-probability lookup table for uniform-ℓmax policies.
@@ -309,6 +332,14 @@ class BatchedEngine:
         self._floor32 = self._floor.astype(np.int32)
         self._neg_ell_max = -self._ell_max32
         self._p_table = self._build_p_table()
+        if self.round_kernel_name is not None:
+            self._round_kernel = get_round_kernel(
+                self.round_kernel_name,
+                structure,
+                algorithm=self.algorithm,
+                ell_max=self.ell_max,
+                replicas=self.replicas,
+            )
         self._mis_scratch = None
         if self.n != old_n:
             n = self.n
@@ -688,6 +719,18 @@ class BatchedEngine:
         elif arbitrary_start:
             self.randomize_levels()
 
+        if (
+            self._round_kernel is not None
+            and self._ideal
+            and collector is None
+        ):
+            draws = BlockDraws(self._blocks, self._cursor, self._draw_fns)
+            # Aligned cursors are a precondition of the fused serve loop;
+            # they can diverge only after a partial step-loop run retired
+            # some replicas mid-block — fall back to the step loop then.
+            if draws.aligned():
+                return self._run_fused(draws, max_rounds, check_every)
+
         results: List[Optional[VectorizedResult]] = [None] * self.replicas
         active = np.ones(self.replicas, dtype=bool)
         active_idx = np.arange(self.replicas)
@@ -745,6 +788,33 @@ class BatchedEngine:
             executed += 1
         return BatchedResult(results=cast(List[VectorizedResult], results))
 
+    def _run_fused(
+        self, draws: BlockDraws, max_rounds: int, check_every: int
+    ) -> BatchedResult:
+        """Delegate the retirement loop to the bound fused round kernel.
+
+        The kernel serves uniforms from the engine's own pre-drawn
+        blocks/cursors (``BlockDraws``), advances ``self.levels`` in
+        place, and records each replica's outcome at its retirement
+        round — byte-identical to the step loop above, replica for
+        replica (asserted by ``tests/test_round_kernels.py``).
+        """
+        outcomes, executed = self._round_kernel.run_block(
+            self.levels, draws, max_rounds, check_every
+        )
+        draws.finish()
+        self.round_index += executed
+        results = [
+            VectorizedResult(
+                stabilized=o.stabilized,
+                rounds=o.rounds,
+                mis=o.mis,
+                final_levels=o.final_levels,
+            )
+            for o in outcomes
+        ]
+        return BatchedResult(results=results)
+
 
 def simulate_batched(
     graph: Graph,
@@ -760,6 +830,7 @@ def simulate_batched(
     kernel: str = "auto",
     channel: "ChannelLike" = None,
     scheduler: "SchedulerLike" = None,
+    round_kernel: Optional[str] = None,
 ) -> BatchedResult:
     """Run R replicas of Algorithm 1/2 to stabilization, batched."""
     engine = BatchedEngine(
@@ -772,6 +843,7 @@ def simulate_batched(
         kernel=kernel,
         channel=channel,
         scheduler=scheduler,
+        round_kernel=round_kernel,
     )
     return engine.run(
         max_rounds=max_rounds,

@@ -8,14 +8,21 @@ exactly as ``FewStatesMIS.step`` does.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, FrozenSet
+from typing import TYPE_CHECKING, FrozenSet, Optional
 
 import numpy as np
 import numpy.typing as npt
 
 from ...graphs.graph import Graph
 from ...devtools.seeding import SeedLike, resolve_rng
-from ..kernels import HearKernel, make_kernel, structure_for
+from ..kernels import (
+    HearKernel,
+    PerRoundDraws,
+    get_round_kernel,
+    make_kernel,
+    resolve_round_kernel_name,
+    structure_for,
+)
 from .base import VectorizedResult, bind_stress_models
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -35,6 +42,7 @@ class ConstantStateEngine:
         kernel: str = "auto",
         channel: "ChannelLike" = None,
         scheduler: "SchedulerLike" = None,
+        round_kernel: Optional[str] = None,
     ):
         self.graph = graph
         self.n = graph.num_vertices
@@ -53,6 +61,24 @@ class ConstantStateEngine:
         # Per-round uniform-draw scratch (hot-path allocation contract).
         self._draws: npt.NDArray[np.float64] = np.empty(
             self.n, dtype=np.float64
+        )
+        # Optional fused-round tier (docs/performance.md): the driver in
+        # :func:`simulate_constant_state` delegates the loop when the
+        # configuration is eligible (ideal stress models only).
+        self.round_kernel_name: Optional[str] = (
+            resolve_round_kernel_name(round_kernel)
+            if round_kernel is not None
+            else None
+        )
+        self._round_kernel = (
+            get_round_kernel(
+                self.round_kernel_name,
+                self.structure,
+                algorithm="constant_state",
+                replicas=1,
+            )
+            if self.round_kernel_name is not None
+            else None
         )
 
     def set_membership(self, in_mis: npt.ArrayLike) -> None:
@@ -107,13 +133,39 @@ def simulate_constant_state(
     kernel: str = "auto",
     channel: "ChannelLike" = None,
     scheduler: "SchedulerLike" = None,
+    round_kernel: Optional[str] = None,
 ) -> VectorizedResult:
-    """Run the two-state baseline to its first MIS configuration."""
+    """Run the two-state baseline to its first MIS configuration.
+
+    ``round_kernel`` opts into the fused-round tier; it engages only
+    under the ideal stress models (byte-identical trajectories either
+    way — see ``docs/performance.md``).
+    """
     engine = ConstantStateEngine(
-        graph, seed, kernel=kernel, channel=channel, scheduler=scheduler
+        graph,
+        seed,
+        kernel=kernel,
+        channel=channel,
+        scheduler=scheduler,
+        round_kernel=round_kernel,
     )
     if arbitrary_start:
         engine.randomize()
+    if engine._round_kernel is not None and engine._ideal:
+        membership = engine.in_mis.reshape(1, engine.n)
+        draws = PerRoundDraws([engine.rng], engine.n)
+        outcomes, executed = engine._round_kernel.run_constant(
+            membership, draws, max_rounds
+        )
+        draws.finish()
+        engine.round_index += executed
+        outcome = outcomes[0]
+        return VectorizedResult(
+            stabilized=outcome.stabilized,
+            rounds=outcome.rounds,
+            mis=outcome.mis,
+            final_levels=engine.in_mis.astype(np.int64),
+        )
     executed = 0
     while not engine.is_legal():
         if executed >= max_rounds:

@@ -89,6 +89,7 @@ def simulate_single(
     kernel: str = "auto",
     channel: "ChannelLike" = None,
     scheduler: "SchedulerLike" = None,
+    round_kernel: Optional[str] = None,
 ) -> VectorizedResult:
     """Run Algorithm 1 to stabilization on the vectorized engine.
 
@@ -101,10 +102,18 @@ def simulate_single(
     bit-identical for every kernel.  ``channel`` / ``scheduler`` select
     the stress models of :mod:`repro.beeping.channels` /
     :mod:`repro.beeping.schedulers`; the defaults reproduce the
-    historical trajectories byte for byte.
+    historical trajectories byte for byte.  ``round_kernel`` opts into
+    the fused-round tier (byte-identical, engaged only when the
+    configuration is eligible — see ``docs/performance.md``).
     """
     engine = SingleChannelEngine(
-        graph, policy, seed, kernel=kernel, channel=channel, scheduler=scheduler
+        graph,
+        policy,
+        seed,
+        kernel=kernel,
+        channel=channel,
+        scheduler=scheduler,
+        round_kernel=round_kernel,
     )
     if initial_levels is not None:
         engine.set_levels(initial_levels)

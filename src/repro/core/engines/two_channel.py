@@ -86,10 +86,21 @@ def simulate_two_channel(
     kernel: str = "auto",
     channel: "ChannelLike" = None,
     scheduler: "SchedulerLike" = None,
+    round_kernel: Optional[str] = None,
 ) -> VectorizedResult:
-    """Run Algorithm 2 to stabilization on the vectorized engine."""
+    """Run Algorithm 2 to stabilization on the vectorized engine.
+
+    ``round_kernel`` opts into the fused-round tier exactly as in
+    :func:`repro.core.engines.single.simulate_single`.
+    """
     engine = TwoChannelEngine(
-        graph, policy, seed, kernel=kernel, channel=channel, scheduler=scheduler
+        graph,
+        policy,
+        seed,
+        kernel=kernel,
+        channel=channel,
+        scheduler=scheduler,
+        round_kernel=round_kernel,
     )
     if initial_levels is not None:
         engine.set_levels(initial_levels)

@@ -18,6 +18,20 @@ from .hear import (
     make_kernel,
     resolve_kernel_name,
 )
+from .round import (
+    BlockDraws,
+    BlockOutcome,
+    FusedNumbaRoundKernel,
+    FusedNumpyRoundKernel,
+    FusedPackedRoundKernel,
+    PerRoundDraws,
+    ROUND_KERNEL_ALIASES,
+    RoundKernel,
+    RoundKernelUnavailable,
+    available_round_kernels,
+    get_round_kernel,
+    resolve_round_kernel_name,
+)
 from .shm import (
     SharedStructureManifest,
     SharedStructureSet,
@@ -49,6 +63,18 @@ __all__ = [
     "available_kernels",
     "resolve_kernel_name",
     "make_kernel",
+    "RoundKernel",
+    "FusedNumpyRoundKernel",
+    "FusedPackedRoundKernel",
+    "FusedNumbaRoundKernel",
+    "RoundKernelUnavailable",
+    "BlockOutcome",
+    "PerRoundDraws",
+    "BlockDraws",
+    "ROUND_KERNEL_ALIASES",
+    "available_round_kernels",
+    "resolve_round_kernel_name",
+    "get_round_kernel",
     "GraphStructure",
     "structure_for",
     "seed_structure",

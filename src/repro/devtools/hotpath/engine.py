@@ -51,7 +51,9 @@ __all__ = ["HotpathAnalyzer"]
 #: Functions that *contain* the per-round loop: traversed fully, but
 #: flagged only inside ``for``/``while`` bodies (their prologue is
 #: one-time work).
-_DRIVER_NAMES = frozenset({"run", "until_stable", "drive"})
+_DRIVER_NAMES = frozenset({
+    "run", "until_stable", "drive", "run_block", "run_constant",
+})
 
 #: Construction/rebind-time methods: never traversed, never flagged —
 #: allocating here is exactly what the rules ask for.
@@ -207,6 +209,19 @@ class HotpathAnalyzer:
             })
         if cls_name == "StructureView":
             return frozenset({"hear", "hear_rows", "received", "received_rows"})
+        if cls_name.endswith("RoundKernel"):
+            # The fused tier owns the whole round: the run loops are
+            # drivers (loop bodies only), and the per-round step bodies
+            # are roots of their own because the loops dispatch through
+            # a local ``step = self._step_…`` binding the call-graph
+            # walk cannot resolve.
+            return frozenset({
+                "run_block", "run_constant",
+                "_step_single", "_step_two", "_step_constant",
+                # Packed-backend overrides: static dispatch resolves the
+                # base-class bodies, so the overrides must root themselves.
+                "_hear_block", "_candidate_rows", "_unpack_words",
+            })
         if cls_name.endswith("Kernel"):
             return frozenset({"hear", "hear_rows", "__call__"})
         if cls_name.endswith("Channel"):

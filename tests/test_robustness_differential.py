@@ -27,6 +27,7 @@ from repro.core.engines import (
     SingleChannelEngine,
     TwoChannelEngine,
 )
+from repro.core.engines.constant_state import simulate_constant_state
 from repro.core.engines.base import MAX_EXPONENT
 from repro.core.kernels import structure_for
 from repro.core.runner import compute_mis, policy_for_variant
@@ -283,6 +284,114 @@ def test_collector_does_not_perturb_stressed_runs():
     assert sum(r["dropped"] for r in collector.records) == observed.channel.drops_total
     assert observed.channel.drops_total > 0  # the stress actually bit
     assert sum(r["spurious"] for r in collector.records) == 0  # lossy only drops
+
+
+# ----------------------------------------------------------------------
+# Round-kernel ineligibility → silent step-loop fallback (byte identity)
+# ----------------------------------------------------------------------
+# The fused-round tier engages only on the perfect channel + synchronous
+# scheduler with metrics off (docs/performance.md, eligibility matrix).
+# Every other combination must silently run the historical step loop:
+# passing ``round_kernel=`` there must not perturb a single byte.
+_INELIGIBLE_STRESS = (
+    {"channel": "lossy:0.05"},
+    {"scheduler": "drift:0.1"},
+    {"channel": "unreliable:0.05,0.01", "scheduler": "drift:0.1,3"},
+)
+
+
+@pytest.mark.parametrize("stress", _INELIGIBLE_STRESS)
+@pytest.mark.parametrize("variant", ("max_degree", "two_channel"))
+def test_round_kernel_silent_fallback_under_stress(variant, stress):
+    graph = _graph(40)
+    baseline = compute_mis(
+        graph, variant=variant, seed=19, arbitrary_start=True, **stress
+    )
+    fused = compute_mis(
+        graph, variant=variant, seed=19, arbitrary_start=True,
+        round_kernel="fused_packed", **stress,
+    )
+    assert fused.rounds == baseline.rounds
+    assert fused.mis == baseline.mis
+
+
+@pytest.mark.parametrize("stress", _INELIGIBLE_STRESS)
+def test_round_kernel_silent_fallback_constant_state(stress):
+    graph = _graph(40)
+    baseline = simulate_constant_state(
+        graph, seed=19, arbitrary_start=True, **stress
+    )
+    fused = simulate_constant_state(
+        graph, seed=19, arbitrary_start=True,
+        round_kernel="fused_packed", **stress,
+    )
+    assert fused.rounds == baseline.rounds
+    assert fused.mis == baseline.mis
+    np.testing.assert_array_equal(fused.final_levels, baseline.final_levels)
+
+
+@pytest.mark.parametrize("stress", _INELIGIBLE_STRESS)
+def test_round_kernel_silent_fallback_batched(stress):
+    graph = _graph(40)
+    policy = policy_for_variant(graph, "max_degree")
+    runs = {}
+    for key, extra in (
+        ("baseline", {}),
+        ("fused", {"round_kernel": "fused_packed"}),
+    ):
+        engine = BatchedEngine(
+            graph, policy, replicas=3, seed=19, **stress, **extra
+        )
+        engine.randomize_levels()
+        runs[key] = engine.run(max_rounds=50_000)
+    assert [r.rounds for r in runs["fused"]] == [
+        r.rounds for r in runs["baseline"]
+    ]
+    for fused, baseline in zip(runs["fused"], runs["baseline"]):
+        np.testing.assert_array_equal(fused.final_levels, baseline.final_levels)
+
+
+def test_round_kernel_silent_fallback_with_collector():
+    # Metrics attached (a collector) is the third ineligibility axis —
+    # even on the perfect defaults the step loop must run so every
+    # per-round record is emitted, unperturbed.
+    graph = _graph(40)
+    policy = policy_for_variant(graph, "max_degree")
+    results, collectors = {}, {}
+    for key, extra in (
+        ("baseline", {}),
+        ("fused", {"round_kernel": "fused_packed"}),
+    ):
+        engine = SingleChannelEngine(graph, policy, seed=6, **extra)
+        engine.randomize_levels()
+        collector = RunCollector(StructureView.from_engine(engine))
+        results[key] = engine.until_stable(
+            max_rounds=50_000, collector=collector
+        )
+        collectors[key] = collector
+    assert results["fused"].rounds == results["baseline"].rounds
+    np.testing.assert_array_equal(
+        results["fused"].final_levels, results["baseline"].final_levels
+    )
+    assert len(collectors["fused"].records) == len(collectors["baseline"].records)
+    assert len(collectors["fused"].records) == results["fused"].rounds
+
+
+def test_round_kernel_silent_fallback_with_record_series():
+    # record_series needs the per-round loop; the fused tier must bow out.
+    graph = _graph(40)
+    policy = policy_for_variant(graph, "max_degree")
+    results = {}
+    for key, extra in (
+        ("baseline", {}),
+        ("fused", {"round_kernel": "fused_packed"}),
+    ):
+        engine = SingleChannelEngine(graph, policy, seed=6, **extra)
+        engine.randomize_levels()
+        results[key] = engine.until_stable(max_rounds=50_000, record_series=True)
+    assert results["fused"].rounds == results["baseline"].rounds
+    assert results["fused"].beep_series == results["baseline"].beep_series
+    assert results["fused"].stable_series == results["baseline"].stable_series
 
 
 def test_perfect_channel_records_keep_historical_shape():
